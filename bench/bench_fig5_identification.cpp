@@ -1,0 +1,79 @@
+// E4 — Figures 5 and 6: the identification process and the propagation of
+// identified information.  Measures the three-phase process on the Figure 1
+// block (rounds until the opposite corner forms the block info, then rounds
+// until the whole envelope holds it), and sweeps block size to show b_i
+// grows linearly with the block edge — "fault information can be
+// distributed quickly".
+
+#include <iostream>
+
+#include "src/core/network.h"
+#include "src/core/scenario.h"
+#include "src/fault/corner_taxonomy.h"
+#include "src/sim/table_printer.h"
+
+using namespace lgfi;
+
+int main() {
+  print_banner(std::cout, "E4 / Figure 5: identification of the Figure 1 block (8-ary 3-D)");
+
+  {
+    Network net(MeshTopology(3, 8));
+    for (const auto& f : figure1_faults()) net.inject_fault(f);
+
+    // Step the protocol manually to observe the milestones.
+    int round = 0, formed_round = -1, envelope_round = -1;
+    const Box block = figure1_block();
+    const auto envelope = envelope_positions(net.mesh(), block);
+    while (net.model().run_round() && round < 1000) {
+      ++round;
+      if (formed_round < 0) {
+        for (const auto& c : block_corners(net.mesh(), block))
+          if (net.model().info().holds(net.mesh().index_of(c), block)) formed_round = round;
+      }
+      if (envelope_round < 0) {
+        bool all = true;
+        for (const auto& c : envelope)
+          if (!net.model().info().holds(net.mesh().index_of(c), block)) all = false;
+        if (all) envelope_round = round;
+      }
+    }
+
+    TablePrinter t({"milestone", "round", "paper phase"});
+    t.add_row({"block info formed at a corner", TablePrinter::num(formed_round),
+               "phases 1-3 (Figure 5)"});
+    t.add_row({"whole envelope informed", TablePrinter::num(envelope_round),
+               "back-propagation (Figure 6)"});
+    t.add_row({"fully quiescent (incl. walls)", TablePrinter::num(round), "boundary construction"});
+    t.print(std::cout);
+    std::cout << "  identification messages sent in total: " << net.model().messages_sent()
+              << "\n";
+    if (formed_round < 0 || envelope_round < 0) {
+      std::cout << "  RESULT: MISMATCH (identification did not complete)\n";
+      return 1;
+    }
+  }
+
+  print_banner(std::cout, "E4: b_i scales linearly with block edge length (cube blocks, 3-D)");
+  TablePrinter sweep({"mesh", "block edge e", "a_i (rounds)", "b_i (rounds)", "c_i (rounds)",
+                      "messages"});
+  for (int e = 1; e <= 5; ++e) {
+    const int radix = std::max(8, 2 * e + 6);
+    const MeshTopology mesh(3, radix);
+    Network net(mesh);
+    const int lo = radix / 2 - e / 2;
+    for (const auto& c : box_fault_placement(mesh, Box(Coord{lo, lo, lo},
+                                                       Coord{lo + e - 1, lo + e - 1, lo + e - 1})))
+      net.inject_fault(c);
+    const auto rounds = net.stabilize();
+    sweep.add_row({std::to_string(radix) + "^3", TablePrinter::num(e),
+                   TablePrinter::num(rounds.labeling), TablePrinter::num(rounds.identification),
+                   TablePrinter::num(rounds.boundary),
+                   TablePrinter::num(net.model().messages_sent())});
+  }
+  sweep.print(std::cout);
+  std::cout << "  (the paper's claim: constructions stabilize in O(block edge + mesh extent) "
+               "rounds,\n   so d_i > (a_i+b_i+c_i)/lambda is easy to satisfy)\n";
+  std::cout << "  RESULT: reproduces Figure 5/6 process\n";
+  return 0;
+}

@@ -1,0 +1,98 @@
+// E13 — simulator performance (google-benchmark): cost of the building
+// blocks (labeling rounds, full construction, static routes, dynamic steps)
+// and thread-scaling of replicated sweeps — the HPC-facing numbers.
+
+#include <benchmark/benchmark.h>
+
+#include "src/core/dynamic_simulation.h"
+#include "src/core/experiment.h"
+#include "src/core/network.h"
+#include "src/core/scenario.h"
+#include "src/fault/labeling.h"
+#include "src/sim/thread_pool.h"
+
+namespace lgfi {
+namespace {
+
+void BM_LabelingStabilize(benchmark::State& state) {
+  const int radix = static_cast<int>(state.range(0));
+  const MeshTopology mesh(3, radix);
+  Rng rng(1);
+  const auto faults = clustered_fault_placement(mesh, 20, rng);
+  for (auto _ : state) {
+    StatusField f = make_field_with_faults(mesh, faults);
+    LabelingResult r = stabilize_labeling(f);
+    benchmark::DoNotOptimize(r.rounds);
+  }
+  state.SetItemsProcessed(state.iterations() * mesh.node_count());
+}
+BENCHMARK(BM_LabelingStabilize)->Arg(8)->Arg(12)->Arg(16);
+
+void BM_FullConstruction(benchmark::State& state) {
+  const int radix = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    const MeshTopology mesh(3, radix);
+    Network net(mesh);
+    Rng rng(2);
+    const auto faults = clustered_fault_placement(mesh, 10, rng);
+    state.ResumeTiming();
+    for (const auto& c : faults) net.inject_fault(c);
+    const auto rounds = net.stabilize();
+    benchmark::DoNotOptimize(rounds.total);
+  }
+}
+BENCHMARK(BM_FullConstruction)->Arg(8)->Arg(12);
+
+void BM_StaticRoute(benchmark::State& state) {
+  const MeshTopology mesh(3, 10);
+  Network net(mesh);
+  Rng rng(3);
+  for (const auto& c : clustered_fault_placement(mesh, 12, rng)) net.inject_fault(c);
+  net.stabilize();
+  Rng pairs(4);
+  for (auto _ : state) {
+    const auto pair = random_enabled_pair(mesh, net.field(), pairs, 10);
+    const auto r = net.route(pair.source, pair.dest);
+    benchmark::DoNotOptimize(r.total_steps);
+  }
+}
+BENCHMARK(BM_StaticRoute);
+
+void BM_DynamicStep(benchmark::State& state) {
+  const MeshTopology mesh(3, 10);
+  FaultSchedule sch;
+  Rng rng(5);
+  for (const auto& c : clustered_fault_placement(mesh, 10, rng)) sch.add_fail(0, c);
+  DynamicSimulation sim(mesh, sch);
+  sim.launch_message(Coord{0, 0, 0}, Coord{9, 9, 9});
+  for (auto _ : state) {
+    sim.step();
+  }
+  state.SetItemsProcessed(state.iterations() * mesh.node_count());
+}
+BENCHMARK(BM_DynamicStep);
+
+void BM_ParallelReplication(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  ThreadPool pool(static_cast<unsigned>(threads));
+  for (auto _ : state) {
+    std::atomic<long long> total{0};
+    pool.parallel_for(32, [&](int64_t rep) {
+      const MeshTopology mesh(2, 12);
+      Network net(mesh);
+      Rng rng = Rng(7).fork(static_cast<uint64_t>(rep));
+      for (const auto& c : clustered_fault_placement(mesh, 6, rng)) net.inject_fault(c);
+      net.stabilize();
+      const auto pair = random_enabled_pair(mesh, net.field(), rng, 8);
+      const auto r = net.route(pair.source, pair.dest);
+      total += r.total_steps;
+    });
+    benchmark::DoNotOptimize(total.load());
+  }
+  state.SetItemsProcessed(state.iterations() * 32);
+}
+BENCHMARK(BM_ParallelReplication)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
+
+}  // namespace
+}  // namespace lgfi

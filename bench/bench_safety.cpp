@@ -1,0 +1,78 @@
+// E11 — Theorem 2: how much of the traffic is "safe" (guaranteed a minimal
+// path) as faults accumulate, per mesh dimensionality.  Safe fractions are
+// the regime where Theorems 3-4 apply directly; Theorem 5 covers the rest.
+
+#include <iostream>
+
+#include "src/core/experiment.h"
+#include "src/core/network.h"
+#include "src/fault/safety.h"
+#include "src/sim/fault_schedule.h"
+#include "src/sim/table_printer.h"
+
+using namespace lgfi;
+
+int main() {
+  print_banner(std::cout, "E11 / Theorem 2: fraction of safe (s,d) pairs vs fault count");
+
+  TablePrinter t({"mesh", "faults", "blocks", "safe pairs %", "minimal delivery % (measured)"});
+  struct Config {
+    int dims, radix;
+  };
+  for (const Config cfg : {Config{2, 16}, Config{3, 10}, Config{4, 6}}) {
+    for (const int faults : {2, 6, 12, 24}) {
+      MetricSet m;
+      parallel_replicate(
+          12, 0xE11 + static_cast<uint64_t>(cfg.dims * 100 + faults), m,
+          [&](Rng& rng, MetricSet& out) {
+            const MeshTopology mesh(cfg.dims, cfg.radix);
+            Network net(mesh);
+            for (const auto& c : random_fault_placement(mesh, faults, rng))
+              net.inject_fault(c);
+            net.stabilize();
+            const auto blocks = block_boxes(net.field());
+            out.add("blocks", static_cast<double>(blocks.size()));
+
+            // Sample pairs; classify safety and verify safe => minimal.
+            int safe = 0, sampled = 0, minimal = 0, safe_minimal = 0;
+            for (int i = 0; i < 60; ++i) {
+              const NodeId a = static_cast<NodeId>(
+                  rng.next_below(static_cast<uint64_t>(mesh.node_count())));
+              const NodeId b = static_cast<NodeId>(
+                  rng.next_below(static_cast<uint64_t>(mesh.node_count())));
+              if (net.field().at(a) != NodeStatus::kEnabled ||
+                  net.field().at(b) != NodeStatus::kEnabled)
+                continue;
+              const Coord s = mesh.coord_of(a), d = mesh.coord_of(b);
+              ++sampled;
+              const bool is_safe = is_safe_source(blocks, s, d);
+              if (is_safe) ++safe;
+              const auto r = net.route(s, d, 30 * mesh.diameter());
+              if (r.delivered && r.detours() == 0) {
+                ++minimal;
+                if (is_safe) ++safe_minimal;
+              }
+            }
+            if (sampled > 0) {
+              out.add("safe", 100.0 * safe / sampled);
+              out.add("minimal", 100.0 * minimal / sampled);
+              // Theorem 2 promise: every safe pair delivers minimally.
+              out.add("safe_honored", safe > 0 ? 100.0 * safe_minimal / safe : 100.0);
+            }
+          });
+      t.add_row({std::to_string(cfg.radix) + "^" + std::to_string(cfg.dims),
+                 TablePrinter::num(faults), TablePrinter::num(m.mean("blocks"), 1),
+                 TablePrinter::num(m.mean("safe"), 1), TablePrinter::num(m.mean("minimal"), 1)});
+      if (m.mean("safe_honored") < 100.0) {
+        std::cout << "  WARNING: safe pair delivered non-minimally ("
+                  << m.mean("safe_honored") << "%)\n";
+        return 1;
+      }
+    }
+  }
+  t.print(std::cout);
+  std::cout << "  shape check: the safe fraction decays with fault count and decays faster in\n"
+               "  lower dimensions (blocks cut more of the minimal boxes); every safe pair\n"
+               "  delivered minimally, as Theorem 2 promises.\n";
+  return 0;
+}

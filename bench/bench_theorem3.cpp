@@ -1,0 +1,92 @@
+// E6 — Theorem 3: the distance-to-destination trajectory D(i) under dynamic
+// faults, measured against the paper's per-interval bound
+//   D(i) <= D(i-1) - (d_{i-1} - 2 a_{i-1} - 2 e_max).
+// Random dynamic schedules honouring the d_i assumption; safe sources.
+
+#include <iostream>
+
+#include "src/core/dynamic_simulation.h"
+#include "src/core/scenario.h"
+#include "src/fault/labeling.h"
+#include "src/fault/safety.h"
+#include "src/sim/table_printer.h"
+
+using namespace lgfi;
+
+int main() {
+  print_banner(std::cout, "E6 / Theorem 3: measured D(i) vs bound, one illustrated run (2-D 16^2)");
+
+  const MeshTopology mesh(2, 16);
+  FaultSchedule schedule;
+  // Three fault batches, interval 40 steps (>> a_i + e_max), away from the
+  // source-destination diagonal start.
+  for (const auto& c : box_fault_placement(mesh, Box(Coord{6, 4}, Coord{7, 5})))
+    schedule.add_fail(0, c);
+  for (const auto& c : box_fault_placement(mesh, Box(Coord{10, 9}, Coord{11, 10})))
+    schedule.add_fail(40, c);
+  for (const auto& c : box_fault_placement(mesh, Box(Coord{3, 11}, Coord{4, 12})))
+    schedule.add_fail(80, c);
+
+  DynamicSimulation sim(mesh, schedule);
+  for (int i = 0; i < 30; ++i) sim.step();  // converge the first batch
+  const Coord s{0, 0}, d{14, 14};
+  const int id = sim.launch_message(s, d);
+  sim.run(4000);
+  const auto& msg = sim.message(id);
+
+  const auto tl = sim.timeline(msg.start_step);
+  const auto bounds = theorem3_distance_bounds(tl, msg.initial_distance);
+
+  TablePrinter t({"i", "t_i", "a_i", "measured D(i)", "Theorem-3 bound", "holds"});
+  bool all_hold = true;
+  for (size_t i = 0; i < tl.t.size(); ++i) {
+    const int measured = i < msg.distance_at_occurrence.size()
+                             ? msg.distance_at_occurrence[i]
+                             : 0;
+    const bool holds = measured <= bounds[i];
+    all_hold = all_hold && holds;
+    t.add_row({TablePrinter::num((long long)(i + 1)), TablePrinter::num(tl.t[i]),
+               TablePrinter::num(tl.a[i]), TablePrinter::num(measured),
+               TablePrinter::num(bounds[i]), holds ? "yes" : "NO"});
+  }
+  t.print(std::cout);
+  std::cout << "  message: D=" << msg.initial_distance << ", delivered="
+            << (msg.delivered ? "yes" : "no") << ", total steps=" << msg.header.total_steps()
+            << ", detours=" << msg.detours() << "\n";
+
+  print_banner(std::cout, "E6: randomized validation (100 runs, 2-D and 3-D)");
+  int runs = 0, violations = 0, delivered = 0;
+  Rng rng(0xE6);
+  for (int trial = 0; trial < 100; ++trial) {
+    Rng t2 = rng.fork(static_cast<uint64_t>(trial));
+    const int dims = 2 + trial % 2;
+    const MeshTopology m2(dims, dims == 2 ? 16 : 10);
+    FaultSchedule sch;
+    const long long interval = 60;
+    for (int b = 0; b < 3; ++b) {
+      const auto faults = clustered_fault_placement(m2, 3, t2);
+      for (const auto& c : faults) sch.add_fail(b * interval, c);
+    }
+    DynamicSimulationOptions opts;
+    DynamicSimulation sim2(m2, sch, opts);
+    for (int i = 0; i < 40; ++i) sim2.step();
+    const auto pair = random_enabled_pair(m2, sim2.model().field(), t2, m2.extent(0));
+    if (!is_safe_source(block_boxes(sim2.model().field()), pair.source, pair.dest)) continue;
+    const int mid = sim2.launch_message(pair.source, pair.dest);
+    sim2.run(8000);
+    const auto& m = sim2.message(mid);
+    if (!m.delivered) continue;
+    ++delivered;
+    const auto tl2 = sim2.timeline(m.start_step);
+    const auto b2 = theorem3_distance_bounds(tl2, m.initial_distance);
+    ++runs;
+    for (size_t i = 0; i < tl2.t.size() && i < m.distance_at_occurrence.size(); ++i)
+      if (m.distance_at_occurrence[i] > b2[i]) ++violations;
+  }
+  std::cout << "  runs checked: " << runs << "  delivered: " << delivered
+            << "  bound violations: " << violations << "\n";
+  std::cout << "  RESULT: " << (all_hold && violations == 0 ? "Theorem 3 bound holds"
+                                                            : "VIOLATIONS FOUND")
+            << "\n";
+  return all_hold && violations == 0 ? 0 : 1;
+}

@@ -1,0 +1,55 @@
+// n-D sweep: the library is dimension-generic — the same code runs the
+// paper's model in 2-D through 6-D meshes.  For each dimensionality, build
+// random blocks, converge the information model, and route a batch of
+// messages; report distances, detours and the information footprint.
+
+#include <iostream>
+
+#include "src/core/network.h"
+#include "src/core/node_process.h"
+#include "src/core/scenario.h"
+#include "src/sim/table_printer.h"
+
+using namespace lgfi;
+
+int main() {
+  TablePrinter t({"mesh", "nodes", "faults", "blocks", "converge rounds", "info nodes %",
+                  "routes", "delivered", "mean detours"});
+
+  struct Config {
+    int dims, radix, faults;
+  };
+  for (const Config cfg : {Config{2, 24, 20}, Config{3, 10, 16}, Config{4, 6, 12},
+                           Config{5, 5, 10}, Config{6, 4, 8}}) {
+    const MeshTopology mesh(cfg.dims, cfg.radix);
+    Network net(mesh);
+    Rng rng(42 + static_cast<uint64_t>(cfg.dims));
+    for (const auto& c : random_fault_placement(mesh, cfg.faults, rng)) net.inject_fault(c);
+    const auto rounds = net.stabilize(200000);
+
+    const auto footprint = placement_footprint(net.model());
+    int delivered = 0;
+    double detours = 0;
+    const int routes = 40;
+    for (int i = 0; i < routes; ++i) {
+      const auto pair = random_enabled_pair(mesh, net.field(), rng, cfg.radix);
+      const auto r = net.route(pair.source, pair.dest);
+      if (r.delivered) {
+        ++delivered;
+        detours += r.detours();
+      }
+    }
+
+    t.add_row({std::to_string(cfg.radix) + "^" + std::to_string(cfg.dims),
+               TablePrinter::num(mesh.node_count()), TablePrinter::num(cfg.faults),
+               TablePrinter::num((long long)net.blocks().size()),
+               TablePrinter::num(rounds.total),
+               TablePrinter::num(100.0 * footprint.fraction_of_mesh(), 1),
+               TablePrinter::num(routes), TablePrinter::num(delivered),
+               TablePrinter::num(delivered > 0 ? detours / delivered : 0.0, 2)});
+  }
+  t.print(std::cout);
+  std::cout << "\nthe same fault model, identification process and routing algorithm run\n"
+               "unchanged from 2-D to 6-D — the n-D generality the paper claims.\n";
+  return 0;
+}

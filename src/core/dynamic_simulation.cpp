@@ -1,0 +1,193 @@
+#include "src/core/dynamic_simulation.h"
+
+#include <cassert>
+
+#include "src/fault/block_analyzer.h"
+#include "src/fault/labeling.h"
+#include "src/routing/fault_info_router.h"
+#include "src/routing/no_info_router.h"
+
+namespace lgfi {
+
+DynamicSimulation::DynamicSimulation(const MeshTopology& mesh, FaultSchedule schedule,
+                                     DynamicSimulationOptions options)
+    : mesh_(&mesh),
+      schedule_(std::move(schedule)),
+      options_(options),
+      model_(mesh, options.model),
+      limited_provider_(model_.info()) {
+  assert(options_.lambda >= 1);
+  if (options_.info_mode == InfoMode::kDelayedGlobal)
+    delayed_provider_ = std::make_unique<DelayedGlobalInfoProvider>(mesh);
+
+  FaultInfoRouterOptions ropts;
+  if (options_.info_mode == InfoMode::kNone) {
+    ropts.policy.use_block_info = false;
+    ropts.name = "pcs-no-info";
+  } else if (options_.info_mode == InfoMode::kLimitedGlobal) {
+    ropts.name = "lgfi";
+  } else {
+    ropts.name = "global-table";
+  }
+  router_ = std::make_unique<FaultInfoRouter>(ropts);
+}
+
+RoutingContext DynamicSimulation::context() const {
+  RoutingContext ctx;
+  ctx.mesh = mesh_;
+  ctx.field = &model_.field();
+  switch (options_.info_mode) {
+    case InfoMode::kLimitedGlobal: ctx.info = &limited_provider_; break;
+    case InfoMode::kNone: ctx.info = &empty_provider_; break;
+    case InfoMode::kInstantGlobal: ctx.info = &instant_provider_; break;
+    case InfoMode::kDelayedGlobal: ctx.info = delayed_provider_.get(); break;
+  }
+  return ctx;
+}
+
+int DynamicSimulation::launch_message(const Coord& source, const Coord& dest) {
+  MessageProgress msg(static_cast<int>(messages_.size()), source, dest);
+  msg.start_step = now_;
+  if (options_.persistent_marks) msg.header.enable_persistent_marks();
+  // Occurrences that already happened have D(i) = D (message at source).
+  msg.distance_at_occurrence.assign(occurrences_.size(), msg.initial_distance);
+  messages_.push_back(std::move(msg));
+  return messages_.back().id;
+}
+
+void DynamicSimulation::apply_fault_events() {
+  const auto events = schedule_.events_at(now_);
+  if (events.empty()) return;
+
+  for (const auto& e : events) {
+    if (e.kind == FaultEventKind::kFail) {
+      if (model_.field().at(e.node) != NodeStatus::kFaulty) model_.inject_fault(e.node);
+    } else {
+      if (model_.field().at(e.node) == NodeStatus::kFaulty) model_.recover(e.node);
+    }
+  }
+
+  // Open a new occurrence record (simultaneous events form one occurrence,
+  // matching the paper's "only one new block in each interval" reading).
+  if (converging_ >= 0)
+    occurrences_[static_cast<size_t>(converging_)].stabilized_before_next = false;
+  OccurrenceRecord rec;
+  rec.step = now_;
+  occurrences_.push_back(rec);
+  converging_ = static_cast<int>(occurrences_.size()) - 1;
+
+  // Record D(i) for every in-flight message at this occurrence.
+  for (auto& msg : messages_) {
+    const int d = (msg.delivered || msg.unreachable)
+                      ? 0
+                      : manhattan_distance(msg.header.current(), msg.header.destination());
+    msg.distance_at_occurrence.push_back(d);
+  }
+
+  if (options_.info_mode == InfoMode::kInstantGlobal) {
+    // The oracle baseline sees the *final* blocks of this change instantly.
+    StatusField copy = model_.field();
+    stabilize_labeling(copy);
+    std::vector<BlockInfo> infos;
+    for (const auto& b : block_boxes(copy)) infos.push_back(BlockInfo{b, model_.epoch()});
+    instant_provider_.set_blocks(std::move(infos));
+  }
+}
+
+void DynamicSimulation::run_information_rounds() {
+  for (int r = 0; r < options_.lambda; ++r) {
+    const bool active = model_.run_round();
+    if (converging_ >= 0) {
+      auto& rec = occurrences_[static_cast<size_t>(converging_)];
+      const auto& act = model_.last_activity();
+      const int round_in_occurrence =
+          static_cast<int>((now_ - rec.step) * options_.lambda) + r + 1;
+      if (act.labeling) rec.rounds_labeling = round_in_occurrence;
+      if (act.levels || act.identification) rec.rounds_identification = round_in_occurrence;
+      if (act.envelope || act.boundary || act.cancel) rec.rounds_boundary = round_in_occurrence;
+      if (!active) {
+        rec.e_max_after = max_block_extent(block_boxes(model_.field()));
+        if (options_.info_mode == InfoMode::kDelayedGlobal) {
+          // The routing-table baseline publishes the new global snapshot
+          // from the site of the change once stabilized; it spreads one hop
+          // per step.
+          std::vector<BlockInfo> infos;
+          for (const auto& b : block_boxes(model_.field()))
+            infos.push_back(BlockInfo{b, model_.epoch()});
+          delayed_provider_->publish(infos, mesh_->coord_of(0), now_);
+        }
+        converging_ = -1;
+      }
+    }
+  }
+  if (options_.info_mode == InfoMode::kDelayedGlobal) delayed_provider_->advance(now_);
+}
+
+void DynamicSimulation::advance_messages() {
+  const RoutingContext ctx = context();
+  const long long budget = options_.step_budget_per_message > 0
+                               ? options_.step_budget_per_message
+                               : 4ll * mesh_->direction_count() * mesh_->node_count();
+  for (auto& msg : messages_) {
+    if (msg.delivered || msg.unreachable || msg.budget_exhausted) continue;
+    const RouteDecision d = router_->decide(ctx, msg.header);
+    switch (d.action) {
+      case RouteAction::kDelivered:
+        msg.delivered = true;
+        msg.end_step = now_;
+        break;
+      case RouteAction::kUnreachable:
+        msg.unreachable = true;
+        msg.end_step = now_;
+        break;
+      case RouteAction::kForward:
+        msg.header.forward(d.direction);
+        if (d.detour_preferred) ++msg.detour_preferred_taken;
+        break;
+      case RouteAction::kBacktrack:
+        msg.header.backtrack();
+        break;
+    }
+    if (msg.header.total_steps() >= budget && !msg.delivered && !msg.unreachable) {
+      msg.budget_exhausted = true;
+      msg.end_step = now_;
+    }
+  }
+}
+
+void DynamicSimulation::step() {
+  apply_fault_events();       // fault detection phase
+  run_information_rounds();   // lambda rounds of the three constructions
+  advance_messages();         // message reception + routing decision + send
+  ++now_;
+}
+
+bool DynamicSimulation::all_messages_done() const {
+  for (const auto& m : messages_)
+    if (!m.delivered && !m.unreachable && !m.budget_exhausted) return false;
+  return true;
+}
+
+void DynamicSimulation::run(long long max_steps) {
+  for (long long i = 0; i < max_steps; ++i) {
+    const bool schedule_done = schedule_.last_step() < now_;
+    if (schedule_done && all_messages_done() && converging_ < 0) return;
+    step();
+  }
+}
+
+DynamicFaultTimeline DynamicSimulation::timeline(long long route_start) const {
+  DynamicFaultTimeline tl;
+  tl.route_start = route_start;
+  int e_max = 0;
+  for (const auto& rec : occurrences_) {
+    tl.t.push_back(rec.step);
+    // a_i in steps: each step runs lambda rounds.
+    tl.a.push_back((rec.rounds_labeling + options_.lambda - 1) / options_.lambda);
+    e_max = std::max(e_max, rec.e_max_after);
+  }
+  tl.e_max = e_max;
+  return tl;
+}
+
+}  // namespace lgfi

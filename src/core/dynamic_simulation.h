@@ -1,0 +1,133 @@
+#pragma once
+// The dynamic fault model's step loop (Section 5, Figure 7).
+//
+// At each step, every node: (1) detects adjacent faults/recoveries scheduled
+// for this step; (2) collects and distributes the three kinds of fault
+// information — block, identifying, boundary — through lambda rounds of
+// exchanges, each advancing one hop; (3) receives at most one routing
+// message, makes a routing decision, and sends it one hop.  Thus every
+// routing message advances one hop per step while the information model
+// converges around it — the regime Theorems 3-5 bound.
+//
+// The simulation also records the quantities of Table 1: occurrence times
+// t_i, per-occurrence convergence rounds a_i (labeling), b_i
+// (identification), c_i (boundary), e_max, and per-message D(i) snapshots.
+
+#include <memory>
+#include <vector>
+
+#include "src/core/network.h"
+#include "src/routing/detour_bounds.h"
+#include "src/routing/global_table_router.h"
+#include "src/routing/oracle_router.h"
+#include "src/sim/fault_schedule.h"
+
+namespace lgfi {
+
+/// Where routing decisions get their block information from.
+enum class InfoMode : uint8_t {
+  kLimitedGlobal,  ///< the paper's model: the distributed InfoStore
+  kNone,           ///< information-free PCS baseline
+  kInstantGlobal,  ///< every node sees the true block list immediately
+  kDelayedGlobal,  ///< global tables updated by a broadcast wave (baseline)
+};
+
+struct DynamicSimulationOptions {
+  int lambda = 1;  ///< information rounds per routing step (Section 5's lambda)
+  InfoMode info_mode = InfoMode::kLimitedGlobal;
+  bool persistent_marks = false;      ///< header ablation (DESIGN.md §6.7)
+  DistributedModelOptions model;
+  long long step_budget_per_message = 0;  ///< 0: 4 * 2n * N safety net
+};
+
+/// One routing message progressing through the dynamic system.
+struct MessageProgress {
+  int id = 0;
+  RoutingHeader header;
+  bool delivered = false;
+  bool unreachable = false;
+  bool budget_exhausted = false;
+  long long start_step = 0;    ///< the paper's t
+  long long end_step = -1;
+  int initial_distance = 0;    ///< D
+  int detour_preferred_taken = 0;
+  /// D(i) at each fault occurrence (Theorem 3's measured trajectory);
+  /// parallel to occurrence_steps() of the simulation.
+  std::vector<int> distance_at_occurrence;
+
+  MessageProgress(int id_, const Coord& s, const Coord& d)
+      : id(id_), header(s, d), initial_distance(manhattan_distance(s, d)) {}
+
+  /// Extra steps beyond the fault-free minimum once delivered.
+  [[nodiscard]] long long detours() const {
+    return header.total_steps() - initial_distance;
+  }
+};
+
+/// Per-fault-occurrence convergence record (the a_i, b_i, c_i of Table 1).
+struct OccurrenceRecord {
+  long long step = 0;      ///< t_i
+  int rounds_labeling = 0;       ///< a_i (in rounds)
+  int rounds_identification = 0; ///< b_i
+  int rounds_boundary = 0;       ///< c_i
+  int e_max_after = 0;           ///< max block edge once stabilized
+  bool stabilized_before_next = true;
+};
+
+class DynamicSimulation {
+ public:
+  DynamicSimulation(const MeshTopology& mesh, FaultSchedule schedule,
+                    DynamicSimulationOptions options = {});
+
+  /// Injects a routing message at `source` toward `dest`; it advances one
+  /// hop per subsequent step.  Returns the message id.
+  int launch_message(const Coord& source, const Coord& dest);
+
+  /// Runs one step of the Figure 7 loop.
+  void step();
+
+  /// Runs until all messages finished and the schedule is exhausted (with a
+  /// hard step cap).
+  void run(long long max_steps = 1 << 20);
+
+  [[nodiscard]] long long now() const { return now_; }
+  [[nodiscard]] const std::vector<MessageProgress>& messages() const { return messages_; }
+  [[nodiscard]] const MessageProgress& message(int id) const {
+    return messages_[static_cast<size_t>(id)];
+  }
+  [[nodiscard]] const std::vector<OccurrenceRecord>& occurrences() const {
+    return occurrences_;
+  }
+  [[nodiscard]] const DistributedFaultModel& model() const { return model_; }
+  [[nodiscard]] const MeshTopology& mesh() const { return *mesh_; }
+
+  /// Builds the Theorem 3/4/5 timeline from the recorded occurrences (a_i in
+  /// steps, i.e. ceil(rounds / lambda)).
+  [[nodiscard]] DynamicFaultTimeline timeline(long long route_start) const;
+
+  [[nodiscard]] bool all_messages_done() const;
+
+ private:
+  void apply_fault_events();
+  void run_information_rounds();
+  void advance_messages();
+  [[nodiscard]] RoutingContext context() const;
+
+  const MeshTopology* mesh_;
+  FaultSchedule schedule_;
+  DynamicSimulationOptions options_;
+  DistributedFaultModel model_;
+  StoreInfoProvider limited_provider_;
+  EmptyInfoProvider empty_provider_;
+  GlobalInfoProvider instant_provider_;
+  std::unique_ptr<DelayedGlobalInfoProvider> delayed_provider_;
+  std::unique_ptr<Router> router_;
+
+  std::vector<MessageProgress> messages_;
+  std::vector<OccurrenceRecord> occurrences_;
+  long long now_ = 0;
+  /// Open occurrence currently converging (index into occurrences_), or -1.
+  int converging_ = -1;
+};
+
+}  // namespace lgfi

@@ -1,0 +1,42 @@
+#include "src/core/experiment.h"
+
+#include "src/sim/thread_pool.h"
+
+namespace lgfi {
+
+void MetricSet::add(const std::string& name, double value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_[name].add(value);
+}
+
+const RunningStats& MetricSet::stats(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  static const RunningStats empty;
+  const auto it = stats_.find(name);
+  return it != stats_.end() ? it->second : empty;
+}
+
+bool MetricSet::has(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_.count(name) > 0;
+}
+
+std::vector<std::string> MetricSet::names() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  for (const auto& [name, _] : stats_) out.push_back(name);
+  return out;
+}
+
+double MetricSet::mean(const std::string& name) const { return stats(name).mean(); }
+
+void parallel_replicate(int replications, uint64_t seed, MetricSet& metrics,
+                        const std::function<void(Rng&, MetricSet&)>& fn) {
+  const Rng base(seed);
+  parallel_for(replications, [&](int64_t rep) {
+    Rng rng = base.fork(static_cast<uint64_t>(rep));
+    fn(rng, metrics);
+  });
+}
+
+}  // namespace lgfi

@@ -1,0 +1,46 @@
+#pragma once
+// Parallel experiment replication (the repository's HPC surface).
+//
+// Benches run hundreds of independent simulator replications per
+// configuration; MetricSet collects named statistics, and
+// parallel_replicate fans replications over the global thread pool with one
+// forked RNG stream per replication, so results are identical for any
+// thread count.
+
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/sim/rng.h"
+#include "src/sim/statistics.h"
+#include "src/sim/table_printer.h"
+
+namespace lgfi {
+
+/// Named statistics for one experiment configuration.
+class MetricSet {
+ public:
+  /// Records a sample (thread-safe).
+  void add(const std::string& name, double value);
+
+  [[nodiscard]] const RunningStats& stats(const std::string& name) const;
+  [[nodiscard]] bool has(const std::string& name) const;
+  [[nodiscard]] std::vector<std::string> names() const;
+
+  /// mean of `name` (0 if absent) — the common bench accessor.
+  [[nodiscard]] double mean(const std::string& name) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, RunningStats> stats_;
+};
+
+/// Runs `fn(rng, metrics)` for `replications` independent replications in
+/// parallel.  Each replication gets Rng(seed).fork(rep), making the sweep
+/// deterministic and schedule-independent.
+void parallel_replicate(int replications, uint64_t seed, MetricSet& metrics,
+                        const std::function<void(Rng&, MetricSet&)>& fn);
+
+}  // namespace lgfi

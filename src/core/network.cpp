@@ -1,0 +1,23 @@
+#include "src/core/network.h"
+
+#include "src/routing/fault_info_router.h"
+
+namespace lgfi {
+
+Network::Network(MeshTopology mesh, DistributedModelOptions options)
+    : mesh_(std::move(mesh)), model_(mesh_, options), provider_(model_.info()) {}
+
+RoutingContext Network::context() const {
+  RoutingContext ctx;
+  ctx.mesh = &mesh_;
+  ctx.field = &model_.field();
+  ctx.info = &provider_;
+  return ctx;
+}
+
+RouteResult Network::route(const Coord& source, const Coord& dest, long long step_budget) {
+  FaultInfoRouter router;
+  return run_static_route(context(), router, source, dest, step_budget);
+}
+
+}  // namespace lgfi

@@ -1,0 +1,56 @@
+#pragma once
+// User-facing facade: a k-ary n-D mesh with the limited-global fault
+// information machinery attached.
+//
+// Network bundles the topology, the distributed fault model and the routing
+// context plumbing, so a user can inject faults, let the information
+// constructions converge, and route — the library's quickstart surface.
+// For step-accurate dynamics (faults during routing) use DynamicSimulation.
+
+#include <memory>
+
+#include "src/fault/block_analyzer.h"
+#include "src/fault/distributed_model.h"
+#include "src/routing/route_walker.h"
+#include "src/routing/router.h"
+
+namespace lgfi {
+
+class Network {
+ public:
+  explicit Network(MeshTopology mesh, DistributedModelOptions options = {});
+
+  [[nodiscard]] const MeshTopology& mesh() const { return mesh_; }
+  [[nodiscard]] const StatusField& field() const { return model_.field(); }
+  [[nodiscard]] DistributedFaultModel& model() { return model_; }
+  [[nodiscard]] const DistributedFaultModel& model() const { return model_; }
+
+  /// Injects a fault / recovery and returns without propagating; call
+  /// stabilize() (or run DynamicSimulation steps) to converge.
+  void inject_fault(const Coord& c) { model_.inject_fault(c); }
+  void recover(const Coord& c) { model_.recover(c); }
+
+  /// Runs information constructions to quiescence; returns round counts.
+  ConstructionRounds stabilize(int max_rounds = 1 << 20) {
+    return model_.stabilize(max_rounds);
+  }
+
+  /// Current faulty blocks (extracted from the stabilized field).
+  [[nodiscard]] std::vector<BlockSummary> blocks() const {
+    return extract_blocks(model_.field());
+  }
+
+  /// Routing context wired to the distributed information placement.
+  [[nodiscard]] RoutingContext context() const;
+
+  /// Convenience: routes s -> d with Algorithm 3 over the current (frozen)
+  /// state.
+  RouteResult route(const Coord& source, const Coord& dest, long long step_budget = 0);
+
+ private:
+  MeshTopology mesh_;
+  DistributedFaultModel model_;
+  StoreInfoProvider provider_;
+};
+
+}  // namespace lgfi

@@ -1,0 +1,56 @@
+#include "src/core/node_process.h"
+
+#include <sstream>
+
+#include "src/fault/corner_taxonomy.h"
+
+namespace lgfi {
+
+NodeReport inspect_node(const DistributedFaultModel& model, const Coord& c) {
+  const MeshTopology& mesh = model.mesh();
+  NodeReport r;
+  r.coord = c;
+  const NodeId id = mesh.index_of(c);
+  r.status = model.field().at(id);
+  for (const auto& e : model.levels_at(id)) r.corner_level = std::max<int>(r.corner_level, e.level);
+  for (const auto& info : model.info().at(id)) {
+    r.held.push_back(info);
+    if (corner_level(c, info.box) > 0) r.on_some_envelope = true;
+    else r.on_some_wall = true;
+  }
+  return r;
+}
+
+std::string NodeReport::describe() const {
+  std::ostringstream os;
+  os << coord.to_string() << " " << to_string(status);
+  if (corner_level == 1) os << ", adjacent node";
+  else if (corner_level > 1) os << ", " << corner_level << "-level corner";
+  if (!held.empty()) {
+    os << ", holds";
+    for (const auto& h : held) os << " " << h.box.to_string();
+    os << (on_some_wall ? " (boundary)" : " (envelope)");
+  }
+  return os.str();
+}
+
+PlacementFootprint placement_footprint(const DistributedFaultModel& model) {
+  const MeshTopology& mesh = model.mesh();
+  PlacementFootprint f;
+  f.node_count = mesh.node_count();
+  for (NodeId id = 0; id < mesh.node_count(); ++id) {
+    const auto& held = model.info().at(id);
+    if (held.empty()) continue;
+    ++f.nodes_with_info;
+    f.total_entries += static_cast<long long>(held.size());
+    const Coord c = mesh.coord_of(id);
+    bool envelope = false;
+    for (const auto& info : held)
+      if (corner_level(c, info.box) > 0) envelope = true;
+    if (envelope) ++f.envelope_nodes;
+    else ++f.wall_nodes;
+  }
+  return f;
+}
+
+}  // namespace lgfi

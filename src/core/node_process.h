@@ -1,0 +1,44 @@
+#pragma once
+// Per-node inspection: what role does a node currently play in the
+// information model?  Used by examples and diagnostics to narrate the state
+// of the system in the paper's vocabulary.
+
+#include <string>
+#include <vector>
+
+#include "src/fault/distributed_model.h"
+
+namespace lgfi {
+
+struct NodeReport {
+  Coord coord;
+  NodeStatus status = NodeStatus::kEnabled;
+  int corner_level = 0;           ///< highest Definition-2 level held (0 = none)
+  std::vector<BlockInfo> held;    ///< block information stored here
+  bool on_some_envelope = false;  ///< adjacent/edge/corner of a held block
+  bool on_some_wall = false;      ///< holds info of a block it is not adjacent to
+
+  [[nodiscard]] std::string describe() const;
+};
+
+/// Snapshot of one node's role in the model.
+NodeReport inspect_node(const DistributedFaultModel& model, const Coord& c);
+
+/// Totals for the memory experiment: how many nodes store anything, split by
+/// envelope vs wall placement.
+struct PlacementFootprint {
+  long long nodes_with_info = 0;
+  long long total_entries = 0;
+  long long envelope_nodes = 0;
+  long long wall_nodes = 0;
+  long long node_count = 0;
+
+  [[nodiscard]] double fraction_of_mesh() const {
+    return node_count > 0 ? static_cast<double>(nodes_with_info) /
+                                static_cast<double>(node_count)
+                          : 0.0;
+  }
+};
+PlacementFootprint placement_footprint(const DistributedFaultModel& model);
+
+}  // namespace lgfi

@@ -1,0 +1,43 @@
+#include "src/core/scenario.h"
+
+#include "src/fault/node_status.h"
+
+namespace lgfi {
+
+std::vector<Coord> figure1_faults() {
+  return {Coord{3, 5, 4}, Coord{4, 5, 4}, Coord{5, 5, 3}, Coord{3, 6, 3}};
+}
+
+Box figure1_block() { return Box(Coord{3, 5, 3}, Coord{5, 6, 4}); }
+
+Coord figure2_corner() { return Coord{6, 4, 5}; }
+
+Coord figure4_recovered_node() { return Coord{5, 5, 3}; }
+
+Box figure4_block_after_recovery() { return Box(Coord{3, 5, 3}, Coord{4, 6, 4}); }
+
+StackedBlocksScenario stacked_blocks_scenario() {
+  StackedBlocksScenario s{MeshTopology(2, 16), {}, Box(Coord{6, 10}, Coord{8, 11}),
+                          Box(Coord{5, 4}, Coord{9, 6})};
+  for (const auto& c : box_fault_placement(s.mesh, s.upper)) s.faults.push_back(c);
+  for (const auto& c : box_fault_placement(s.mesh, s.lower)) s.faults.push_back(c);
+  return s;
+}
+
+Pair random_enabled_pair(const MeshTopology& mesh, const StatusField& field, Rng& rng,
+                         int min_distance) {
+  for (int attempt = 0; attempt < 100000; ++attempt) {
+    const NodeId a =
+        static_cast<NodeId>(rng.next_below(static_cast<uint64_t>(mesh.node_count())));
+    const NodeId b =
+        static_cast<NodeId>(rng.next_below(static_cast<uint64_t>(mesh.node_count())));
+    if (field.at(a) != NodeStatus::kEnabled || field.at(b) != NodeStatus::kEnabled) continue;
+    const Coord s = mesh.coord_of(a);
+    const Coord d = mesh.coord_of(b);
+    if (manhattan_distance(s, d) < min_distance) continue;
+    return Pair{s, d};
+  }
+  return Pair{mesh.coord_of(0), mesh.coord_of(0)};
+}
+
+}  // namespace lgfi

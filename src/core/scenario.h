@@ -1,0 +1,43 @@
+#pragma once
+// Canned scenarios: the paper's worked examples and the randomized workloads
+// the benches sweep over.
+
+#include <vector>
+
+#include "src/mesh/box.h"
+#include "src/mesh/topology.h"
+#include "src/sim/fault_schedule.h"
+#include "src/sim/rng.h"
+
+namespace lgfi {
+
+/// Figure 1(a): four faults in an 8-ary 3-D mesh forming block [3:5,5:6,3:4].
+std::vector<Coord> figure1_faults();
+Box figure1_block();
+
+/// Figure 2's 3-level corner of the Figure 1 block.
+Coord figure2_corner();
+
+/// Figure 4: the node whose recovery shrinks the Figure 1 block.
+Coord figure4_recovered_node();
+Box figure4_block_after_recovery();
+
+/// Figure 3(d): two stacked blocks in 2-D whose boundaries merge.
+struct StackedBlocksScenario {
+  MeshTopology mesh;
+  std::vector<Coord> faults;
+  Box upper;
+  Box lower;
+};
+StackedBlocksScenario stacked_blocks_scenario();
+
+/// A random enabled source/destination pair over a stabilized field, both
+/// endpoints enabled and distinct.
+struct Pair {
+  Coord source;
+  Coord dest;
+};
+Pair random_enabled_pair(const MeshTopology& mesh, const class StatusField& field, Rng& rng,
+                         int min_distance = 1);
+
+}  // namespace lgfi

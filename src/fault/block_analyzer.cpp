@@ -1,0 +1,130 @@
+#include "src/fault/block_analyzer.h"
+
+#include <algorithm>
+#include <queue>
+
+namespace lgfi {
+
+std::vector<BlockSummary> extract_blocks(const StatusField& field) {
+  const MeshTopology& mesh = field.mesh();
+  const long long n = field.node_count();
+  std::vector<uint8_t> seen(static_cast<size_t>(n), 0);
+  std::vector<BlockSummary> out;
+
+  for (NodeId id = 0; id < n; ++id) {
+    if (seen[static_cast<size_t>(id)] || !is_block_member(field.at(id))) continue;
+
+    // BFS over the disabled∪faulty component.
+    BlockSummary block;
+    Box box = Box::point(mesh.coord_of(id));
+    std::queue<NodeId> q;
+    q.push(id);
+    seen[static_cast<size_t>(id)] = 1;
+    while (!q.empty()) {
+      const NodeId cur = q.front();
+      q.pop();
+      const Coord c = mesh.coord_of(cur);
+      box = box.hull(c);
+      ++block.member_count;
+      if (field.at(cur) == NodeStatus::kFaulty) ++block.faulty_count;
+      mesh.for_each_neighbor(c, [&](Direction, const Coord& nb) {
+        const NodeId nid = mesh.index_of(nb);
+        if (seen[static_cast<size_t>(nid)] || !is_block_member(field.at(nid))) return;
+        seen[static_cast<size_t>(nid)] = 1;
+        q.push(nid);
+      });
+    }
+    block.box = box;
+    block.filled = block.member_count == box.volume();
+    out.push_back(block);
+  }
+
+  std::sort(out.begin(), out.end(),
+            [](const BlockSummary& a, const BlockSummary& b) { return a.box < b.box; });
+  return out;
+}
+
+std::vector<Box> block_boxes(const StatusField& field) {
+  std::vector<Box> out;
+  for (const auto& b : extract_blocks(field)) out.push_back(b.box);
+  return out;
+}
+
+int max_block_extent(const std::vector<BlockSummary>& blocks) {
+  int m = 0;
+  for (const auto& b : blocks) m = std::max(m, b.box.max_extent());
+  return m;
+}
+
+int max_block_extent(const std::vector<Box>& blocks) {
+  int m = 0;
+  for (const auto& b : blocks) m = std::max(m, b.max_extent());
+  return m;
+}
+
+bool all_blocks_filled(const std::vector<BlockSummary>& blocks) {
+  return std::all_of(blocks.begin(), blocks.end(),
+                     [](const BlockSummary& b) { return b.filled; });
+}
+
+int box_manhattan_distance(const Box& a, const Box& b) {
+  int d = 0;
+  for (int i = 0; i < a.dims(); ++i) {
+    const int gap = std::max({0, b.lo(i) - a.hi(i), a.lo(i) - b.hi(i)});
+    d += gap;
+  }
+  return d;
+}
+
+bool blocks_well_separated(const std::vector<BlockSummary>& blocks) {
+  for (size_t i = 0; i < blocks.size(); ++i)
+    for (size_t j = i + 1; j < blocks.size(); ++j)
+      if (box_manhattan_distance(blocks[i].box, blocks[j].box) < 2) return false;
+  return true;
+}
+
+bool blocks_chebyshev_separated(const std::vector<BlockSummary>& blocks) {
+  for (size_t i = 0; i < blocks.size(); ++i)
+    for (size_t j = i + 1; j < blocks.size(); ++j)
+      if (blocks[i].box.inflated(1).intersects(blocks[j].box)) return false;
+  return true;
+}
+
+bool enabled_region_connected(const StatusField& field) {
+  const MeshTopology& mesh = field.mesh();
+  const long long n = field.node_count();
+  auto alive = [&](NodeId id) {
+    const NodeStatus s = field.at(id);
+    return s == NodeStatus::kEnabled || s == NodeStatus::kClean;
+  };
+
+  NodeId start = kInvalidNode;
+  long long alive_total = 0;
+  for (NodeId id = 0; id < n; ++id) {
+    if (alive(id)) {
+      if (start == kInvalidNode) start = id;
+      ++alive_total;
+    }
+  }
+  if (alive_total == 0) return true;
+
+  std::vector<uint8_t> seen(static_cast<size_t>(n), 0);
+  std::queue<NodeId> q;
+  q.push(start);
+  seen[static_cast<size_t>(start)] = 1;
+  long long reached = 0;
+  while (!q.empty()) {
+    const NodeId cur = q.front();
+    q.pop();
+    ++reached;
+    mesh.for_each_neighbor(mesh.coord_of(cur), [&](Direction, const Coord& nb) {
+      const NodeId nid = mesh.index_of(nb);
+      if (seen[static_cast<size_t>(nid)] || !alive(nid)) return;
+      seen[static_cast<size_t>(nid)] = 1;
+      q.push(nid);
+    });
+  }
+  return reached == alive_total;
+}
+
+}  // namespace lgfi

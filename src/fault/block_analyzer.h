@@ -1,0 +1,58 @@
+#pragma once
+// Faulty-block extraction and geometric invariants (Section 2.2).
+//
+// After Definition 1 stabilizes, the connected disabled∪faulty components of
+// the mesh are the *faulty blocks*; in an n-D mesh each component fills its
+// axis-aligned bounding box (Wu [14]), which is why the paper can describe a
+// block by two opposite corners.  BlockAnalyzer performs the extraction and
+// checks the invariants the rest of the pipeline relies on (filled boxes,
+// pairwise Chebyshev separation >= 2).
+
+#include <vector>
+
+#include "src/fault/node_status.h"
+#include "src/mesh/box.h"
+
+namespace lgfi {
+
+/// One extracted faulty block.
+struct BlockSummary {
+  Box box;                   ///< bounding box of the component
+  long long member_count = 0;  ///< disabled + faulty nodes in the component
+  long long faulty_count = 0;  ///< faulty nodes only
+  bool filled = true;          ///< member_count == box.volume()
+};
+
+/// All blocks of a (stabilized) field, sorted by box for determinism.
+std::vector<BlockSummary> extract_blocks(const StatusField& field);
+
+/// Just the boxes; the common input to the information model.
+std::vector<Box> block_boxes(const StatusField& field);
+
+/// The paper's e_max over a block set: maximum edge length of any block.
+int max_block_extent(const std::vector<BlockSummary>& blocks);
+int max_block_extent(const std::vector<Box>& blocks);
+
+/// Verifies the filled-box invariant (P1): every component equals its
+/// bounding box.  Returns true iff all blocks are filled.
+bool all_blocks_filled(const std::vector<BlockSummary>& blocks);
+
+/// Verifies pairwise separation: distinct blocks are disjoint and never
+/// face-adjacent — their box Manhattan distance is >= 2.  Note that in
+/// n >= 3 dimensions two blocks CAN touch diagonally (Chebyshev distance 1):
+/// full-diagonal neighbours give no node two bad dimensions, so rule 1 never
+/// merges them.  Only 2-D guarantees Chebyshev separation >= 2; see
+/// blocks_chebyshev_separated for that stronger check.
+bool blocks_well_separated(const std::vector<BlockSummary>& blocks);
+
+/// Manhattan distance between two boxes (0 if they intersect).
+int box_manhattan_distance(const Box& a, const Box& b);
+
+/// The stronger 2-D-only property: 1-inflations intersect no other block.
+bool blocks_chebyshev_separated(const std::vector<BlockSummary>& blocks);
+
+/// True if the enabled∪clean subgraph of the field is connected (the paper
+/// assumes no disconnected area when faults avoid the outmost surface).
+bool enabled_region_connected(const StatusField& field);
+
+}  // namespace lgfi

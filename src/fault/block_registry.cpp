@@ -1,0 +1,80 @@
+#include "src/fault/block_registry.h"
+
+#include <algorithm>
+
+namespace lgfi {
+
+InfoStore::InfoStore(const MeshTopology& mesh)
+    : infos_(static_cast<size_t>(mesh.node_count())),
+      provs_(static_cast<size_t>(mesh.node_count())) {}
+
+bool InfoStore::deposit(NodeId node, const BlockInfo& info, const Provenance& prov) {
+  auto& infos = infos_[static_cast<size_t>(node)];
+  auto& provs = provs_[static_cast<size_t>(node)];
+  for (size_t i = 0; i < infos.size(); ++i) {
+    if (infos[i].box == info.box) {
+      bool changed = false;
+      if (info.epoch > infos[i].epoch) {
+        infos[i].epoch = info.epoch;
+        changed = true;
+      }
+      // Upgrade to the stronger justification.
+      if (static_cast<uint8_t>(prov.via) < static_cast<uint8_t>(provs[i].via))
+        provs[i] = prov;
+      return changed;
+    }
+  }
+  infos.push_back(info);
+  provs.push_back(prov);
+  return true;
+}
+
+bool InfoStore::cancel(NodeId node, const Box& box, uint32_t epoch) {
+  auto& infos = infos_[static_cast<size_t>(node)];
+  auto& provs = provs_[static_cast<size_t>(node)];
+  for (size_t i = 0; i < infos.size(); ++i) {
+    if (infos[i].box == box && infos[i].epoch <= epoch) {
+      infos.erase(infos.begin() + static_cast<std::ptrdiff_t>(i));
+      provs.erase(provs.begin() + static_cast<std::ptrdiff_t>(i));
+      return true;
+    }
+  }
+  return false;
+}
+
+void InfoStore::clear_node(NodeId node) {
+  infos_[static_cast<size_t>(node)].clear();
+  provs_[static_cast<size_t>(node)].clear();
+}
+
+void InfoStore::clear() {
+  for (auto& v : infos_) v.clear();
+  for (auto& v : provs_) v.clear();
+}
+
+bool InfoStore::holds(NodeId node, const Box& box) const {
+  const auto& infos = infos_[static_cast<size_t>(node)];
+  return std::any_of(infos.begin(), infos.end(),
+                     [&](const BlockInfo& e) { return e.box == box; });
+}
+
+std::optional<BlockInfo> InfoStore::find(NodeId node, const Box& box) const {
+  for (const auto& e : infos_[static_cast<size_t>(node)])
+    if (e.box == box) return e;
+  return std::nullopt;
+}
+
+long long InfoStore::nodes_with_info() const {
+  long long n = 0;
+  for (const auto& e : infos_)
+    if (!e.empty()) ++n;
+  return n;
+}
+
+long long InfoStore::total_entries() const {
+  long long n = 0;
+  for (const auto& e : infos_) n += static_cast<long long>(e.size());
+  return n;
+}
+
+}  // namespace lgfi

@@ -1,0 +1,155 @@
+#include "src/fault/boundary_model.h"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+#include <tuple>
+#include <set>
+
+namespace lgfi {
+
+namespace {
+
+/// Index of the block containing `c`, or -1.
+int containing_block(const std::vector<Box>& blocks, const Coord& c) {
+  for (size_t i = 0; i < blocks.size(); ++i)
+    if (blocks[i].contains(c)) return static_cast<int>(i);
+  return -1;
+}
+
+/// Deposits `info` on every envelope position of `carrier` (clipped).  In
+/// n >= 3 an envelope position may be a member of a diagonally-touching
+/// other block (a faulty/disabled node) — such positions cannot store
+/// information and are skipped, matching the enabled-node requirement of
+/// Definition 2.
+void deposit_envelope(const MeshTopology& mesh, const std::vector<Box>& blocks,
+                      const Box& carrier, const BlockInfo& info, InformationPlacement& out) {
+  for (const Coord& c : envelope_positions(mesh, carrier)) {
+    if (containing_block(blocks, c) >= 0) continue;
+    if (out.store.deposit(mesh.index_of(c), info)) ++out.envelope_deposits;
+  }
+}
+
+}  // namespace
+
+Box dangerous_region(const MeshTopology& mesh, const Box& block, Surface s) {
+  // The prism sits on the side OPPOSITE the guarded crossing direction: the
+  // boundary for S_{j,+} encloses the area below the block.
+  Coord lo = block.lo();
+  Coord hi = block.hi();
+  if (s.positive) {
+    hi[s.dim] = block.lo(s.dim) - 1;
+    lo[s.dim] = 0;
+  } else {
+    lo[s.dim] = block.hi(s.dim) + 1;
+    hi[s.dim] = mesh.extent(s.dim) - 1;
+  }
+  if (hi[s.dim] < lo[s.dim]) return Box();  // block touches the mesh edge
+  return mesh.clip(Box(lo, hi));
+}
+
+bool block_cuts_all_minimal_paths(const Box& block, const Coord& u, const Coord& d) {
+  assert(u.size() == block.dims() && d.size() == block.dims());
+  for (int j = 0; j < block.dims(); ++j) {
+    const bool below_then_above = u[j] < block.lo(j) && d[j] > block.hi(j);
+    const bool above_then_below = u[j] > block.hi(j) && d[j] < block.lo(j);
+    if (!below_then_above && !above_then_below) continue;
+    bool contained = true;
+    for (int i = 0; i < block.dims() && contained; ++i) {
+      if (i == j) continue;
+      const int lo = std::min(u[i], d[i]);
+      const int hi = std::max(u[i], d[i]);
+      if (lo < block.lo(i) || hi > block.hi(i)) contained = false;
+    }
+    if (contained) return true;
+  }
+  return false;
+}
+
+std::vector<Coord> wall_positions_ignoring_merges(const MeshTopology& mesh, const Box& block,
+                                                  Surface s) {
+  std::vector<Coord> out;
+  // Walls extend from the edges of the opposite surface, away from the
+  // block: for S_{j,+} that is from x_j = lo_j - 1 downward.
+  const Surface opposite = s.opposite();
+  const int step = s.positive ? -1 : +1;
+  for (const Coord& ring : surface_edge_positions(mesh, block, opposite)) {
+    Coord p = ring.shifted(s.dim, step);
+    while (mesh.in_bounds(p)) {
+      out.push_back(p);
+      p = p.shifted(s.dim, step);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+InformationPlacement compute_information_placement(const MeshTopology& mesh,
+                                                   const std::vector<Box>& blocks,
+                                                   uint32_t epoch) {
+  InformationPlacement out(mesh);
+
+  // Worklist of (info block, carrier block, guarded surface): deposit info on
+  // the carrier's envelope and walk the carrier's walls for that surface;
+  // walks that hit a third block push a new item.  Walls progress strictly
+  // monotonically along the surface dimension, so the worklist terminates;
+  // the visited set removes duplicates.
+  struct Item {
+    int info_block;
+    int carrier;
+    Surface surface;
+  };
+  std::deque<Item> work;
+  std::set<std::tuple<int, int, int, int>> visited;  // (info, carrier, dim, side)
+
+  auto push = [&](int info_block, int carrier, Surface s) {
+    const auto key = std::make_tuple(info_block, carrier, s.dim, s.positive ? 1 : 0);
+    if (visited.insert(key).second) work.push_back(Item{info_block, carrier, s});
+  };
+
+  for (int b = 0; b < static_cast<int>(blocks.size()); ++b) {
+    const BlockInfo info{blocks[static_cast<size_t>(b)], epoch};
+    // Algorithm 2 step 4: identified info reaches the whole envelope.
+    deposit_envelope(mesh, blocks, blocks[static_cast<size_t>(b)], info, out);
+    for (int dim = 0; dim < mesh.dims(); ++dim)
+      for (bool positive : {false, true}) push(b, b, Surface{dim, positive});
+  }
+
+  while (!work.empty()) {
+    const Item item = work.front();
+    work.pop_front();
+    const Box& info_box = blocks[static_cast<size_t>(item.info_block)];
+    const Box& carrier = blocks[static_cast<size_t>(item.carrier)];
+    const BlockInfo info{info_box, epoch};
+
+    if (item.carrier != item.info_block) {
+      // Merge rule: the foreign info covers the carrier's whole envelope.
+      deposit_envelope(mesh, blocks, carrier, info, out);
+      ++out.merge_events;
+    }
+
+    const Surface opposite = item.surface.opposite();
+    const int step = item.surface.positive ? -1 : +1;
+    for (const Coord& ring : surface_edge_positions(mesh, carrier, opposite)) {
+      int length = 0;
+      Coord p = ring.shifted(item.surface.dim, step);
+      while (mesh.in_bounds(p)) {
+        const int hit = containing_block(blocks, p);
+        if (hit >= 0) {
+          // The wall ran into another block: info merges onto it and rides
+          // its boundary for the same surface.
+          push(item.info_block, hit, item.surface);
+          break;
+        }
+        if (out.store.deposit(mesh.index_of(p), info)) ++out.wall_deposits;
+        ++length;
+        p = p.shifted(item.surface.dim, step);
+      }
+      out.max_wall_length = std::max(out.max_wall_length, length);
+    }
+  }
+  return out;
+}
+
+}  // namespace lgfi

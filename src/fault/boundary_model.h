@@ -1,0 +1,63 @@
+#pragma once
+// Centralized boundary construction (Definition 3 + the merge rule).
+//
+// For every block B and every adjacent surface S_{j,s} (dimension j, side s)
+// the *boundary for S_{j,s}* encloses the dangerous area on the opposite
+// (-s) side of B: the prism of nodes from which every minimal path crossing
+// toward s-side destinations is cut by B.  The boundary starts from the
+// edges of the opposite surface S_{j,-s} (excluding its corners) and extends
+// away from the block along dimension j until the mesh's outmost surface —
+// unless it runs into another block B2, in which case B's information merges
+// onto B2's envelope and continues riding B2's boundary for the same surface
+// (Figure 3(d)).
+//
+// This module computes the *fixpoint placement* of block information over
+// the whole mesh set-theoretically.  It is the reference the distributed
+// boundary protocol (boundary_protocol.h) must converge to, and the direct
+// input for the static routing experiments.
+
+#include <vector>
+
+#include "src/fault/block_registry.h"
+#include "src/fault/corner_taxonomy.h"
+#include "src/mesh/box.h"
+#include "src/mesh/topology.h"
+
+namespace lgfi {
+
+struct InformationPlacement {
+  InfoStore store;                 ///< node -> block infos held
+  long long envelope_deposits = 0; ///< deposits on block envelopes
+  long long wall_deposits = 0;     ///< deposits on boundary walls
+  long long merge_events = 0;      ///< times a wall ran into another block
+  int max_wall_length = 0;         ///< longest wall walk (relates to c_i)
+
+  explicit InformationPlacement(const MeshTopology& mesh) : store(mesh) {}
+};
+
+/// Computes the full information placement for `blocks` (their boxes must be
+/// pairwise Chebyshev-separated, i.e. come from a stabilized field).
+InformationPlacement compute_information_placement(const MeshTopology& mesh,
+                                                    const std::vector<Box>& blocks,
+                                                    uint32_t epoch = 0);
+
+/// The dangerous area guarded by B's boundary for surface s: the prism of
+/// nodes on the -s side of B whose cross-coordinates lie within B's ranges.
+/// A message inside this prism whose destination lies strictly beyond B on
+/// the s side has no minimal path (clipped to the mesh; empty if B touches
+/// the mesh edge on that side).
+Box dangerous_region(const MeshTopology& mesh, const Box& block, Surface s);
+
+/// True iff every minimal path from u to d is cut by `block` (the paper's
+/// critical condition "enters the area right below S1 and its destination is
+/// right over S4", generalized to n-D): there is a dimension j with u and d
+/// strictly on opposite sides of the block's j-slab and, for every other
+/// dimension, the u–d interval contained in the block's range.
+bool block_cuts_all_minimal_paths(const Box& block, const Coord& u, const Coord& d);
+
+/// Expected wall node set for one (block, surface) pair ignoring merges —
+/// used by unit tests to pin down wall geometry.
+std::vector<Coord> wall_positions_ignoring_merges(const MeshTopology& mesh, const Box& block,
+                                                  Surface s);
+
+}  // namespace lgfi

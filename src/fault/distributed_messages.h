@@ -1,0 +1,102 @@
+#pragma once
+// Private message definitions shared by the DistributedFaultModel
+// translation units.  Not part of the public API.
+//
+// Every message advances one hop per round (Section 5).  Identification
+// messages carry explicit geometric context (walk dimension/sign, the out
+// signs of the corner region they emanate from, the accumulated extent
+// hull) so that node handlers make purely local decisions against the
+// node's own Definition-2 level entries.
+
+#include "src/fault/distributed_model.h"
+
+namespace lgfi {
+
+/// Identification process messages (Algorithm 2 step 3).
+struct DistributedFaultModel::IdentMessage {
+  enum Kind : uint8_t {
+    kEdgeWalk = 0,   ///< phase 1 of a level-k process (k >= 3)
+    kRingWalk = 1,   ///< level-2 base case: walks the section ring
+    kCollector = 2,  ///< phase 3: gathers slice results on the opposite edge
+  };
+
+  uint64_t pid = 0;
+  Coord origin;          ///< initiating corner of the top-level process
+  Kind kind = kEdgeWalk;
+  int8_t level = 0;      ///< k of the process this message belongs to
+  int8_t walk_dim = -1;
+  int8_t walk_sign = 0;
+  int8_t out_dim = -1;   ///< ring walk only: current side's out dimension
+  int8_t turns = 0;      ///< ring walk only: corners already turned
+  uint8_t free_mask = 0; ///< free dims of this process level
+  /// Out signs (+1/-1) of the process's initiation corner region per dim;
+  /// 0 for dims not out.  Ring walks mutate the walk-relevant entries as
+  /// they turn; collectors carry the opposite corner's signs.
+  std::array<int8_t, kMaxDims> out_signs{};
+  /// Parent-process linkage stack: when this message belongs to a process
+  /// identifying a slice of a higher-level process, the stack records the
+  /// (walk dim, walk sign) of every enclosing phase-1 edge walk, deepest
+  /// last.  Depth 0 means the top-level process.
+  std::array<int8_t, kMaxDims> parent_dims{};
+  std::array<int8_t, kMaxDims> parent_signs{};
+  int8_t depth = 0;
+  Box partial;           ///< hull of member anchors observed so far
+  int16_t ttl = 0;
+};
+
+/// Block-information distribution messages (Algorithm 2 step 4 + merges).
+struct DistributedFaultModel::InfoMessage {
+  BlockInfo info;
+  /// Empty carrier: plain envelope flood over info.box's own envelope.
+  /// Non-empty: merge flood over `carrier`'s envelope for `surface`
+  /// continuation (Definition 3 merge rule).
+  Box carrier;
+  int8_t surface_dim = -1;
+  int8_t surface_positive = 0;
+  int16_t ttl = 0;
+};
+
+/// Boundary wall messages (Definition 3).
+struct DistributedFaultModel::WallMessage {
+  BlockInfo info;     ///< the guarded block
+  int8_t dim = -1;    ///< guarded crossing dimension j
+  int8_t positive = 0;///< guarded crossing side s (wall extends toward -s)
+  int16_t ttl = 0;
+  /// Set when the wall is waiting for the carrier block's identity to merge
+  /// onto (resent to self each round until the info shows up or TTL dies).
+  int8_t waiting = 0;
+};
+
+/// Deletion-process messages: mirror the info/wall propagation geometry.
+struct DistributedFaultModel::CancelMessage {
+  Box box;            ///< the stale block info to remove
+  uint32_t epoch = 0; ///< remove entries with epoch <= this
+  /// kind 0: envelope flood (over box's envelope, or over `carrier`'s when
+  /// carrier is non-empty — undoing a merge); kind 1: wall walk.
+  int8_t kind = 0;
+  Box carrier;
+  int8_t dim = -1;
+  int8_t positive = 0;
+  int16_t ttl = 0;
+  /// First hop of a corner-initiated wave: process even if the origin no
+  /// longer holds the entry (it may have been removed locally while stale
+  /// replicas survive downstream).
+  int8_t force = 0;
+};
+
+/// Stable hash for merge dedup keys.
+inline uint64_t merge_key(const Box& info, const Box& carrier, int dim, bool positive) {
+  CoordHash h;
+  uint64_t k = 0xcbf29ce484222325ull;
+  auto mix = [&k](uint64_t v) {
+    k ^= v + 0x9e3779b97f4a7c15ull + (k << 6) + (k >> 2);
+  };
+  mix(h(info.lo()));
+  mix(h(info.hi()));
+  mix(h(carrier.lo()));
+  mix(h(carrier.hi()));
+  mix(static_cast<uint64_t>(dim * 2 + (positive ? 1 : 0)));
+  return k;
+}
+
+}  // namespace lgfi

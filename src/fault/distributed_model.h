@@ -1,0 +1,264 @@
+#pragma once
+// The distributed fault-information machinery (Sections 3 and 5).
+//
+// DistributedFaultModel is the per-node protocol stack of the paper run over
+// the synchronous round model: within every round, each construction's
+// message advances one hop —
+//
+//   1. status exchange      (Algorithm 1: rules 1-5; measures a_i)
+//   2. level detection      (Definition 2: adjacent nodes and all levels of
+//                            edge nodes and corners, via anchor-tagged
+//                            announcements)
+//   3. identification       (Algorithm 2 step 3: the recursive k-level
+//                            process — edge walks, ring walks, collectors,
+//                            TTL discard on instability; measures b_i)
+//   4. envelope propagation (Algorithm 2 step 4: identified info floods the
+//                            whole envelope)
+//   5. boundary construction(Definition 3: wall messages from surface-edge
+//                            rings, merging onto other blocks; measures c_i)
+//   6. cancellation         (deletion process: stale info waves)
+//
+// All decisions are node-local: a node sees its own state, its neighbours'
+// previous-round state (the BSP one-hop rule), and the messages delivered
+// this round.  The centralized references in labeling.h / boundary_model.h
+// predict the fixpoints; integration tests assert convergence to them.
+//
+// Anchors.  A node out-by-one in m dimensions of a block has a unique
+// diagonal member node w (its *anchor*) inside the block.  Level-m entries
+// carry their anchor, which gives an exact, local same-block test even when
+// two blocks touch diagonally (possible for n >= 3; see block_analyzer.h).
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "src/fault/block_registry.h"
+#include "src/fault/node_status.h"
+#include "src/sim/engine.h"
+#include "src/sim/mailbox.h"
+
+namespace lgfi {
+
+struct DistributedModelOptions {
+  /// Base TTL for identification messages; 0 derives 4 * (sum of extents) + 16.
+  int message_ttl = 0;
+  /// A level-n corner missing covering block info retries identification
+  /// after this many rounds; 0 derives 2 * (sum of extents) + 8.
+  int retry_interval = 0;
+  /// Eager invalidation: any node holding info contradicted by a neighbour's
+  /// member status starts a cancel wave (besides the corner-triggered
+  /// deletion).  Ablatable; see DESIGN.md §6 note 8.
+  bool eager_invalidation = true;
+  /// Prints identification message events to stderr (debugging aid).
+  bool trace = false;
+};
+
+/// One (anchor, level) classification a node holds (Definition 2).
+struct LevelEntry {
+  Coord anchor;     ///< the diagonal block-member node
+  int8_t level = 0; ///< m: out-by-m dimensions
+  friend bool operator==(const LevelEntry& a, const LevelEntry& b) {
+    return a.anchor == b.anchor && a.level == b.level;
+  }
+};
+
+/// Per-round activity counters, used to derive a_i / b_i / c_i.
+struct RoundActivity {
+  bool labeling = false;
+  bool levels = false;
+  bool identification = false;
+  bool envelope = false;
+  bool boundary = false;
+  bool cancel = false;
+  [[nodiscard]] bool any() const {
+    return labeling || levels || identification || envelope || boundary || cancel;
+  }
+};
+
+struct ConstructionRounds {
+  int labeling = 0;        ///< a_i: last round (1-based) with a status change
+  int identification = 0;  ///< b_i: last round with level/identification activity
+  int boundary = 0;        ///< c_i: last round with envelope/wall/cancel activity
+  int total = 0;
+};
+
+class DistributedFaultModel final : public SynchronousProtocol {
+ public:
+  explicit DistributedFaultModel(const MeshTopology& mesh,
+                                 DistributedModelOptions options = {});
+  // Out-of-line: the mailbox unique_ptrs hold types completed only in the
+  // implementation files.
+  ~DistributedFaultModel() override;
+
+  // --- environment events (the fault-detection phase of a step) ---
+  void inject_fault(const Coord& c);
+  void recover(const Coord& c);
+
+  // --- protocol execution ---
+  bool run_round() override;
+  [[nodiscard]] std::string name() const override { return "fault-info"; }
+
+  /// Runs rounds to quiescence; returns per-construction round counts for
+  /// the change since the previous stabilization.
+  ConstructionRounds stabilize(int max_rounds = 1 << 20);
+
+  // --- observable state ---
+  [[nodiscard]] const MeshTopology& mesh() const { return *mesh_; }
+  [[nodiscard]] const StatusField& field() const { return field_; }
+  [[nodiscard]] const InfoStore& info() const { return info_; }
+  [[nodiscard]] const std::vector<LevelEntry>& levels_at(NodeId id) const {
+    return levels_[static_cast<size_t>(id)];
+  }
+  [[nodiscard]] long long messages_sent() const { return messages_sent_; }
+  [[nodiscard]] int rounds_run() const { return rounds_run_; }
+  /// Activity flags of the most recent round (used by the dynamic step model
+  /// to attribute convergence rounds to a_i / b_i / c_i).
+  [[nodiscard]] const RoundActivity& last_activity() const { return last_activity_; }
+
+  /// Geometric helper: the anchor of position `c` if it is out-by-m (m >= 1)
+  /// of a block with the given member test; exposed for tests.
+  [[nodiscard]] static Coord anchor_of(const Coord& c, const std::vector<int>& out_dims,
+                                       const std::vector<int>& out_signs);
+
+ private:
+  // ---- message types (definitions in identification.cpp etc.) ----
+  struct IdentMessage;
+  struct InfoMessage;
+  struct WallMessage;
+  struct CancelMessage;
+
+  // Round phases; each returns true if anything happened.
+  bool round_labeling();
+  bool round_levels();
+  bool round_identification();
+  bool round_envelope();
+  bool round_boundary();
+  bool round_cancel();
+
+  // identification.cpp helpers
+  /// Returns true while some level-n corner lacks covering block info.
+  bool trigger_identifications();
+  void handle_ident_message(NodeId node, IdentMessage m);
+  void launch_process(NodeId corner, const LevelEntry& entry);
+  void launch_subprocess(const Coord& at, int level, uint8_t free_mask,
+                         std::array<int8_t, kMaxDims> out_signs, const IdentMessage& parent,
+                         int parent_walk_dim, int parent_walk_sign);
+  /// A process at `m.level` finished with `box` at `node` (an opposite
+  /// corner whose anchor is `corner_anchor`): either forms block info (top)
+  /// or records a slice result and possibly self-starts the parent collector.
+  void process_complete(NodeId node, const IdentMessage& m, const Coord& corner_anchor,
+                        const Box& box);
+  [[nodiscard]] bool has_level_entry(NodeId node, const Coord& anchor, int level) const;
+  [[nodiscard]] std::optional<LevelEntry> entry_with_anchor(NodeId node,
+                                                            const Coord& anchor) const;
+
+  // envelope_propagation.cpp helpers
+  void start_info_flood(NodeId origin, const BlockInfo& info);
+  void handle_info_message(NodeId node, const InfoMessage& m);
+
+  // boundary_protocol.cpp helpers
+  void spawn_walls_if_ring(NodeId node, const BlockInfo& info);
+  void handle_wall_message(NodeId node, const WallMessage& m);
+
+  // cancel (boundary_protocol.cpp)
+  void start_cancel(NodeId origin, const Box& box, uint32_t epoch);
+  void handle_cancel_message(NodeId node, const CancelMessage& m);
+  void check_eager_invalidation(NodeId node);
+  /// Drops every entry whose provenance names `dead_carrier` as its merge
+  /// carrier and retraces its continuation walls from the carrier's rings.
+  void sweep_carried_info(NodeId node, const Box& dead_carrier, int ttl);
+
+  [[nodiscard]] int default_ttl() const;
+  [[nodiscard]] bool is_member(const Coord& c) const {
+    return is_block_member(field_.at(c));
+  }
+  /// Physical memory loss: a node that fails (or comes back) has no stored
+  /// information or protocol bookkeeping left.
+  void wipe_node_memory(NodeId node);
+
+ public:
+  /// True if `p` lies on the straight boundary-wall column of block `box`
+  /// for surface (dim, positive): exactly one lateral dim out by one, the
+  /// rest within range, and the dim coordinate strictly beyond the block on
+  /// the guarded-opposite side.  Public for tests and analysis tools.
+  [[nodiscard]] static bool on_wall_column(const Coord& p, const Box& box, int dim,
+                                           bool positive);
+
+ private:
+
+  const MeshTopology* mesh_;
+  DistributedModelOptions options_;
+  StatusField field_;
+  std::vector<uint8_t> freshly_clean_;
+
+  // Level detection state, double buffered (levels_ = current, read by
+  // neighbours next round via levels_prev_).
+  std::vector<std::vector<LevelEntry>> levels_;
+  std::vector<std::vector<LevelEntry>> levels_prev_;
+
+  InfoStore info_;
+
+  // Identification bookkeeping.  Keys are pid * 16 + process level so that
+  // nested processes of one pid never collide.
+  uint64_t next_pid_ = 1;
+  struct SliceResult {
+    Box box;
+    int round = 0;  ///< for aging out results of dead processes
+  };
+  std::vector<std::unordered_map<uint64_t, SliceResult>> slice_results_;
+  struct CornerCollect {
+    Box box;
+    int arrivals = 0;
+    int round = 0;
+    bool invalid = false;  ///< inconsistent sections: the block is not stable
+  };
+  std::vector<std::unordered_map<uint64_t, CornerCollect>> corner_collect_;
+  std::vector<std::unordered_map<size_t, int>> last_launch_;  // anchor hash -> round
+  // anchor hash -> attempts this epoch; a corner whose identification keeps
+  // failing (e.g. its walks are permanently blocked by a diagonally touching
+  // block) is abandoned after a few tries so the system can quiesce — it
+  // stays uninformed, which only costs routing detours, never correctness.
+  std::vector<std::unordered_map<size_t, int>> launch_attempts_;
+
+  // Mailboxes (one hop per round each).
+  MailboxSystem<IdentMessage>* ident_mail();
+  MailboxSystem<InfoMessage>* info_mail();
+  MailboxSystem<WallMessage>* wall_mail();
+  MailboxSystem<CancelMessage>* cancel_mail();
+  std::unique_ptr<MailboxSystem<IdentMessage>> ident_mail_;
+  std::unique_ptr<MailboxSystem<InfoMessage>> info_mail_;
+  std::unique_ptr<MailboxSystem<WallMessage>> wall_mail_;
+  std::unique_ptr<MailboxSystem<CancelMessage>> cancel_mail_;
+
+  // Corner-triggered deletion (the paper's deletion process): corners
+  // remember the infos they formed so they can cancel them when their
+  // existing condition no longer holds.
+  std::vector<std::vector<BlockInfo>> formed_at_corner_;
+
+  // Merge-flood dedup: (info box, carrier box, surface) triples processed.
+  std::vector<std::unordered_set<uint64_t>> merge_seen_;
+
+  // Cancel-flood dedup.  Keyed by (box, epoch, carrier, surface) so the wave
+  // traverses the entire envelope even across nodes that already dropped the
+  // entry locally — otherwise eager invalidation could cut the wave before
+  // it reaches the ring nodes that must cancel the walls.
+  std::vector<std::unordered_set<uint64_t>> cancel_seen_;
+
+  uint32_t epoch_ = 1;
+  int rounds_run_ = 0;
+  long long messages_sent_ = 0;
+  long long envelope_deposits_ = 0;
+  long long wall_deposits_ = 0;
+  RoundActivity last_activity_;
+
+ public:
+  [[nodiscard]] long long envelope_deposits() const { return envelope_deposits_; }
+  [[nodiscard]] long long wall_deposits() const { return wall_deposits_; }
+  [[nodiscard]] uint32_t epoch() const { return epoch_; }
+};
+
+}  // namespace lgfi

@@ -1,0 +1,432 @@
+// The n-level identification process (Algorithm 2 step 3).
+//
+// A new n-level corner launches a process: phase-1 edge walks along n-1 of
+// its n envelope edges; every edge node passed activates a down-level
+// process identifying its slice's section (recursively, down to the level-2
+// base case where two ring walkers traverse the section's envelope ring and
+// meet at the opposite 2-level corner); phase-3 collectors ride each
+// opposite edge gathering section results and deliver them to the corner
+// opposite the initiation corner, where the block information forms.
+//
+// All decisions are local: handlers validate the node against its own
+// Definition-2 level entry (anchor + level) and discard the message when the
+// expectation fails — the paper's "if there is a faulty or disabled neighbor
+// in the forwarding direction, the new block is not stable ... the message
+// is discarded".  TTLs bound every walk and every wait.
+
+#include <cassert>
+#include <cstdio>
+
+#include "src/fault/distributed_messages.h"
+
+namespace lgfi {
+
+namespace {
+
+/// Dims present in a mask, ascending.
+std::vector<int> mask_dims(uint8_t mask) {
+  std::vector<int> out;
+  for (int d = 0; d < kMaxDims; ++d)
+    if (mask & (1u << d)) out.push_back(d);
+  return out;
+}
+
+/// Identity of a process *instance*.  In n >= 4 the recursion can reach the
+/// same subspace through different parent chains (slice x then y vs y then
+/// x), and those are distinct concurrent processes of the same pid: keying
+/// bookkeeping by (pid, level) alone would conflate their completions.  The
+/// instance key hashes pid, level, free mask and the whole parent stack.
+uint64_t instance_key(uint64_t pid, int level, uint8_t free_mask,
+                      const std::array<int8_t, kMaxDims>& parent_dims,
+                      const std::array<int8_t, kMaxDims>& parent_signs, int depth) {
+  uint64_t h = pid * 0x9E3779B97F4A7C15ull + 0xD6E8FEB86659FD93ull;
+  auto mix = [&h](uint64_t v) {
+    h ^= v + 0x9E3779B97F4A7C15ull + (h << 6) + (h >> 2);
+  };
+  mix(static_cast<uint64_t>(level));
+  mix(static_cast<uint64_t>(free_mask));
+  for (int i = 0; i < depth; ++i) {
+    mix(static_cast<uint64_t>(parent_dims[static_cast<size_t>(i)] + 1));
+    mix(static_cast<uint64_t>(parent_signs[static_cast<size_t>(i)] + 2));
+  }
+  return h;
+}
+
+}  // namespace
+
+bool DistributedFaultModel::trigger_identifications() {
+  const int n = mesh_->dims();
+  // Retry fast: processes discarded during a converging transient relaunch
+  // as soon as the previous attempt had time to finish; duplicate
+  // completions dedup at the deposit.
+  int max_extent = 0;
+  for (int d = 0; d < n; ++d) max_extent = std::max(max_extent, mesh_->extent(d));
+  const int retry =
+      options_.retry_interval > 0 ? options_.retry_interval : 2 * max_extent + 8;
+  const long long count = field_.node_count();
+  bool uncovered_corner = false;
+  for (NodeId id = 0; id < count; ++id) {
+    for (const auto& e : levels_[static_cast<size_t>(id)]) {
+      if (e.level != n) continue;
+      // Already have block information covering this anchor?  Then the
+      // reactive model does not restart anything.
+      bool covered = false;
+      for (const auto& held : info_.at(id))
+        if (held.box.contains(e.anchor)) covered = true;
+      if (covered) continue;
+
+      const size_t anchor_key = CoordHash{}(e.anchor);
+      auto& attempts = launch_attempts_[static_cast<size_t>(id)];
+      constexpr int kMaxAttempts = 6;
+      if (attempts[anchor_key] >= kMaxAttempts) continue;  // abandoned this epoch
+      uncovered_corner = true;
+
+      auto& launches = last_launch_[static_cast<size_t>(id)];
+      const auto it = launches.find(anchor_key);
+      if (it != launches.end() && rounds_run_ - it->second < retry) continue;
+      launches[anchor_key] = rounds_run_;
+      ++attempts[anchor_key];
+      launch_process(id, e);
+    }
+  }
+
+  // Age out bookkeeping of dead processes.
+  if (rounds_run_ % 64 == 0) {
+    const int horizon = 2 * default_ttl();
+    for (auto& per_node : slice_results_)
+      std::erase_if(per_node,
+                    [&](const auto& kv) { return rounds_run_ - kv.second.round > horizon; });
+    for (auto& per_node : corner_collect_)
+      std::erase_if(per_node,
+                    [&](const auto& kv) { return rounds_run_ - kv.second.round > horizon; });
+  }
+  return uncovered_corner;
+}
+
+void DistributedFaultModel::launch_process(NodeId corner, const LevelEntry& entry) {
+  const Coord c = mesh_->coord_of(corner);
+  const int n = mesh_->dims();
+
+  IdentMessage base;
+  base.pid = next_pid_++;
+  base.origin = c;
+  base.level = static_cast<int8_t>(n);
+  base.free_mask = static_cast<uint8_t>((1u << n) - 1);
+  base.partial = Box::point(entry.anchor);
+  base.ttl = static_cast<int16_t>(default_ttl());
+  for (int d = 0; d < n; ++d)
+    base.out_signs[static_cast<size_t>(d)] = static_cast<int8_t>(c[d] - entry.anchor[d]);
+
+  if (n == 2) {
+    // The whole process is the level-2 base case.
+    launch_subprocess(c, 2, base.free_mask, base.out_signs, base, -1, 0);
+    return;
+  }
+  // Phase 1: n-1 edge walks (all free dims but the last).
+  for (int j = 0; j < n - 1; ++j) {
+    IdentMessage m = base;
+    m.kind = IdentMessage::kEdgeWalk;
+    m.walk_dim = static_cast<int8_t>(j);
+    m.walk_sign = static_cast<int8_t>(-base.out_signs[static_cast<size_t>(j)]);
+    m.out_signs[static_cast<size_t>(j)] = 0;  // j is the walked dim, not out
+    const Coord first = c.shifted(j, m.walk_sign);
+    if (!mesh_->in_bounds(first)) continue;
+    ident_mail_->send(mesh_->index_of(first), std::move(m));
+  }
+}
+
+void DistributedFaultModel::launch_subprocess(const Coord& at, int level, uint8_t free_mask,
+                                              std::array<int8_t, kMaxDims> out_signs,
+                                              const IdentMessage& parent, int parent_walk_dim,
+                                              int parent_walk_sign) {
+  IdentMessage base;
+  base.pid = parent.pid;
+  base.origin = parent.origin;
+  base.level = static_cast<int8_t>(level);
+  base.free_mask = free_mask;
+  base.out_signs = out_signs;
+  base.parent_dims = parent.parent_dims;
+  base.parent_signs = parent.parent_signs;
+  base.depth = parent.depth;
+  if (parent_walk_dim >= 0) {
+    base.parent_dims[static_cast<size_t>(base.depth)] = static_cast<int8_t>(parent_walk_dim);
+    base.parent_signs[static_cast<size_t>(base.depth)] = static_cast<int8_t>(parent_walk_sign);
+    ++base.depth;
+  }
+  base.ttl = parent.ttl;
+
+  const auto dims = mask_dims(free_mask);
+  // The subprocess's initiation corner anchor (the diagonal member).
+  Coord anchor = at;
+  for (int d : dims) anchor = anchor.shifted(d, -out_signs[static_cast<size_t>(d)]);
+  base.partial = parent.partial.hull(anchor);
+
+  if (level == 2) {
+    // Base case: two ring walkers around the section.
+    assert(dims.size() == 2);
+    for (int w = 0; w < 2; ++w) {
+      const int walk = dims[static_cast<size_t>(w)];
+      const int out = dims[static_cast<size_t>(1 - w)];
+      IdentMessage m = base;
+      m.kind = IdentMessage::kRingWalk;
+      m.walk_dim = static_cast<int8_t>(walk);
+      m.walk_sign = static_cast<int8_t>(-out_signs[static_cast<size_t>(walk)]);
+      m.out_dim = static_cast<int8_t>(out);
+      m.out_signs[static_cast<size_t>(walk)] = 0;
+      m.turns = 0;
+      const Coord first = at.shifted(walk, m.walk_sign);
+      if (!mesh_->in_bounds(first)) continue;
+      ident_mail_->send(mesh_->index_of(first), std::move(m));
+    }
+    return;
+  }
+
+  // level >= 3: phase-1 edge walks along all free dims but the last.
+  for (size_t w = 0; w + 1 < dims.size(); ++w) {
+    const int j = dims[w];
+    IdentMessage m = base;
+    m.kind = IdentMessage::kEdgeWalk;
+    m.walk_dim = static_cast<int8_t>(j);
+    m.walk_sign = static_cast<int8_t>(-out_signs[static_cast<size_t>(j)]);
+    m.out_signs[static_cast<size_t>(j)] = 0;
+    const Coord first = at.shifted(j, m.walk_sign);
+    if (!mesh_->in_bounds(first)) continue;
+    ident_mail_->send(mesh_->index_of(first), std::move(m));
+  }
+}
+
+void DistributedFaultModel::handle_ident_message(NodeId node, IdentMessage m) {
+  const Coord c = mesh_->coord_of(node);
+  auto trace = [&](const char* what) {
+    if (options_.trace)
+      std::fprintf(stderr, "[ident r%d] pid=%llu kind=%d lvl=%d at %s: %s\n", rounds_run_,
+                   static_cast<unsigned long long>(m.pid), static_cast<int>(m.kind),
+                   static_cast<int>(m.level), c.to_string().c_str(), what);
+  };
+  if (--m.ttl <= 0) {
+    trace("ttl-expired");
+    return;
+  }
+  if (field_.at(node) != NodeStatus::kEnabled) {
+    trace("discard-not-enabled");
+    return;
+  }
+  const auto free_dims = mask_dims(m.free_mask);
+
+  // Anchor this node would have as an edge/side node of the process
+  // (inward over the out dims, which exclude the walk dim).
+  Coord side_anchor = c;
+  for (int d : free_dims) {
+    const int8_t sgn = m.out_signs[static_cast<size_t>(d)];
+    if (sgn != 0) side_anchor = side_anchor.shifted(d, -sgn);
+  }
+
+  switch (m.kind) {
+    case IdentMessage::kEdgeWalk: {
+      const int j = m.walk_dim;
+      if (has_level_entry(node, side_anchor, m.level - 1)) {
+        // Still on the edge: hull, activate the slice's down-level process,
+        // keep walking.
+        m.partial = m.partial.hull(side_anchor);
+        uint8_t sub_mask = m.free_mask & static_cast<uint8_t>(~(1u << j));
+        launch_subprocess(c, m.level - 1, sub_mask, m.out_signs, m, j, m.walk_sign);
+        const Coord next = c.shifted(j, m.walk_sign);
+        if (mesh_->in_bounds(next)) ident_mail_->send(mesh_->index_of(next), std::move(m));
+        return;
+      }
+      // Far corner of the edge?
+      const Coord corner_anchor = side_anchor.shifted(j, -m.walk_sign);
+      if (has_level_entry(node, corner_anchor, m.level)) {
+        trace("edge-walk-end");
+        return;  // phase 1 done
+      }
+      trace("edge-walk-discard");
+      return;  // unstable: discard
+    }
+
+    case IdentMessage::kRingWalk: {
+      const int out = m.out_dim;
+      const int8_t out_sign = m.out_signs[static_cast<size_t>(out)];
+      // Side node: out only in out_dim.
+      const Coord expect_side = c.shifted(out, -out_sign);
+      if (has_level_entry(node, expect_side, 1)) {
+        m.partial = m.partial.hull(expect_side);
+        const Coord next = c.shifted(m.walk_dim, m.walk_sign);
+        if (mesh_->in_bounds(next)) ident_mail_->send(mesh_->index_of(next), std::move(m));
+        return;
+      }
+      // Corner of the ring: out in out_dim and walk_dim.
+      const Coord corner_anchor = expect_side.shifted(m.walk_dim, -m.walk_sign);
+      if (has_level_entry(node, corner_anchor, 2)) {
+        m.partial = m.partial.hull(corner_anchor);
+        if (m.turns == 0) {
+          const int8_t old_out = m.out_dim;
+          const int8_t old_out_sign = out_sign;
+          m.out_dim = m.walk_dim;
+          m.out_signs[static_cast<size_t>(m.walk_dim)] = m.walk_sign;
+          m.walk_dim = old_out;
+          m.walk_sign = static_cast<int8_t>(-old_out_sign);
+          m.out_signs[static_cast<size_t>(old_out)] = 0;
+          m.turns = 1;
+          const Coord next = c.shifted(m.walk_dim, m.walk_sign);
+          if (mesh_->in_bounds(next)) ident_mail_->send(mesh_->index_of(next), std::move(m));
+          return;
+        }
+        // Second corner: the opposite 2-level corner — the section (or, for
+        // n == 2, the block) is identified when both walkers agree.
+        const uint64_t key =
+            instance_key(m.pid, m.level, m.free_mask, m.parent_dims, m.parent_signs, m.depth);
+        auto& cc = corner_collect_[static_cast<size_t>(node)][key];
+        cc.round = rounds_run_;
+        if (cc.arrivals == 0) {
+          cc.box = m.partial;
+        } else if (!(cc.box == m.partial)) {
+          cc.invalid = true;  // inconsistent sections: not stable
+        }
+        ++cc.arrivals;
+        trace(cc.invalid ? "ring-arrival-inconsistent" : "ring-arrival");
+        if (cc.arrivals == 2 && !cc.invalid) {
+          // Reconstruct the completion corner's full out signs: the corner
+          // is out in the current walk dim too (sign = walk direction), so
+          // the collector spawned downstream computes correct anchors.
+          m.out_signs[static_cast<size_t>(m.walk_dim)] = m.walk_sign;
+          process_complete(node, m, corner_anchor, cc.box);
+        }
+        return;
+      }
+      trace("ring-walk-discard");
+      return;  // unstable: discard
+    }
+
+    case IdentMessage::kCollector: {
+      const int j = m.walk_dim;
+      if (has_level_entry(node, side_anchor, m.level - 1)) {
+        // Opposite-edge node: wait for the slice result, merge, move on.
+        auto& results = slice_results_[static_cast<size_t>(node)];
+        const auto it = results.find(
+            instance_key(m.pid, m.level, m.free_mask, m.parent_dims, m.parent_signs, m.depth));
+        if (it == results.end()) {
+          ident_mail_->send(node, std::move(m));  // wait one round
+          return;
+        }
+        m.partial = m.partial.hull(it->second.box);
+        const Coord next = c.shifted(j, m.walk_sign);
+        if (mesh_->in_bounds(next)) ident_mail_->send(mesh_->index_of(next), std::move(m));
+        return;
+      }
+      // The opposite corner C' of this level-k process.
+      const Coord corner_anchor = side_anchor.shifted(j, -m.walk_sign);
+      if (has_level_entry(node, corner_anchor, m.level)) {
+        const uint64_t key =
+            instance_key(m.pid, m.level, m.free_mask, m.parent_dims, m.parent_signs, m.depth);
+        auto& cc = corner_collect_[static_cast<size_t>(node)][key];
+        cc.round = rounds_run_;
+        if (cc.arrivals == 0) {
+          cc.box = m.partial;
+        } else if (!(cc.box == m.partial)) {
+          cc.invalid = true;
+        }
+        ++cc.arrivals;
+        trace(cc.invalid ? "collector-arrival-inconsistent" : "collector-arrival");
+        if (cc.arrivals == m.level - 1 && !cc.invalid) {
+          m.out_signs[static_cast<size_t>(m.walk_dim)] = m.walk_sign;
+          process_complete(node, m, corner_anchor, cc.box);
+        }
+        return;
+      }
+      trace("collector-discard");
+      return;  // unstable: discard
+    }
+  }
+}
+
+void DistributedFaultModel::process_complete(NodeId node, const IdentMessage& m,
+                                             const Coord& corner_anchor, const Box& box) {
+  const Coord c = mesh_->coord_of(node);
+
+  if (m.depth == 0) {
+    // Top-level completion: block information forms at the corner opposite
+    // the initialization corner (Algorithm 2 step 3c), then propagates back
+    // over the whole envelope (step 4), which also activates the boundary
+    // construction.
+    const BlockInfo info{box, epoch_};
+    auto& formed = formed_at_corner_[static_cast<size_t>(node)];
+    bool known = false;
+    for (auto& f : formed) {
+      if (f.box == box) {
+        f.epoch = std::max(f.epoch, info.epoch);
+        known = true;
+      }
+    }
+    if (!known) formed.push_back(info);
+    if (options_.trace)
+      std::fprintf(stderr, "[ident r%d] pid=%llu BLOCK FORMED at %s box=%s\n", rounds_run_,
+                   static_cast<unsigned long long>(m.pid), c.to_string().c_str(),
+                   box.to_string().c_str());
+    if (info_.deposit(node, info)) {
+      ++envelope_deposits_;
+      start_info_flood(node, info);
+      spawn_walls_if_ring(node, info);
+    }
+    return;
+  }
+
+  // Slice completion: store the section for the parent's collector and
+  // self-start that collector if this is the slice adjacent to the parent's
+  // initiation corner (locally detected: the neighbour back along the
+  // parent walk is the parent-level corner with our anchor).
+  const int parent_level = m.level + 1;
+  const int pj = m.parent_dims[static_cast<size_t>(m.depth - 1)];
+  const int ps = m.parent_signs[static_cast<size_t>(m.depth - 1)];
+
+  slice_results_[static_cast<size_t>(node)][instance_key(
+      m.pid, parent_level, static_cast<uint8_t>(m.free_mask | (1u << pj)), m.parent_dims,
+      m.parent_signs, m.depth - 1)] = SliceResult{box, rounds_run_};
+
+  if (options_.trace)
+    std::fprintf(stderr, "[ident r%d] pid=%llu slice-complete lvl=%d at %s box=%s\n",
+                 rounds_run_, static_cast<unsigned long long>(m.pid),
+                 static_cast<int>(m.level), c.to_string().c_str(), box.to_string().c_str());
+  const Coord q = c.shifted(pj, -ps);
+  if (!mesh_->in_bounds(q)) return;
+  bool q_is_parent_corner = false;
+  for (const auto& e : levels_prev_[static_cast<size_t>(mesh_->index_of(q))])
+    if (e.level == parent_level && e.anchor == corner_anchor) q_is_parent_corner = true;
+  if (!q_is_parent_corner) return;
+
+  IdentMessage col;
+  col.pid = m.pid;
+  col.origin = m.origin;
+  col.kind = IdentMessage::kCollector;
+  col.level = static_cast<int8_t>(parent_level);
+  col.walk_dim = static_cast<int8_t>(pj);
+  col.walk_sign = static_cast<int8_t>(ps);
+  col.free_mask = static_cast<uint8_t>(m.free_mask | (1u << pj));
+  col.out_signs = m.out_signs;  // opposite-corner lateral signs
+  col.parent_dims = m.parent_dims;
+  col.parent_signs = m.parent_signs;
+  col.depth = static_cast<int8_t>(m.depth - 1);
+  col.partial = box;
+  col.ttl = m.ttl;
+  const Coord next = c.shifted(pj, ps);
+  if (mesh_->in_bounds(next)) ident_mail_->send(mesh_->index_of(next), std::move(col));
+}
+
+bool DistributedFaultModel::round_identification() {
+  // Deliver last round's messages first so that everything sent below —
+  // fresh launches included — travels exactly one hop per round.
+  ident_mail_->flip();
+  // An uncovered corner counts as activity even between retries: the
+  // construction is not done until every corner is covered by block info.
+  const bool uncovered = trigger_identifications();
+  bool any = false;
+  for (NodeId id = 0; id < field_.node_count(); ++id) {
+    for (const auto& msg : ident_mail_->inbox(id)) {
+      any = true;
+      handle_ident_message(id, msg);
+    }
+  }
+  return any || uncovered || ident_mail_->pending() > 0;
+}
+
+}  // namespace lgfi

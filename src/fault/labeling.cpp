@@ -1,0 +1,112 @@
+#include "src/fault/labeling.h"
+
+#include <cassert>
+
+namespace lgfi {
+
+bool rule1_applies(const StatusField& field, NodeId id) {
+  assert(field.at(id) == NodeStatus::kEnabled);
+  return field.dims_with_neighbor(id, [](NodeStatus s) { return is_block_member(s); }) >= 2;
+}
+
+bool rule2_applies(const StatusField& field, NodeId id) {
+  assert(field.at(id) == NodeStatus::kDisabled);
+  if (!field.has_neighbor_with_status(id, NodeStatus::kClean)) return false;
+  return field.dims_with_neighbor(id, [](NodeStatus s) { return s == NodeStatus::kFaulty; }) < 2;
+}
+
+bool rule3_applies(const StatusField& field, NodeId id) {
+  assert(field.at(id) == NodeStatus::kClean);
+  return field.dims_with_neighbor(id, [](NodeStatus s) { return s == NodeStatus::kFaulty; }) >= 2;
+}
+
+bool rule4_applies(const StatusField& field, NodeId id) {
+  assert(field.at(id) == NodeStatus::kClean);
+  return !rule3_applies(field, id);
+}
+
+long long labeling_round(StatusField& field, std::vector<uint8_t>& freshly_clean) {
+  const long long n = field.node_count();
+  assert(static_cast<long long>(freshly_clean.size()) == n);
+
+  // Double-buffered: decisions read the previous round's statuses only.
+  std::vector<NodeStatus> next(static_cast<size_t>(n));
+  std::vector<uint8_t> next_fresh(static_cast<size_t>(n), 0);
+  long long changes = 0;
+
+  for (NodeId id = 0; id < n; ++id) {
+    const NodeStatus cur = field.at(id);
+    NodeStatus out = cur;
+    switch (cur) {
+      case NodeStatus::kFaulty:
+        break;  // rule 5 is an external event, not a round action
+      case NodeStatus::kEnabled:
+        if (rule1_applies(field, id)) out = NodeStatus::kDisabled;
+        break;
+      case NodeStatus::kDisabled:
+        if (rule2_applies(field, id)) {
+          out = NodeStatus::kClean;
+          next_fresh[static_cast<size_t>(id)] = 1;
+        }
+        break;
+      case NodeStatus::kClean:
+        if (freshly_clean[static_cast<size_t>(id)]) {
+          // Clean became visible to neighbours only this round; rules 3/4
+          // fire next round ("once all its neighbors know its clean status").
+          out = NodeStatus::kClean;
+        } else if (rule3_applies(field, id)) {
+          out = NodeStatus::kDisabled;
+        } else {
+          out = NodeStatus::kEnabled;  // rule 4
+        }
+        break;
+    }
+    next[static_cast<size_t>(id)] = out;
+    if (out != cur) ++changes;
+    if (cur == NodeStatus::kClean && freshly_clean[static_cast<size_t>(id)]) {
+      // The clean label is now published; staying clean this round counts as
+      // activity (the wave is still moving) only via neighbours' rule 2.
+      next_fresh[static_cast<size_t>(id)] = 0;
+      if (out == cur) {
+        // Not a status change, but the node must still be processed next
+        // round; report activity so convergence isn't declared early.
+        ++changes;
+      }
+    }
+  }
+
+  for (NodeId id = 0; id < n; ++id) field.set(id, next[static_cast<size_t>(id)]);
+  freshly_clean = std::move(next_fresh);
+  return changes;
+}
+
+LabelingResult stabilize_labeling(StatusField& field, int max_rounds,
+                                  const std::vector<Coord>& new_clean) {
+  std::vector<uint8_t> fresh(static_cast<size_t>(field.node_count()), 0);
+  for (const auto& c : new_clean) {
+    assert(field.at(c) == NodeStatus::kClean);
+    fresh[static_cast<size_t>(field.mesh().index_of(c))] = 1;
+  }
+
+  LabelingResult r;
+  for (int round = 0; round < max_rounds; ++round) {
+    const long long changes = labeling_round(field, fresh);
+    if (changes == 0) {
+      r.converged = true;
+      return r;
+    }
+    r.status_changes += changes;
+    ++r.rounds;
+  }
+  return r;
+}
+
+StatusField stabilized_field(const MeshTopology& mesh, const std::vector<Coord>& faults,
+                             LabelingResult* result) {
+  StatusField field = make_field_with_faults(mesh, faults);
+  LabelingResult r = stabilize_labeling(field);
+  if (result != nullptr) *result = r;
+  return field;
+}
+
+}  // namespace lgfi

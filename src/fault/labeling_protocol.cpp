@@ -1,0 +1,223 @@
+// DistributedFaultModel: construction, the round driver, Algorithm 1 status
+// exchange, and Definition-2 level detection with anchors.
+
+#include <algorithm>
+#include <cassert>
+
+#include "src/fault/distributed_messages.h"
+#include "src/fault/labeling.h"
+
+namespace lgfi {
+
+DistributedFaultModel::DistributedFaultModel(const MeshTopology& mesh,
+                                             DistributedModelOptions options)
+    : mesh_(&mesh),
+      options_(options),
+      field_(mesh),
+      freshly_clean_(static_cast<size_t>(mesh.node_count()), 0),
+      levels_(static_cast<size_t>(mesh.node_count())),
+      levels_prev_(static_cast<size_t>(mesh.node_count())),
+      info_(mesh),
+      slice_results_(static_cast<size_t>(mesh.node_count())),
+      corner_collect_(static_cast<size_t>(mesh.node_count())),
+      last_launch_(static_cast<size_t>(mesh.node_count())),
+      launch_attempts_(static_cast<size_t>(mesh.node_count())),
+      formed_at_corner_(static_cast<size_t>(mesh.node_count())),
+      merge_seen_(static_cast<size_t>(mesh.node_count())),
+      cancel_seen_(static_cast<size_t>(mesh.node_count())) {
+  ident_mail_ = std::make_unique<MailboxSystem<IdentMessage>>(mesh.node_count());
+  info_mail_ = std::make_unique<MailboxSystem<InfoMessage>>(mesh.node_count());
+  wall_mail_ = std::make_unique<MailboxSystem<WallMessage>>(mesh.node_count());
+  cancel_mail_ = std::make_unique<MailboxSystem<CancelMessage>>(mesh.node_count());
+}
+
+DistributedFaultModel::~DistributedFaultModel() = default;
+
+MailboxSystem<DistributedFaultModel::IdentMessage>* DistributedFaultModel::ident_mail() {
+  return ident_mail_.get();
+}
+MailboxSystem<DistributedFaultModel::InfoMessage>* DistributedFaultModel::info_mail() {
+  return info_mail_.get();
+}
+MailboxSystem<DistributedFaultModel::WallMessage>* DistributedFaultModel::wall_mail() {
+  return wall_mail_.get();
+}
+MailboxSystem<DistributedFaultModel::CancelMessage>* DistributedFaultModel::cancel_mail() {
+  return cancel_mail_.get();
+}
+
+int DistributedFaultModel::default_ttl() const {
+  if (options_.message_ttl > 0) return options_.message_ttl;
+  int sum = 0;
+  for (int i = 0; i < mesh_->dims(); ++i) sum += mesh_->extent(i);
+  return 4 * sum + 16;
+}
+
+void DistributedFaultModel::wipe_node_memory(NodeId node) {
+  info_.clear_node(node);
+  levels_[static_cast<size_t>(node)].clear();
+  levels_prev_[static_cast<size_t>(node)].clear();
+  slice_results_[static_cast<size_t>(node)].clear();
+  corner_collect_[static_cast<size_t>(node)].clear();
+  last_launch_[static_cast<size_t>(node)].clear();
+  formed_at_corner_[static_cast<size_t>(node)].clear();
+  merge_seen_[static_cast<size_t>(node)].clear();
+  cancel_seen_[static_cast<size_t>(node)].clear();
+}
+
+void DistributedFaultModel::inject_fault(const Coord& c) {
+  field_.inject_fault(c);
+  // The failed node's memory is gone with it.
+  wipe_node_memory(mesh_->index_of(c));
+  ++epoch_;
+  // New epoch: abandoned identifications get a fresh chance.
+  for (auto& m : last_launch_) m.clear();
+  for (auto& m : launch_attempts_) m.clear();
+}
+
+void DistributedFaultModel::recover(const Coord& c) {
+  field_.recover(c);
+  // A recovered node boots with empty memory (rule 5 gives it clean status
+  // only; everything else it must relearn).
+  wipe_node_memory(mesh_->index_of(c));
+  freshly_clean_[static_cast<size_t>(mesh_->index_of(c))] = 1;
+  ++epoch_;
+  for (auto& m : last_launch_) m.clear();
+  for (auto& m : launch_attempts_) m.clear();
+}
+
+bool DistributedFaultModel::on_wall_column(const Coord& p, const Box& box, int dim,
+                                           bool positive) {
+  int lateral_out = 0;
+  for (int d = 0; d < box.dims(); ++d) {
+    if (d == dim) continue;
+    if (p[d] == box.lo(d) - 1 || p[d] == box.hi(d) + 1) ++lateral_out;
+    else if (p[d] < box.lo(d) || p[d] > box.hi(d)) return false;
+  }
+  if (lateral_out != 1) return false;
+  return positive ? p[dim] < box.lo(dim) : p[dim] > box.hi(dim);
+}
+
+Coord DistributedFaultModel::anchor_of(const Coord& c, const std::vector<int>& out_dims,
+                                       const std::vector<int>& out_signs) {
+  Coord a = c;
+  for (size_t i = 0; i < out_dims.size(); ++i)
+    a = a.shifted(out_dims[i], -out_signs[i]);
+  return a;
+}
+
+bool DistributedFaultModel::has_level_entry(NodeId node, const Coord& anchor,
+                                            int level) const {
+  for (const auto& e : levels_[static_cast<size_t>(node)])
+    if (e.level == level && e.anchor == anchor) return true;
+  return false;
+}
+
+std::optional<LevelEntry> DistributedFaultModel::entry_with_anchor(NodeId node,
+                                                                   const Coord& anchor) const {
+  for (const auto& e : levels_[static_cast<size_t>(node)])
+    if (e.anchor == anchor) return e;
+  return std::nullopt;
+}
+
+bool DistributedFaultModel::round_labeling() {
+  return labeling_round(field_, freshly_clean_) != 0;
+}
+
+bool DistributedFaultModel::round_levels() {
+  // One synchronous re-evaluation of Definition 2 everywhere: a node reads
+  // its neighbours' previous-round entries (levels advance one hop per
+  // round, giving the n-1 extra rounds the recursive definition needs).
+  const long long n = field_.node_count();
+  levels_prev_.swap(levels_);
+  bool changed = false;
+
+  for (NodeId id = 0; id < n; ++id) {
+    auto& out = levels_[static_cast<size_t>(id)];
+    out.clear();
+    if (field_.at(id) != NodeStatus::kEnabled) {
+      if (!levels_prev_[static_cast<size_t>(id)].empty()) changed = true;
+      continue;
+    }
+    const Coord c = mesh_->coord_of(id);
+
+    // Level 1: a member neighbour's coordinate is the anchor.
+    mesh_->for_each_neighbor(c, [&](Direction, const Coord& nb) {
+      if (is_member(nb)) out.push_back(LevelEntry{nb, 1});
+    });
+
+    // Level m >= 2: an anchor w seen at level m-1 by the inward neighbour in
+    // every dimension where w differs from c (all offsets +-1).
+    std::vector<Coord> candidates;
+    mesh_->for_each_neighbor(c, [&](Direction, const Coord& nb) {
+      for (const auto& e : levels_prev_[static_cast<size_t>(mesh_->index_of(nb))]) {
+        if (std::find(candidates.begin(), candidates.end(), e.anchor) == candidates.end())
+          candidates.push_back(e.anchor);
+      }
+    });
+    for (const Coord& w : candidates) {
+      int m = 0;
+      bool plausible = true;
+      for (int d = 0; d < mesh_->dims() && plausible; ++d) {
+        const int off = w[d] - c[d];
+        if (off == 0) continue;
+        if (off != 1 && off != -1) plausible = false;
+        ++m;
+      }
+      if (!plausible || m < 2) continue;
+      bool all_dims_confirm = true;
+      for (int d = 0; d < mesh_->dims() && all_dims_confirm; ++d) {
+        const int off = w[d] - c[d];
+        if (off == 0) continue;
+        const Coord nb = c.shifted(d, off);
+        bool found = false;
+        for (const auto& e : levels_prev_[static_cast<size_t>(mesh_->index_of(nb))])
+          if (e.anchor == w && e.level == m - 1) found = true;
+        if (!found) all_dims_confirm = false;
+      }
+      if (all_dims_confirm) out.push_back(LevelEntry{w, static_cast<int8_t>(m)});
+    }
+
+    // Canonical order: the entry SET is what matters; without sorting, nodes
+    // holding entries for two blocks can oscillate between two orderings
+    // forever (the candidates inherit the neighbours' changing order) and
+    // quiescence is never reached.
+    std::sort(out.begin(), out.end(), [](const LevelEntry& a, const LevelEntry& b) {
+      if (a.level != b.level) return a.level < b.level;
+      return a.anchor < b.anchor;
+    });
+
+    if (out != levels_prev_[static_cast<size_t>(id)]) changed = true;
+  }
+  return changed;
+}
+
+bool DistributedFaultModel::run_round() {
+  RoundActivity act;
+  act.labeling = round_labeling();
+  act.levels = round_levels();
+  act.identification = round_identification();
+  act.envelope = round_envelope();
+  act.boundary = round_boundary();
+  act.cancel = round_cancel();
+  last_activity_ = act;
+  ++rounds_run_;
+  messages_sent_ = ident_mail_->stats().messages_sent + info_mail_->stats().messages_sent +
+                   wall_mail_->stats().messages_sent + cancel_mail_->stats().messages_sent;
+  return act.any();
+}
+
+ConstructionRounds DistributedFaultModel::stabilize(int max_rounds) {
+  ConstructionRounds r;
+  for (int round = 1; round <= max_rounds; ++round) {
+    if (!run_round()) break;
+    r.total = round;
+    if (last_activity_.labeling) r.labeling = round;
+    if (last_activity_.levels || last_activity_.identification) r.identification = round;
+    if (last_activity_.envelope || last_activity_.boundary || last_activity_.cancel)
+      r.boundary = round;
+  }
+  return r;
+}
+
+}  // namespace lgfi

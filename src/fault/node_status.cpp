@@ -1,0 +1,48 @@
+#include "src/fault/node_status.h"
+
+#include <cassert>
+
+namespace lgfi {
+
+const char* to_string(NodeStatus s) {
+  switch (s) {
+    case NodeStatus::kEnabled: return "enabled";
+    case NodeStatus::kDisabled: return "disabled";
+    case NodeStatus::kClean: return "clean";
+    case NodeStatus::kFaulty: return "faulty";
+  }
+  return "?";
+}
+
+StatusField::StatusField(const MeshTopology& mesh)
+    : mesh_(&mesh),
+      status_(static_cast<size_t>(mesh.node_count()), NodeStatus::kEnabled) {}
+
+void StatusField::recover(const Coord& c) {
+  assert(at(c) == NodeStatus::kFaulty);
+  set(c, NodeStatus::kClean);
+}
+
+long long StatusField::count(NodeStatus s) const {
+  long long n = 0;
+  for (NodeStatus x : status_)
+    if (x == s) ++n;
+  return n;
+}
+
+bool StatusField::has_neighbor_with_status(NodeId id, NodeStatus s) const {
+  const Coord c = mesh_->coord_of(id);
+  bool found = false;
+  mesh_->for_each_neighbor(c, [&](Direction, const Coord& nb) {
+    if (at(nb) == s) found = true;
+  });
+  return found;
+}
+
+StatusField make_field_with_faults(const MeshTopology& mesh, const std::vector<Coord>& faults) {
+  StatusField f(mesh);
+  for (const auto& c : faults) f.inject_fault(c);
+  return f;
+}
+
+}  // namespace lgfi

@@ -1,0 +1,92 @@
+#pragma once
+// Node status taxonomy (Definitions 1 and 4).
+//
+// Every node of the mesh is faulty or non-faulty; every non-faulty node is
+// labeled enabled, disabled, or (transiently, after a recovery) clean.  The
+// stabilized system contains only faulty / enabled / disabled nodes
+// (Section 3); `clean` exists only while Definition 4's recovery wave is in
+// flight.  StatusField is the dense per-node label array every protocol and
+// analyzer operates on.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/mesh/topology.h"
+
+namespace lgfi {
+
+enum class NodeStatus : uint8_t {
+  kEnabled = 0,
+  kDisabled = 1,
+  kClean = 2,
+  kFaulty = 3,
+};
+
+[[nodiscard]] const char* to_string(NodeStatus s);
+
+/// True for statuses that make a node part of a faulty block: connected
+/// disabled and faulty nodes form the block (Definition 1).
+[[nodiscard]] inline bool is_block_member(NodeStatus s) {
+  return s == NodeStatus::kDisabled || s == NodeStatus::kFaulty;
+}
+
+/// Dense status array over a mesh.
+class StatusField {
+ public:
+  explicit StatusField(const MeshTopology& mesh);
+
+  [[nodiscard]] const MeshTopology& mesh() const { return *mesh_; }
+
+  [[nodiscard]] NodeStatus at(NodeId id) const { return status_[static_cast<size_t>(id)]; }
+  [[nodiscard]] NodeStatus at(const Coord& c) const { return at(mesh_->index_of(c)); }
+
+  void set(NodeId id, NodeStatus s) { status_[static_cast<size_t>(id)] = s; }
+  void set(const Coord& c, NodeStatus s) { set(mesh_->index_of(c), s); }
+
+  /// Marks `c` faulty (a fault occurrence f_i).
+  void inject_fault(const Coord& c) { set(c, NodeStatus::kFaulty); }
+
+  /// Marks a faulty node clean — rule 5, the start of the recovery wave.
+  void recover(const Coord& c);
+
+  [[nodiscard]] long long count(NodeStatus s) const;
+  [[nodiscard]] long long node_count() const { return static_cast<long long>(status_.size()); }
+
+  /// Number of dimensions in which `id` has at least one neighbour whose
+  /// status satisfies `pred` — the quantity rules 1-4 test ("two or more ...
+  /// neighbours in different dimensions" == dims_with >= 2).
+  template <typename Pred>
+  [[nodiscard]] int dims_with_neighbor(NodeId id, Pred&& pred) const {
+    const Coord c = mesh_->coord_of(id);
+    int dims = 0;
+    for (int d = 0; d < mesh_->dims(); ++d) {
+      bool hit = false;
+      for (int sign : {-1, +1}) {
+        const int v = c[d] + sign;
+        if (v < 0 || v >= mesh_->extent(d)) continue;
+        if (pred(at(c.with(d, v)))) {
+          hit = true;
+          break;
+        }
+      }
+      if (hit) ++dims;
+    }
+    return dims;
+  }
+
+  [[nodiscard]] bool has_neighbor_with_status(NodeId id, NodeStatus s) const;
+
+  [[nodiscard]] bool operator==(const StatusField& other) const {
+    return status_ == other.status_;
+  }
+
+ private:
+  const MeshTopology* mesh_;
+  std::vector<NodeStatus> status_;
+};
+
+/// Builds a field with the given faults injected and everything else enabled.
+StatusField make_field_with_faults(const MeshTopology& mesh, const std::vector<Coord>& faults);
+
+}  // namespace lgfi

@@ -1,0 +1,26 @@
+#include "src/fault/safety.h"
+
+#include "src/sim/rng.h"
+
+namespace lgfi {
+
+bool is_safe_source(const std::vector<Box>& blocks, const Coord& source, const Coord& dest) {
+  const Box section = minimal_path_box(source, dest);
+  for (const Box& b : blocks)
+    if (b.intersects(section)) return false;
+  return true;
+}
+
+double safe_pair_fraction(const std::vector<Box>& blocks, const std::vector<Coord>& candidates,
+                          int samples, Rng& rng) {
+  if (candidates.size() < 2 || samples <= 0) return 1.0;
+  int safe = 0;
+  for (int i = 0; i < samples; ++i) {
+    const auto s = candidates[static_cast<size_t>(rng.next_below(candidates.size()))];
+    const auto d = candidates[static_cast<size_t>(rng.next_below(candidates.size()))];
+    if (is_safe_source(blocks, s, d)) ++safe;
+  }
+  return static_cast<double>(safe) / static_cast<double>(samples);
+}
+
+}  // namespace lgfi

@@ -1,0 +1,26 @@
+#pragma once
+// Safe/unsafe source classification (Theorem 2, after Wu [14]).
+//
+// A source is *safe* for a destination iff no faulty block intersects the
+// minimal-path box between them — in the paper's origin-based statement, no
+// block meets the section [0 : u_i] along each axis.  A safe source is
+// guaranteed a minimal path as long as no new fault occurs; Theorems 3 and 4
+// are stated for safe sources, Theorem 5 lifts the restriction.
+
+#include <vector>
+
+#include "src/mesh/box.h"
+#include "src/mesh/topology.h"
+
+namespace lgfi {
+
+/// True iff no block intersects the minimal-path box Rect(source, dest).
+bool is_safe_source(const std::vector<Box>& blocks, const Coord& source, const Coord& dest);
+
+/// Fraction of ordered (s, d) pairs drawn uniformly from enabled positions
+/// that are safe; the E11 experiment statistic.  `samples` pairs are drawn
+/// with the provided candidate list.
+double safe_pair_fraction(const std::vector<Box>& blocks, const std::vector<Coord>& candidates,
+                          int samples, class Rng& rng);
+
+}  // namespace lgfi

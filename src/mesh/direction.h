@@ -1,0 +1,100 @@
+#pragma once
+// Connecting directions in an n-D mesh.
+//
+// An interior node of an n-D mesh has degree 2n (Section 2.1): one positive
+// and one negative direction per dimension.  The paper classifies outgoing
+// directions relative to a destination as *preferred* (reduces distance) or
+// *spare* (does not), and Algorithm 3's header records per-node sets of
+// used directions — so directions need a dense integer encoding.
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+
+#include "src/mesh/coordinates.h"
+
+namespace lgfi {
+
+/// A direction along one mesh dimension.  Encoded densely as
+/// index = 2*dim + (positive ? 1 : 0), giving indices 0 .. 2n-1.
+class Direction {
+ public:
+  Direction() = default;
+  Direction(int dim, bool positive) : index_(static_cast<int8_t>(2 * dim + (positive ? 1 : 0))) {
+    assert(dim >= 0 && dim < kMaxDims);
+  }
+
+  /// Reconstructs from a dense index in [0, 2n).
+  static Direction from_index(int index) {
+    assert(index >= 0 && index < 2 * kMaxDims);
+    Direction d;
+    d.index_ = static_cast<int8_t>(index);
+    return d;
+  }
+
+  /// Sentinel for "no direction" (e.g. a message still at its source has no
+  /// incoming direction).
+  static Direction none() {
+    Direction d;
+    d.index_ = -1;
+    return d;
+  }
+
+  [[nodiscard]] bool is_none() const { return index_ < 0; }
+  [[nodiscard]] int index() const { return index_; }
+  [[nodiscard]] int dim() const { return index_ >> 1; }
+  [[nodiscard]] bool positive() const { return (index_ & 1) != 0; }
+  [[nodiscard]] int sign() const { return positive() ? +1 : -1; }
+
+  /// The direction back the way we came; Algorithm 3 ranks it last.
+  [[nodiscard]] Direction opposite() const {
+    assert(!is_none());
+    Direction d;
+    d.index_ = static_cast<int8_t>(index_ ^ 1);
+    return d;
+  }
+
+  /// Applies this direction to a coordinate: one hop along dim() by sign().
+  [[nodiscard]] Coord apply(const Coord& c) const {
+    assert(!is_none());
+    return c.shifted(dim(), sign());
+  }
+
+  [[nodiscard]] std::string to_string() const {
+    if (is_none()) return "none";
+    return std::string(positive() ? "+" : "-") + "d" + std::to_string(dim());
+  }
+
+  friend bool operator==(Direction a, Direction b) { return a.index_ == b.index_; }
+  friend bool operator!=(Direction a, Direction b) { return a.index_ != b.index_; }
+  friend bool operator<(Direction a, Direction b) { return a.index_ < b.index_; }
+
+ private:
+  int8_t index_ = -1;
+};
+
+/// Bit set over the <= 2n directions of a node; used for Algorithm 3's
+/// per-node "list of used-directions" and for adjacency summaries.
+class DirectionSet {
+ public:
+  DirectionSet() = default;
+
+  void insert(Direction d) { bits_ |= bit(d); }
+  void erase(Direction d) { bits_ &= static_cast<uint16_t>(~bit(d)); }
+  [[nodiscard]] bool contains(Direction d) const { return (bits_ & bit(d)) != 0; }
+  [[nodiscard]] bool empty() const { return bits_ == 0; }
+  [[nodiscard]] int count() const { return __builtin_popcount(bits_); }
+  void clear() { bits_ = 0; }
+  [[nodiscard]] uint16_t raw() const { return bits_; }
+
+  friend bool operator==(DirectionSet a, DirectionSet b) { return a.bits_ == b.bits_; }
+
+ private:
+  static uint16_t bit(Direction d) {
+    assert(!d.is_none());
+    return static_cast<uint16_t>(1u << d.index());
+  }
+  uint16_t bits_ = 0;
+};
+
+}  // namespace lgfi

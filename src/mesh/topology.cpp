@@ -1,0 +1,104 @@
+#include "src/mesh/topology.h"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace lgfi {
+
+MeshTopology::MeshTopology(int dims, int radix)
+    : MeshTopology(std::vector<int>(static_cast<size_t>(dims), radix)) {}
+
+MeshTopology::MeshTopology(std::vector<int> extents) : extents_(std::move(extents)) {
+  if (extents_.empty() || extents_.size() > static_cast<size_t>(kMaxDims))
+    throw std::invalid_argument("mesh dimensionality must be in [1, kMaxDims]");
+  for (int e : extents_)
+    if (e < 1) throw std::invalid_argument("mesh extent must be positive");
+  strides_.assign(extents_.size(), 1);
+  node_count_ = 1;
+  for (int i = dims() - 1; i >= 0; --i) {
+    strides_[static_cast<size_t>(i)] = node_count_;
+    node_count_ *= extents_[static_cast<size_t>(i)];
+  }
+}
+
+int MeshTopology::diameter() const {
+  int d = 0;
+  for (int e : extents_) d += e - 1;
+  return d;
+}
+
+Box MeshTopology::bounds() const {
+  Coord lo(dims());
+  Coord hi(dims());
+  for (int i = 0; i < dims(); ++i) hi[i] = extent(i) - 1;
+  return Box(lo, hi);
+}
+
+bool MeshTopology::in_bounds(const Coord& c) const {
+  if (c.size() != dims()) return false;
+  for (int i = 0; i < dims(); ++i)
+    if (c[i] < 0 || c[i] >= extent(i)) return false;
+  return true;
+}
+
+NodeId MeshTopology::index_of(const Coord& c) const {
+  assert(in_bounds(c));
+  long long idx = 0;
+  for (int i = 0; i < dims(); ++i) idx += c[i] * strides_[static_cast<size_t>(i)];
+  return static_cast<NodeId>(idx);
+}
+
+Coord MeshTopology::coord_of(NodeId id) const {
+  assert(id >= 0 && id < node_count_);
+  Coord c(dims());
+  long long rest = id;
+  for (int i = 0; i < dims(); ++i) {
+    c[i] = static_cast<int>(rest / strides_[static_cast<size_t>(i)]);
+    rest %= strides_[static_cast<size_t>(i)];
+  }
+  return c;
+}
+
+NodeId MeshTopology::neighbor(NodeId id, Direction dir) const {
+  const Coord c = coord_of(id);
+  const int v = c[dir.dim()] + dir.sign();
+  if (v < 0 || v >= extent(dir.dim())) return kInvalidNode;
+  return static_cast<NodeId>(id + dir.sign() * strides_[static_cast<size_t>(dir.dim())]);
+}
+
+bool MeshTopology::has_neighbor(const Coord& c, Direction dir) const {
+  const int v = c[dir.dim()] + dir.sign();
+  return v >= 0 && v < extent(dir.dim());
+}
+
+std::vector<Coord> MeshTopology::neighbors(const Coord& c) const {
+  std::vector<Coord> out;
+  out.reserve(static_cast<size_t>(direction_count()));
+  for_each_neighbor(c, [&out](Direction, const Coord& n) { out.push_back(n); });
+  return out;
+}
+
+bool MeshTopology::on_outer_surface(const Coord& c) const {
+  for (int i = 0; i < dims(); ++i)
+    if (c[i] == 0 || c[i] == extent(i) - 1) return true;
+  return false;
+}
+
+std::vector<Direction> MeshTopology::preferred_directions(const Coord& u,
+                                                          const Coord& d) const {
+  std::vector<Direction> out;
+  for (int i = 0; i < dims(); ++i) {
+    if (u[i] < d[i]) out.emplace_back(i, true);
+    else if (u[i] > d[i]) out.emplace_back(i, false);
+  }
+  return out;
+}
+
+Box MeshTopology::clip(const Box& b) const {
+  if (b.empty()) return b;
+  auto r = bounds().intersection(b);
+  return r ? *r : Box();
+}
+
+}  // namespace lgfi

@@ -1,0 +1,91 @@
+#pragma once
+// k-ary n-dimensional mesh topology (Section 2.1).
+//
+// A k-ary n-D mesh has N = k^n nodes; two nodes are connected iff their
+// addresses differ by exactly one in exactly one dimension, so nodes along
+// each dimension form a linear array (no wraparound — this is a mesh, not a
+// torus).  `MeshTopology` provides the address <-> dense-index mapping,
+// neighbour enumeration, and the geometric predicates the rest of the
+// library builds on.  Per-dimension radices may differ (a generalization the
+// paper's analysis never relies against), so both 8x8x8 and 16x4x4 meshes
+// are expressible.
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+#include "src/mesh/box.h"
+#include "src/mesh/coordinates.h"
+#include "src/mesh/direction.h"
+
+namespace lgfi {
+
+/// Dense node identifier in [0, node_count()).
+using NodeId = int32_t;
+inline constexpr NodeId kInvalidNode = -1;
+
+class MeshTopology {
+ public:
+  /// k-ary n-D mesh: `dims` dimensions of radix `radix` each.
+  MeshTopology(int dims, int radix);
+
+  /// Mixed-radix mesh, extents[i] nodes along dimension i.
+  explicit MeshTopology(std::vector<int> extents);
+
+  [[nodiscard]] int dims() const { return static_cast<int>(extents_.size()); }
+  [[nodiscard]] int extent(int dim) const { return extents_[static_cast<size_t>(dim)]; }
+  [[nodiscard]] long long node_count() const { return node_count_; }
+  [[nodiscard]] int direction_count() const { return 2 * dims(); }
+
+  /// Network diameter (k-1)*n for a k-ary n-D mesh (Section 2.1).
+  [[nodiscard]] int diameter() const;
+
+  /// The full mesh as a box [0 : extent_i - 1].
+  [[nodiscard]] Box bounds() const;
+
+  [[nodiscard]] bool in_bounds(const Coord& c) const;
+
+  /// Address -> dense index (row-major, dimension 0 slowest).
+  [[nodiscard]] NodeId index_of(const Coord& c) const;
+
+  /// Dense index -> address.
+  [[nodiscard]] Coord coord_of(NodeId id) const;
+
+  /// The neighbour one hop along `dir`, or kInvalidNode at the mesh surface.
+  [[nodiscard]] NodeId neighbor(NodeId id, Direction dir) const;
+  [[nodiscard]] bool has_neighbor(const Coord& c, Direction dir) const;
+
+  /// All in-bounds neighbours of `c` (up to 2n of them).
+  [[nodiscard]] std::vector<Coord> neighbors(const Coord& c) const;
+
+  /// Calls fn(direction, neighbor_coord) for every in-bounds neighbour.
+  template <typename Fn>
+  void for_each_neighbor(const Coord& c, Fn&& fn) const {
+    for (int i = 0; i < direction_count(); ++i) {
+      const Direction d = Direction::from_index(i);
+      const int v = c[d.dim()] + d.sign();
+      if (v < 0 || v >= extent(d.dim())) continue;
+      fn(d, d.apply(c));
+    }
+  }
+
+  /// True if `c` lies on the outmost surface of the mesh (some coordinate at
+  /// 0 or extent-1).  Section 5 assumes no fault occurs on the outmost
+  /// surface; boundary propagation stops there.
+  [[nodiscard]] bool on_outer_surface(const Coord& c) const;
+
+  /// Directions from u toward d that reduce Manhattan distance — the
+  /// *preferred* directions; all others are *spare* (Section 2.1).
+  [[nodiscard]] std::vector<Direction> preferred_directions(const Coord& u,
+                                                            const Coord& d) const;
+
+  /// Clamps a box to the mesh bounds.
+  [[nodiscard]] Box clip(const Box& b) const;
+
+ private:
+  std::vector<int> extents_;
+  std::vector<long long> strides_;
+  long long node_count_ = 0;
+};
+
+}  // namespace lgfi

@@ -1,0 +1,92 @@
+#include "src/routing/detour_bounds.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace lgfi {
+
+size_t DynamicFaultTimeline::faults_before_start() const {
+  size_t p = 0;
+  while (p < t.size() && t[p] <= route_start) ++p;
+  return p;
+}
+
+long long DynamicFaultTimeline::a_max() const {
+  long long m = 0;
+  for (long long ai : a) m = std::max(m, ai);
+  return m;
+}
+
+std::vector<long long> theorem3_distance_bounds(const DynamicFaultTimeline& tl, long long D) {
+  assert(tl.t.size() == tl.a.size());
+  const size_t F = tl.t.size();
+  const size_t p = tl.faults_before_start();
+  std::vector<long long> bound(F, D);
+
+  for (size_t i = 0; i < F; ++i) {
+    if (i < p) {
+      // i <= p (1-based): the message has not left the source.
+      bound[i] = D;
+    } else if (i == p) {
+      // i = p+1 (1-based): partial first interval d_p - (t - t_p), minus the
+      // worst-case construction-following penalty 2 a_{i-1} + 2 e_max.
+      // With p == 0 there is no prior fault; the message simply has had no
+      // interval yet, so the bound stays D.
+      if (p == 0) {
+        bound[i] = D;
+      } else {
+        const long long d_prev = tl.t[i] - tl.t[i - 1];
+        const long long progress =
+            d_prev - (tl.route_start - tl.t[i - 1]) - 2 * tl.a[i - 1] - 2 * tl.e_max;
+        bound[i] = std::max<long long>(0, D - std::max<long long>(0, progress));
+      }
+    } else {
+      const long long d_prev = tl.t[i] - tl.t[i - 1];
+      const long long progress = d_prev - 2 * tl.a[i - 1] - 2 * tl.e_max;
+      bound[i] = std::max<long long>(0, bound[i - 1] - std::max<long long>(0, progress));
+    }
+  }
+  return bound;
+}
+
+namespace {
+
+DetourBound bound_for_budget(const DynamicFaultTimeline& tl, long long budget) {
+  // k <= max{ l | budget + t - t_p - sum_{i=p}^{p+l-2}(d_i - 2 a_i - 2 e_max) > 0 },
+  // with 1-based occurrence indices: t_i == tl.t[i-1], a_i == tl.a[i-1],
+  // d_i == t_{i+1} - t_i.
+  const size_t p = tl.faults_before_start();
+  DetourBound out;
+
+  // "t - t_p": routing started inside interval d_p; credit the elapsed part.
+  long long remaining = budget;
+  if (p >= 1) remaining += tl.route_start - tl.t[p - 1];
+
+  long long k = remaining > 0 ? 1 : 0;  // l = 1 has an empty sum
+  long long sum = 0;
+  for (size_t i = std::max<size_t>(p, 1); i < tl.t.size(); ++i) {
+    // tl.t[i] is t_{i+1} in 1-based notation, so d_i is computable up to F-1.
+    const long long d_i = tl.t[i] - tl.t[i - 1];    // t_{i+1} - t_i, 1-based
+    const long long a_i = tl.a[i - 1];
+    sum += d_i - 2 * a_i - 2 * tl.e_max;
+    const long long l = static_cast<long long>(i - p) + 2;  // i = p + l - 2
+    if (remaining - sum > 0) k = l;
+    else break;
+  }
+  out.k = k;
+  out.max_detours = k * (tl.e_max + tl.a_max());
+  out.max_extra_steps = 2 * out.max_detours;
+  return out;
+}
+
+}  // namespace
+
+DetourBound theorem4_bound(const DynamicFaultTimeline& tl, long long D) {
+  return bound_for_budget(tl, D);
+}
+
+DetourBound theorem5_bound(const DynamicFaultTimeline& tl, long long L) {
+  return bound_for_budget(tl, L);
+}
+
+}  // namespace lgfi

@@ -1,0 +1,56 @@
+#pragma once
+// Detour-bound calculator (Theorems 3, 4 and 5).
+//
+// Given the measured per-fault quantities — occurrence times t_i, intervals
+// d_i, labeling convergence round counts a_i, block edge maximum e_max —
+// these functions evaluate the closed-form bounds of Section 6 so benches
+// can print measured-vs-bound rows.  Notation follows Table 1.
+
+#include <cstddef>
+#include <vector>
+
+namespace lgfi {
+
+struct DynamicFaultTimeline {
+  std::vector<long long> t;  ///< occurrence times t_1..t_F (steps)
+  std::vector<long long> a;  ///< labeling convergence steps a_i per occurrence
+  int e_max = 0;             ///< maximum block edge length over the run
+  long long route_start = 0; ///< routing start time t
+
+  /// d_i = t_{i+1} - t_i (defined for i < F).
+  [[nodiscard]] long long interval(size_t i) const { return t[i + 1] - t[i]; }
+
+  /// p = max{ l | t_l <= route_start }: faults that occurred before routing
+  /// began (1-based count; 0 if none).
+  [[nodiscard]] size_t faults_before_start() const;
+
+  [[nodiscard]] long long a_max() const;
+};
+
+/// Theorem 3: the upper-bound trajectory of D(i), the distance to the
+/// destination when fault i occurs.  Returns the bound for each i in
+/// [1, F]; entries are clamped at zero (the routing may already have
+/// finished).  D is the initial source-destination distance.
+std::vector<long long> theorem3_distance_bounds(const DynamicFaultTimeline& tl, long long D);
+
+/// Theorem 4: maximum number of intervals k the routing can span from a safe
+/// source at distance D, and the detour bound k * (e_max + a_max).
+///
+/// Unit note: Theorem 3's proof charges "at most 2*a_i + 2*e_max extra
+/// steps in each interval", while Theorem 4 states "the number of maximum
+/// detours is k*(e_max + a_max)" — consistent exactly when one *detour*
+/// means one deviation pair (a hop off the minimal path plus the hop that
+/// makes up for it), i.e. two extra steps.  max_detours counts pairs;
+/// max_extra_steps = 2 * max_detours counts hops beyond D.
+struct DetourBound {
+  long long k = 0;
+  long long max_detours = 0;      ///< deviation pairs, the paper's unit
+  long long max_extra_steps = 0;  ///< hops beyond the fault-free minimum
+};
+DetourBound theorem4_bound(const DynamicFaultTimeline& tl, long long D);
+
+/// Theorem 5: same bound for an arbitrary (possibly unsafe) source with an
+/// initial available path of length L.
+DetourBound theorem5_bound(const DynamicFaultTimeline& tl, long long L);
+
+}  // namespace lgfi

@@ -1,0 +1,23 @@
+#include "src/routing/dimension_order_router.h"
+
+namespace lgfi {
+
+RouteDecision DimensionOrderRouter::decide(const RoutingContext& ctx, RoutingHeader& header) {
+  const Coord& u = header.current();
+  const Coord& dest = header.destination();
+  if (u == dest) return RouteDecision{RouteAction::kDelivered};
+
+  for (int dim = 0; dim < ctx.mesh->dims(); ++dim) {
+    if (u[dim] == dest[dim]) continue;
+    const Direction d(dim, u[dim] < dest[dim]);
+    const Coord v = d.apply(u);
+    const NodeStatus vs = ctx.field->at(v);
+    const bool blocked =
+        vs == NodeStatus::kFaulty || (strict_ && vs == NodeStatus::kDisabled);
+    if (blocked) return RouteDecision{RouteAction::kUnreachable};
+    return RouteDecision{RouteAction::kForward, d};
+  }
+  return RouteDecision{RouteAction::kDelivered};
+}
+
+}  // namespace lgfi

@@ -1,0 +1,69 @@
+#pragma once
+// Global routing-table baseline.
+//
+// The traditional model the paper argues against: "fault information such as
+// a routing table associated with each node" — every node stores the entire
+// block list.  Routing quality equals Algorithm 3 with perfect information;
+// the cost shows up in the E10 memory/update experiment (N copies of
+// everything, diameter-long broadcast latency after every change, oscillation
+// under churn) where the limited-global placement stores a small fraction.
+
+#include <vector>
+
+#include "src/routing/fault_info_router.h"
+#include "src/routing/router.h"
+
+namespace lgfi {
+
+/// Every node sees the same global block list.
+class GlobalInfoProvider final : public InfoProvider {
+ public:
+  GlobalInfoProvider() = default;
+  explicit GlobalInfoProvider(std::vector<BlockInfo> blocks) : blocks_(std::move(blocks)) {}
+
+  void set_blocks(std::vector<BlockInfo> blocks) { blocks_ = std::move(blocks); }
+
+  [[nodiscard]] std::span<const BlockInfo> info_at(NodeId) const override { return blocks_; }
+
+ private:
+  std::vector<BlockInfo> blocks_;
+};
+
+/// Per-node visibility with broadcast latency: an update committed at step t
+/// from origin o becomes visible at node v at t + D(o, v) (one hop per
+/// round, the same propagation speed the limited model gets).  Used by the
+/// dynamic-comparison experiment.
+class DelayedGlobalInfoProvider final : public InfoProvider {
+ public:
+  explicit DelayedGlobalInfoProvider(const MeshTopology& mesh);
+
+  /// Publishes a new global snapshot originating at `origin` at time `now`.
+  void publish(const std::vector<BlockInfo>& blocks, const Coord& origin, long long now);
+
+  /// Advances visibility to time `now`.
+  void advance(long long now);
+
+  [[nodiscard]] std::span<const BlockInfo> info_at(NodeId node) const override;
+
+  /// Nodes holding at least one entry (memory metric).
+  [[nodiscard]] long long nodes_with_info() const;
+  [[nodiscard]] long long total_entries() const;
+
+ private:
+  struct Pending {
+    std::vector<BlockInfo> blocks;
+    Coord origin;
+    long long published_at = 0;
+  };
+
+  const MeshTopology* mesh_;
+  std::vector<std::vector<BlockInfo>> visible_;  ///< per node
+  std::vector<Pending> pending_;
+  long long now_ = 0;
+};
+
+/// Algorithm 3 configured as the routing-table baseline (pair with one of
+/// the providers above in the RoutingContext).
+FaultInfoRouter make_global_table_router();
+
+}  // namespace lgfi

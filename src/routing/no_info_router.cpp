@@ -1,0 +1,12 @@
+#include "src/routing/no_info_router.h"
+
+namespace lgfi {
+
+FaultInfoRouter make_no_info_router() {
+  FaultInfoRouterOptions opts;
+  opts.policy.use_block_info = false;
+  opts.name = "pcs-no-info";
+  return FaultInfoRouter(std::move(opts));
+}
+
+}  // namespace lgfi

@@ -1,0 +1,18 @@
+#pragma once
+// Information-free backtracking PCS — the "what the paper improves on"
+// baseline.
+//
+// Identical to Algorithm 3 except no node holds any block information, so no
+// direction is ever demoted to preferred-but-detour: the probe walks
+// greedily into dangerous areas and pays for it with backtracking.  The
+// delta between this router and FaultInfoRouter under the limited-global
+// placement is the value of the paper's information model (experiment E9).
+
+#include "src/routing/fault_info_router.h"
+
+namespace lgfi {
+
+/// Algorithm 3 with use_block_info disabled.
+FaultInfoRouter make_no_info_router();
+
+}  // namespace lgfi

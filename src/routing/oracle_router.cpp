@@ -1,0 +1,77 @@
+#include "src/routing/oracle_router.h"
+
+#include <queue>
+
+namespace lgfi {
+
+namespace {
+
+bool traversable(const StatusField& field, NodeId id, OracleAvoid avoid) {
+  const NodeStatus s = field.at(id);
+  if (s == NodeStatus::kFaulty) return false;
+  if (avoid == OracleAvoid::kBlockMembers && s == NodeStatus::kDisabled) return false;
+  return true;
+}
+
+std::vector<int> bfs_from(const MeshTopology& mesh, const StatusField& field, const Coord& from,
+                          OracleAvoid avoid) {
+  std::vector<int> dist(static_cast<size_t>(mesh.node_count()), -1);
+  const NodeId start = mesh.index_of(from);
+  if (!traversable(field, start, avoid)) return dist;
+  std::queue<NodeId> q;
+  dist[static_cast<size_t>(start)] = 0;
+  q.push(start);
+  while (!q.empty()) {
+    const NodeId cur = q.front();
+    q.pop();
+    mesh.for_each_neighbor(mesh.coord_of(cur), [&](Direction, const Coord& nb) {
+      const NodeId nid = mesh.index_of(nb);
+      if (dist[static_cast<size_t>(nid)] >= 0 || !traversable(field, nid, avoid)) return;
+      dist[static_cast<size_t>(nid)] = dist[static_cast<size_t>(cur)] + 1;
+      q.push(nid);
+    });
+  }
+  return dist;
+}
+
+}  // namespace
+
+std::optional<int> oracle_path_length(const MeshTopology& mesh, const StatusField& field,
+                                      const Coord& source, const Coord& dest,
+                                      OracleAvoid avoid) {
+  const auto dist = bfs_from(mesh, field, dest, avoid);
+  const int d = dist[static_cast<size_t>(mesh.index_of(source))];
+  if (d < 0) return std::nullopt;
+  return d;
+}
+
+OracleRouter::OracleRouter(OracleAvoid avoid) : avoid_(avoid) {}
+
+std::string OracleRouter::name() const {
+  return avoid_ == OracleAvoid::kFaultyOnly ? "oracle-faulty-only" : "oracle-blocks";
+}
+
+void OracleRouter::rebuild(const RoutingContext& ctx, const Coord& dest) {
+  dist_ = bfs_from(*ctx.mesh, *ctx.field, dest, avoid_);
+  cached_ = true;
+  cached_dest_ = dest;
+}
+
+RouteDecision OracleRouter::decide(const RoutingContext& ctx, RoutingHeader& header) {
+  const Coord& u = header.current();
+  if (u == header.destination()) return RouteDecision{RouteAction::kDelivered};
+  if (!cached_ || !(cached_dest_ == header.destination())) rebuild(ctx, header.destination());
+
+  const int du = dist_[static_cast<size_t>(ctx.mesh->index_of(u))];
+  if (du < 0) return RouteDecision{RouteAction::kUnreachable};
+
+  RouteDecision best{RouteAction::kUnreachable};
+  ctx.mesh->for_each_neighbor(u, [&](Direction d, const Coord& nb) {
+    if (best.action == RouteAction::kForward) return;
+    const int dn = dist_[static_cast<size_t>(ctx.mesh->index_of(nb))];
+    if (dn >= 0 && dn == du - 1) best = RouteDecision{RouteAction::kForward, d};
+  });
+  return best;
+}
+
+}  // namespace lgfi

@@ -1,0 +1,48 @@
+#pragma once
+// Global-information oracle router (baseline).
+//
+// Routes along a true shortest path computed by BFS over the live nodes —
+// the unattainable lower bound every fault-tolerant scheme is compared to.
+// Two modes:  avoid faulty nodes only (the physical optimum — disabled nodes
+// are functional processors), or avoid whole blocks (the best any algorithm
+// honouring the block abstraction can do).  The gap between the two is the
+// price of the block model itself, reported in E9.
+
+#include <optional>
+#include <vector>
+
+#include "src/routing/router.h"
+
+namespace lgfi {
+
+enum class OracleAvoid : uint8_t {
+  kFaultyOnly,   ///< traverse enabled and disabled nodes alike
+  kBlockMembers, ///< treat disabled nodes as obstacles too
+};
+
+/// Length of the shortest path s -> d (hops), or nullopt if disconnected.
+std::optional<int> oracle_path_length(const MeshTopology& mesh, const StatusField& field,
+                                      const Coord& source, const Coord& dest,
+                                      OracleAvoid avoid = OracleAvoid::kBlockMembers);
+
+class OracleRouter final : public Router {
+ public:
+  explicit OracleRouter(OracleAvoid avoid = OracleAvoid::kBlockMembers);
+
+  [[nodiscard]] RouteDecision decide(const RoutingContext& ctx,
+                                     RoutingHeader& header) override;
+  [[nodiscard]] std::string name() const override;
+
+  /// Invalidate the cached BFS (the environment changed).
+  void set_dirty() { cached_ = false; }
+
+ private:
+  void rebuild(const RoutingContext& ctx, const Coord& dest);
+
+  OracleAvoid avoid_;
+  bool cached_ = false;
+  Coord cached_dest_;
+  std::vector<int> dist_;  ///< hops to destination, -1 if unreachable
+};
+
+}  // namespace lgfi

@@ -1,0 +1,46 @@
+#include "src/routing/route_walker.h"
+
+namespace lgfi {
+
+RouteResult run_static_route(const RoutingContext& ctx, Router& router, const Coord& source,
+                             const Coord& dest, long long step_budget) {
+  RouteResult r;
+  r.min_distance = manhattan_distance(source, dest);
+  if (step_budget <= 0)
+    step_budget = 4ll * ctx.mesh->direction_count() * ctx.mesh->node_count();
+
+  RoutingHeader header(source, dest);
+  for (long long step = 0; step < step_budget; ++step) {
+    const RouteDecision d = router.decide(ctx, header);
+    switch (d.action) {
+      case RouteAction::kDelivered:
+        r.delivered = true;
+        r.final_path_hops = header.path_hops();
+        r.forward_steps = header.forward_steps();
+        r.backtrack_steps = header.backtrack_steps();
+        r.detour_forward_steps = header.detour_forward_steps();
+        r.total_steps = header.total_steps();
+        return r;
+      case RouteAction::kUnreachable:
+        r.unreachable = true;
+        r.forward_steps = header.forward_steps();
+        r.backtrack_steps = header.backtrack_steps();
+        r.total_steps = header.total_steps();
+        return r;
+      case RouteAction::kForward:
+        header.forward(d.direction);
+        if (d.detour_preferred) header.count_detour_forward();
+        break;
+      case RouteAction::kBacktrack:
+        header.backtrack();
+        break;
+    }
+  }
+  r.budget_exhausted = true;
+  r.forward_steps = header.forward_steps();
+  r.backtrack_steps = header.backtrack_steps();
+  r.total_steps = header.total_steps();
+  return r;
+}
+
+}  // namespace lgfi

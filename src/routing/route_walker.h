@@ -1,0 +1,31 @@
+#pragma once
+// Static route execution: drives a router one hop per step in a frozen
+// environment.  Dynamic execution (faults appearing mid-route) lives in
+// core/dynamic_simulation.h and reuses the same routers and headers.
+
+#include "src/routing/router.h"
+
+namespace lgfi {
+
+struct RouteResult {
+  bool delivered = false;
+  bool unreachable = false;
+  bool budget_exhausted = false;
+
+  int total_steps = 0;       ///< forward + backtrack hops taken
+  int forward_steps = 0;
+  int backtrack_steps = 0;
+  int detour_forward_steps = 0;  ///< forwards taken along detour-preferred dirs
+  int final_path_hops = 0;   ///< length of the held path on delivery
+  int min_distance = 0;      ///< D(s, d) — the fault-free minimum
+
+  /// Extra steps beyond the fault-free minimum; the paper's detour count.
+  [[nodiscard]] int detours() const { return total_steps - min_distance; }
+};
+
+/// Runs `router` from s to d over a static environment.  `step_budget` == 0
+/// chooses the termination safety net 4 * 2n * N (see DESIGN.md §6.7).
+RouteResult run_static_route(const RoutingContext& ctx, Router& router, const Coord& source,
+                             const Coord& dest, long long step_budget = 0);
+
+}  // namespace lgfi

@@ -1,0 +1,82 @@
+#pragma once
+// Router interfaces shared by Algorithm 3 and the baseline routers.
+//
+// A router is a *decision policy*: given the message's header (destination,
+// path stack with per-node used-direction sets) and the node-local view
+// (statuses of self and neighbours, locally stored block information), it
+// picks the next action.  Execution — moving the header one hop per step,
+// under a static or dynamic fault environment — lives in route_walker.h and
+// core/dynamic_simulation.h, so the same policies run in both worlds.
+
+#include <span>
+#include <string>
+
+#include "src/fault/block_registry.h"
+#include "src/fault/node_status.h"
+#include "src/routing/routing_header.h"
+
+namespace lgfi {
+
+/// Where a node's block information comes from.  The paper's model stores it
+/// at envelope/boundary nodes only; the global-table baseline hands every
+/// node the full list.
+class InfoProvider {
+ public:
+  virtual ~InfoProvider() = default;
+  /// Block infos visible at `node` right now.
+  [[nodiscard]] virtual std::span<const BlockInfo> info_at(NodeId node) const = 0;
+};
+
+/// Trivial provider: nobody knows anything (the info-free PCS baseline).
+class EmptyInfoProvider final : public InfoProvider {
+ public:
+  [[nodiscard]] std::span<const BlockInfo> info_at(NodeId) const override { return {}; }
+};
+
+/// Wraps an InfoStore (the paper's limited-global placement).
+class StoreInfoProvider final : public InfoProvider {
+ public:
+  explicit StoreInfoProvider(const InfoStore& store) : store_(&store) {}
+  [[nodiscard]] std::span<const BlockInfo> info_at(NodeId node) const override {
+    return store_->at(node);
+  }
+
+ private:
+  const InfoStore* store_;
+};
+
+/// The node-local view a routing decision may consult.
+struct RoutingContext {
+  const MeshTopology* mesh = nullptr;
+  const StatusField* field = nullptr;
+  const InfoProvider* info = nullptr;
+};
+
+enum class RouteAction : uint8_t {
+  kForward,      ///< move one hop along `direction`
+  kBacktrack,    ///< pop the path stack (PCS backtracking)
+  kDelivered,    ///< current node is the destination
+  kUnreachable,  ///< backtracked to the source with nothing left (step 4)
+};
+
+struct RouteDecision {
+  RouteAction action = RouteAction::kUnreachable;
+  Direction direction = Direction::none();
+  /// True when the chosen direction was a preferred-but-detour direction —
+  /// the message knowingly leaves the minimal box (critical routing).
+  bool detour_preferred = false;
+};
+
+class Router {
+ public:
+  virtual ~Router() = default;
+
+  /// One routing decision at the header's current node.  Must not mutate the
+  /// environment; may record the used direction in the header.
+  [[nodiscard]] virtual RouteDecision decide(const RoutingContext& ctx,
+                                             RoutingHeader& header) = 0;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+}  // namespace lgfi

@@ -1,0 +1,77 @@
+#pragma once
+// The PCS routing header (Algorithm 3).
+//
+// "each routing header here includes a destination address and a list of
+// used-directions for each forwarding node along the path" — the header is
+// the entire state of a path-setup probe: the destination plus a stack of
+// (node, incoming direction, used-direction set) entries from the source to
+// the current node.  Forwarding pushes; backtracking pops and releases the
+// hop, exactly like PCS path setup.  Popped nodes lose their used sets (the
+// system is dynamic; priorities may legitimately differ on a revisit), which
+// is the paper's design; the walker enforces a step budget as the safety
+// net, and a persistent-marking variant exists as an ablation (E9).
+
+#include <unordered_map>
+#include <vector>
+
+#include "src/mesh/coordinates.h"
+#include "src/mesh/direction.h"
+#include "src/mesh/topology.h"
+
+namespace lgfi {
+
+struct PathEntry {
+  Coord node;
+  Direction incoming = Direction::none();  ///< direction we arrived along
+  DirectionSet used;                       ///< outgoing directions already tried here
+};
+
+class RoutingHeader {
+ public:
+  RoutingHeader(const Coord& source, const Coord& destination);
+
+  [[nodiscard]] const Coord& destination() const { return destination_; }
+  [[nodiscard]] const Coord& current() const { return path_.back().node; }
+  [[nodiscard]] const Coord& source() const { return path_.front().node; }
+  [[nodiscard]] bool at_source() const { return path_.size() == 1; }
+
+  [[nodiscard]] PathEntry& top() { return path_.back(); }
+  [[nodiscard]] const PathEntry& top() const { return path_.back(); }
+  [[nodiscard]] const std::vector<PathEntry>& path() const { return path_; }
+
+  /// Length of the currently-held path in hops.
+  [[nodiscard]] int path_hops() const { return static_cast<int>(path_.size()) - 1; }
+
+  /// Marks `d` used at the current node and pushes the next node.
+  void forward(Direction d);
+
+  /// Pops the current node (PCS backtrack).  Pre: !at_source().
+  void backtrack();
+
+  // --- accounting (not part of the on-wire header; experiment bookkeeping)
+  [[nodiscard]] int forward_steps() const { return forward_steps_; }
+  [[nodiscard]] int backtrack_steps() const { return backtrack_steps_; }
+  [[nodiscard]] int total_steps() const { return forward_steps_ + backtrack_steps_; }
+  [[nodiscard]] int detour_forward_steps() const { return detour_forward_steps_; }
+  void count_detour_forward() { ++detour_forward_steps_; }
+
+  /// Persistent-marking ablation: when enabled, used sets live in a global
+  /// per-node map, so every (node, direction) pair is tried at most once in
+  /// the whole search — the classic DFS guarantee.  The paper's header keeps
+  /// marks only for nodes on the current path (the default).
+  void enable_persistent_marks();
+  [[nodiscard]] bool persistent_marks() const { return persistent_marks_; }
+
+ private:
+  Coord destination_;
+  std::vector<PathEntry> path_;
+  int forward_steps_ = 0;
+  int backtrack_steps_ = 0;
+  int detour_forward_steps_ = 0;
+  bool persistent_marks_ = false;
+  /// Persistent mode only: the authoritative per-node used sets.  Path
+  /// entries mirror this map so decide() can keep reading top().used.
+  std::unordered_map<Coord, DirectionSet, CoordHash> marks_;
+};
+
+}  // namespace lgfi

@@ -1,0 +1,43 @@
+#include "src/sim/engine.h"
+
+namespace lgfi {
+
+ConvergenceResult run_until_quiescent(SynchronousProtocol& protocol, int max_rounds) {
+  ConvergenceResult r;
+  for (int round = 0; round < max_rounds; ++round) {
+    if (!protocol.run_round()) {
+      r.converged = true;
+      return r;
+    }
+    ++r.rounds;
+  }
+  // One extra probe: the protocol may have gone quiet exactly at the limit.
+  r.converged = !protocol.run_round();
+  return r;
+}
+
+ConvergenceResult run_all_until_quiescent(const std::vector<SynchronousProtocol*>& protocols,
+                                          int max_rounds) {
+  ConvergenceResult r;
+  for (int round = 0; round < max_rounds; ++round) {
+    bool active = false;
+    for (auto* p : protocols) {
+      // Order matters for intra-round visibility only across protocols, not
+      // within one (mailboxes are double-buffered); we keep the paper's
+      // listing order: block construction, identification, boundary.
+      if (p->run_round()) active = true;
+    }
+    if (!active) {
+      r.converged = true;
+      return r;
+    }
+    ++r.rounds;
+  }
+  bool active = false;
+  for (auto* p : protocols)
+    if (p->run_round()) active = true;
+  r.converged = !active;
+  return r;
+}
+
+}  // namespace lgfi

@@ -1,0 +1,51 @@
+#pragma once
+// Synchronous round engine.
+//
+// All fault-information constructions in the paper (block construction,
+// identification, boundary construction) are round-based: "the
+// disabled/enabled status propagation, any message header of
+// identifying/identified propagation, block information propagation and
+// canceling propagation advance one hop further at each round" (Section 5).
+// A protocol exposes one round of that behaviour; the engine runs rounds to
+// quiescence and reports how many were needed — those counts are the paper's
+// a_i, b_i and c_i quantities.
+
+#include <string>
+#include <vector>
+
+namespace lgfi {
+
+/// One distributed protocol running over the mesh in synchronous rounds.
+class SynchronousProtocol {
+ public:
+  virtual ~SynchronousProtocol() = default;
+
+  /// Executes one round: deliver last round's messages, let every node act,
+  /// queue this round's messages.  Returns true if anything happened (a
+  /// message was delivered or sent, or some node changed state); false
+  /// indicates the protocol is quiescent.
+  virtual bool run_round() = 0;
+
+  /// Human-readable protocol name for traces and diagnostics.
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// Result of driving a protocol to quiescence.
+struct ConvergenceResult {
+  int rounds = 0;        ///< rounds executed until the first quiet round
+  bool converged = false;  ///< false if max_rounds was exhausted first
+};
+
+/// Runs `protocol` until a round reports no activity (or max_rounds).
+/// The returned round count excludes the final quiet round, matching the
+/// paper's convention that a_i counts rounds in which statuses changed.
+ConvergenceResult run_until_quiescent(SynchronousProtocol& protocol, int max_rounds);
+
+/// Runs several protocols in lockstep (one round each per call) until all are
+/// simultaneously quiescent.  Used by the dynamic model where block
+/// construction, identification and boundary construction proceed
+/// hand-in-hand within each step's lambda rounds.
+ConvergenceResult run_all_until_quiescent(const std::vector<SynchronousProtocol*>& protocols,
+                                          int max_rounds);
+
+}  // namespace lgfi

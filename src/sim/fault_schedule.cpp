@@ -1,0 +1,158 @@
+#include "src/sim/fault_schedule.h"
+
+#include <algorithm>
+#include <set>
+#include <unordered_set>
+
+namespace lgfi {
+
+FaultSchedule::FaultSchedule(std::vector<FaultEvent> events) : events_(std::move(events)) {
+  sort();
+}
+
+void FaultSchedule::sort() {
+  std::stable_sort(events_.begin(), events_.end(),
+                   [](const FaultEvent& a, const FaultEvent& b) { return a.step < b.step; });
+}
+
+void FaultSchedule::add(FaultEvent e) {
+  events_.push_back(std::move(e));
+  sort();
+}
+
+void FaultSchedule::add_fail(long long step, const Coord& node) {
+  add(FaultEvent{step, node, FaultEventKind::kFail});
+}
+
+void FaultSchedule::add_recover(long long step, const Coord& node) {
+  add(FaultEvent{step, node, FaultEventKind::kRecover});
+}
+
+std::vector<FaultEvent> FaultSchedule::events_at(long long step) const {
+  std::vector<FaultEvent> out;
+  for (const auto& e : events_)
+    if (e.step == step) out.push_back(e);
+  return out;
+}
+
+long long FaultSchedule::last_step() const {
+  return events_.empty() ? -1 : events_.back().step;
+}
+
+std::vector<long long> FaultSchedule::occurrence_times() const {
+  std::vector<long long> times;
+  for (const auto& e : events_) times.push_back(e.step);
+  times.erase(std::unique(times.begin(), times.end()), times.end());
+  return times;
+}
+
+namespace {
+
+bool interior_ok(const MeshTopology& mesh, const Coord& c, const FaultPlacementOptions& opts) {
+  return !opts.avoid_outer_surface || !mesh.on_outer_surface(c);
+}
+
+}  // namespace
+
+std::vector<Coord> random_fault_placement(const MeshTopology& mesh, int count, Rng& rng,
+                                          const FaultPlacementOptions& opts,
+                                          const std::vector<Coord>& forbidden) {
+  std::unordered_set<NodeId> taken;
+  for (const auto& f : forbidden)
+    if (mesh.in_bounds(f)) taken.insert(mesh.index_of(f));
+
+  std::vector<Coord> out;
+  out.reserve(static_cast<size_t>(count));
+  // Rejection sampling; the interior is the overwhelming majority of nodes
+  // for any mesh the experiments use, so this terminates fast.  A hard cap
+  // protects against pathological over-constrained requests.
+  long long attempts = 0;
+  const long long max_attempts = 1000 + 200ll * count + 4 * mesh.node_count();
+  while (static_cast<int>(out.size()) < count && attempts < max_attempts) {
+    ++attempts;
+    const NodeId id = static_cast<NodeId>(rng.next_below(static_cast<uint64_t>(mesh.node_count())));
+    const Coord c = mesh.coord_of(id);
+    if (!interior_ok(mesh, c, opts)) continue;
+    if (opts.avoid_duplicates && taken.count(id)) continue;
+    taken.insert(id);
+    out.push_back(c);
+  }
+  return out;
+}
+
+std::vector<Coord> clustered_fault_placement(const MeshTopology& mesh, int count, Rng& rng,
+                                             const FaultPlacementOptions& opts) {
+  std::vector<Coord> out;
+  if (count <= 0) return out;
+
+  // Random interior seed.
+  Coord seed(mesh.dims());
+  for (int i = 0; i < mesh.dims(); ++i) {
+    const int lo = opts.avoid_outer_surface ? 1 : 0;
+    const int hi = mesh.extent(i) - 1 - (opts.avoid_outer_surface ? 1 : 0);
+    if (hi < lo) return out;  // mesh too small for interior placement
+    seed[i] = rng.uniform_int(lo, hi);
+  }
+
+  std::unordered_set<NodeId> chosen;
+  std::vector<Coord> frontier{seed};
+  chosen.insert(mesh.index_of(seed));
+  out.push_back(seed);
+
+  while (static_cast<int>(out.size()) < count && !frontier.empty()) {
+    const size_t pick = static_cast<size_t>(rng.next_below(frontier.size()));
+    const Coord base = frontier[pick];
+    std::vector<Coord> candidates;
+    mesh.for_each_neighbor(base, [&](Direction, const Coord& nb) {
+      if (!interior_ok(mesh, nb, opts)) return;
+      if (chosen.count(mesh.index_of(nb))) return;
+      candidates.push_back(nb);
+    });
+    if (candidates.empty()) {
+      frontier.erase(frontier.begin() + static_cast<std::ptrdiff_t>(pick));
+      continue;
+    }
+    const Coord next = candidates[static_cast<size_t>(rng.next_below(candidates.size()))];
+    chosen.insert(mesh.index_of(next));
+    out.push_back(next);
+    frontier.push_back(next);
+  }
+  return out;
+}
+
+std::vector<Coord> box_fault_placement(const MeshTopology& mesh, const Box& box) {
+  std::vector<Coord> out;
+  const Box clipped = mesh.clip(box);
+  clipped.for_each([&](const Coord& c) {
+    if (!mesh.on_outer_surface(c)) out.push_back(c);
+  });
+  return out;
+}
+
+FaultSchedule periodic_random_schedule(const MeshTopology& mesh, int batches,
+                                       int faults_per_batch, long long start,
+                                       long long interval, Rng& rng, bool recoveries,
+                                       const std::vector<Coord>& forbidden) {
+  FaultSchedule schedule;
+  std::vector<Coord> failed;  // currently-faulty pool, recovery candidates
+  std::vector<Coord> avoid = forbidden;
+  for (int b = 0; b < batches; ++b) {
+    const long long t = start + b * interval;
+    const bool recover_batch = recoveries && !failed.empty() && rng.bernoulli(0.3);
+    if (recover_batch) {
+      const size_t pick = static_cast<size_t>(rng.next_below(failed.size()));
+      schedule.add_recover(t, failed[pick]);
+      failed.erase(failed.begin() + static_cast<std::ptrdiff_t>(pick));
+    } else {
+      auto placed = random_fault_placement(mesh, faults_per_batch, rng, {}, avoid);
+      for (const auto& c : placed) {
+        schedule.add_fail(t, c);
+        failed.push_back(c);
+        avoid.push_back(c);
+      }
+    }
+  }
+  return schedule;
+}
+
+}  // namespace lgfi

@@ -1,0 +1,94 @@
+#pragma once
+// Dynamic fault schedules (Section 5).
+//
+// The paper's dynamic model has F faults f_1..f_F occurring at times
+// t_1..t_F with inter-occurrence intervals d_i = t_{i+1} - t_i, plus nodes
+// that recover from faulty status (Definition 4).  A FaultSchedule is the
+// concrete realisation of that timeline: a sorted list of fail/recover
+// events in units of routing *steps*.  Generators build the placements the
+// benches sweep over: scattered faults, clustered faults (to control block
+// size e_max), and whole-box failures (to plant a block of exact shape).
+
+#include <vector>
+
+#include "src/mesh/topology.h"
+#include "src/sim/rng.h"
+
+namespace lgfi {
+
+enum class FaultEventKind : uint8_t {
+  kFail,     ///< node becomes faulty (f_i in the paper)
+  kRecover,  ///< node recovers from faulty status (rule 5 trigger)
+};
+
+struct FaultEvent {
+  long long step = 0;  ///< routing step at which the event is detected
+  Coord node;
+  FaultEventKind kind = FaultEventKind::kFail;
+};
+
+class FaultSchedule {
+ public:
+  FaultSchedule() = default;
+  explicit FaultSchedule(std::vector<FaultEvent> events);
+
+  /// Appends an event; keeps the schedule sorted by step (stable for ties).
+  void add(FaultEvent e);
+  void add_fail(long long step, const Coord& node);
+  void add_recover(long long step, const Coord& node);
+
+  [[nodiscard]] const std::vector<FaultEvent>& events() const { return events_; }
+  [[nodiscard]] bool empty() const { return events_.empty(); }
+  [[nodiscard]] size_t size() const { return events_.size(); }
+
+  /// Events scheduled exactly at `step` (consumed by the step loop's fault
+  /// detection phase).
+  [[nodiscard]] std::vector<FaultEvent> events_at(long long step) const;
+
+  /// Last event time; simulations must run at least this many steps to see
+  /// the whole schedule.
+  [[nodiscard]] long long last_step() const;
+
+  /// Distinct fault-occurrence times t_1 < t_2 < ... (recoveries count as
+  /// occurrences too — they also trigger reconstruction).
+  [[nodiscard]] std::vector<long long> occurrence_times() const;
+
+ private:
+  void sort();
+  std::vector<FaultEvent> events_;
+};
+
+/// Options shared by the random generators.
+struct FaultPlacementOptions {
+  bool avoid_outer_surface = true;  ///< Section 5: no fault on the outmost surface
+  bool avoid_duplicates = true;
+};
+
+/// `count` faults placed independently at random interior nodes, all at
+/// `step`.  `forbidden` nodes (e.g. the source/destination under test) are
+/// never chosen.
+std::vector<Coord> random_fault_placement(const MeshTopology& mesh, int count, Rng& rng,
+                                          const FaultPlacementOptions& opts = {},
+                                          const std::vector<Coord>& forbidden = {});
+
+/// A cluster of `count` faults grown by random adjacent steps from a random
+/// interior seed — produces a compact connected fault set whose block has
+/// e_max roughly count^(1/n).
+std::vector<Coord> clustered_fault_placement(const MeshTopology& mesh, int count, Rng& rng,
+                                             const FaultPlacementOptions& opts = {});
+
+/// Fails every node of `box` (clipped to the interior).  Gives exact control
+/// over block extents for convergence experiments.
+std::vector<Coord> box_fault_placement(const MeshTopology& mesh, const Box& box);
+
+/// Builds the paper's dynamic timeline: `batches` fault batches, the i-th at
+/// time t_i = start + i * interval (so d_i = interval), each failing
+/// `faults_per_batch` random nodes.  With `recoveries` true, earlier faults
+/// are sometimes recovered instead, exercising Definition 4.
+FaultSchedule periodic_random_schedule(const MeshTopology& mesh, int batches,
+                                       int faults_per_batch, long long start,
+                                       long long interval, Rng& rng,
+                                       bool recoveries = false,
+                                       const std::vector<Coord>& forbidden = {});
+
+}  // namespace lgfi

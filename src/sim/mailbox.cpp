@@ -1,0 +1,11 @@
+// MailboxSystem<T> is header-only; this translation unit exists to anchor the
+// module in the build and to host an explicit instantiation that keeps the
+// template honest against a concrete payload type.
+
+#include "src/sim/mailbox.h"
+
+namespace lgfi {
+
+template class MailboxSystem<int>;
+
+}  // namespace lgfi

@@ -1,0 +1,85 @@
+#pragma once
+// Double-buffered per-node mailboxes for synchronous message passing.
+//
+// The paper's execution model (Section 5, Figure 7) is synchronous: within a
+// round every node reads the messages its neighbours sent in the previous
+// round and emits messages that arrive in the next round — information
+// advances exactly one hop per round.  MailboxSystem<T> implements that BSP
+// contract: send() during round r is only visible through inbox() in round
+// r + 1, after flip().  Delivery order within an inbox is the deterministic
+// send order, so runs are reproducible.
+
+#include <cassert>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "src/mesh/topology.h"
+
+namespace lgfi {
+
+/// Aggregate counters shared by all mailbox instantiations; benches report
+/// these as the protocols' message complexity.
+struct MailboxStats {
+  long long messages_sent = 0;
+  long long rounds_flipped = 0;
+
+  void reset() { *this = MailboxStats{}; }
+};
+
+template <typename T>
+class MailboxSystem {
+ public:
+  explicit MailboxSystem(long long node_count)
+      : current_(static_cast<size_t>(node_count)),
+        next_(static_cast<size_t>(node_count)) {}
+
+  /// Queues `msg` for delivery to `to` at the start of the next round.
+  void send(NodeId to, T msg) {
+    assert(to >= 0 && static_cast<size_t>(to) < next_.size());
+    next_[static_cast<size_t>(to)].push_back(std::move(msg));
+    ++stats_.messages_sent;
+  }
+
+  /// Messages delivered to `node` this round (sent last round).
+  [[nodiscard]] const std::vector<T>& inbox(NodeId node) const {
+    return current_[static_cast<size_t>(node)];
+  }
+
+  /// Ends the round: everything sent becomes next round's inboxes.
+  void flip() {
+    for (auto& box : current_) box.clear();
+    current_.swap(next_);
+    ++stats_.rounds_flipped;
+  }
+
+  /// True if no message is waiting for the next round (quiescence test
+  /// component; protocols also check for local state changes).
+  [[nodiscard]] bool next_round_empty() const {
+    for (const auto& box : next_)
+      if (!box.empty()) return false;
+    return true;
+  }
+
+  /// Number of messages that will be delivered next round.
+  [[nodiscard]] long long pending() const {
+    long long n = 0;
+    for (const auto& box : next_) n += static_cast<long long>(box.size());
+    return n;
+  }
+
+  void clear() {
+    for (auto& box : current_) box.clear();
+    for (auto& box : next_) box.clear();
+  }
+
+  [[nodiscard]] const MailboxStats& stats() const { return stats_; }
+  void reset_stats() { stats_.reset(); }
+
+ private:
+  std::vector<std::vector<T>> current_;
+  std::vector<std::vector<T>> next_;
+  MailboxStats stats_;
+};
+
+}  // namespace lgfi

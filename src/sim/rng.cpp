@@ -1,0 +1,77 @@
+#include "src/sim/rng.h"
+
+#include <cassert>
+
+namespace lgfi {
+namespace {
+
+uint64_t splitmix64(uint64_t& x) {
+  x += 0x9E3779B97F4A7C15ull;
+  uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+uint64_t rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) : seed_(seed) {
+  uint64_t sm = seed;
+  for (auto& s : s_) s = splitmix64(sm);
+}
+
+Rng Rng::fork(uint64_t stream) const {
+  // Mix the stream id into the original seed through an odd multiplier so
+  // fork(0) differs from the parent and forks are pairwise independent.
+  return Rng(seed_ ^ (0xD1342543DE82EF95ull * (stream + 0x632BE59BD9B4E019ull)));
+}
+
+uint64_t Rng::next_u64() {
+  const uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+uint64_t Rng::next_below(uint64_t bound) {
+  assert(bound > 0);
+  // Lemire-style rejection to avoid modulo bias.
+  const uint64_t threshold = (0 - bound) % bound;
+  for (;;) {
+    const uint64_t r = next_u64();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+int Rng::uniform_int(int lo, int hi) {
+  assert(lo <= hi);
+  return lo + static_cast<int>(next_below(static_cast<uint64_t>(hi - lo) + 1));
+}
+
+double Rng::uniform_double() {
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::bernoulli(double p) { return uniform_double() < p; }
+
+std::vector<int> Rng::sample_without_replacement(int n, int k) {
+  assert(k >= 0 && k <= n);
+  // Partial Fisher–Yates over an index vector.
+  std::vector<int> idx(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) idx[static_cast<size_t>(i)] = i;
+  for (int i = 0; i < k; ++i) {
+    const int j = i + static_cast<int>(next_below(static_cast<uint64_t>(n - i)));
+    std::swap(idx[static_cast<size_t>(i)], idx[static_cast<size_t>(j)]);
+  }
+  idx.resize(static_cast<size_t>(k));
+  return idx;
+}
+
+}  // namespace lgfi

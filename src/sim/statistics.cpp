@@ -1,0 +1,108 @@
+#include "src/sim/statistics.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <sstream>
+
+namespace lgfi {
+
+void RunningStats::add(double x) {
+  ++n_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+double RunningStats::variance() const {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+void RunningStats::merge(const RunningStats& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double delta = other.mean_ - mean_;
+  const long long n = n_ + other.n_;
+  m2_ += other.m2_ + delta * delta * static_cast<double>(n_) *
+                         static_cast<double>(other.n_) / static_cast<double>(n);
+  mean_ = (mean_ * static_cast<double>(n_) + other.mean_ * static_cast<double>(other.n_)) /
+          static_cast<double>(n);
+  sum_ += other.sum_;
+  n_ = n;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+std::string RunningStats::summary() const {
+  std::ostringstream os;
+  os.precision(4);
+  os << "mean=" << mean() << " sd=" << stddev() << " min=" << min() << " max=" << max()
+     << " n=" << count();
+  return os.str();
+}
+
+void IntHistogram::add(long long value) {
+  assert(value >= 0);
+  if (static_cast<size_t>(value) >= counts_.size())
+    counts_.resize(static_cast<size_t>(value) + 1, 0);
+  ++counts_[static_cast<size_t>(value)];
+  ++total_;
+  sum_ += static_cast<double>(value);
+}
+
+void IntHistogram::merge(const IntHistogram& other) {
+  if (other.counts_.size() > counts_.size()) counts_.resize(other.counts_.size(), 0);
+  for (size_t i = 0; i < other.counts_.size(); ++i) counts_[i] += other.counts_[i];
+  total_ += other.total_;
+  sum_ += other.sum_;
+}
+
+long long IntHistogram::count_of(long long value) const {
+  if (value < 0 || static_cast<size_t>(value) >= counts_.size()) return 0;
+  return counts_[static_cast<size_t>(value)];
+}
+
+long long IntHistogram::min() const {
+  for (size_t i = 0; i < counts_.size(); ++i)
+    if (counts_[i] > 0) return static_cast<long long>(i);
+  return 0;
+}
+
+long long IntHistogram::max() const {
+  for (size_t i = counts_.size(); i > 0; --i)
+    if (counts_[i - 1] > 0) return static_cast<long long>(i - 1);
+  return 0;
+}
+
+double IntHistogram::mean() const {
+  return total_ > 0 ? sum_ / static_cast<double>(total_) : 0.0;
+}
+
+long long IntHistogram::percentile(double q) const {
+  assert(q > 0.0 && q <= 1.0);
+  if (total_ == 0) return 0;
+  const double target = q * static_cast<double>(total_);
+  long long running = 0;
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    running += counts_[i];
+    if (static_cast<double>(running) >= target) return static_cast<long long>(i);
+  }
+  return max();
+}
+
+std::vector<std::pair<long long, long long>> IntHistogram::buckets() const {
+  std::vector<std::pair<long long, long long>> out;
+  for (size_t i = 0; i < counts_.size(); ++i)
+    if (counts_[i] > 0) out.emplace_back(static_cast<long long>(i), counts_[i]);
+  return out;
+}
+
+}  // namespace lgfi

@@ -1,0 +1,63 @@
+#pragma once
+// Streaming statistics and histograms for experiment reporting.
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace lgfi {
+
+/// Welford-style running mean/variance with min/max tracking.
+class RunningStats {
+ public:
+  void add(double x);
+
+  [[nodiscard]] long long count() const { return n_; }
+  [[nodiscard]] double mean() const { return n_ > 0 ? mean_ : 0.0; }
+  [[nodiscard]] double variance() const;  ///< sample variance (n-1 denominator)
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const { return n_ > 0 ? min_ : 0.0; }
+  [[nodiscard]] double max() const { return n_ > 0 ? max_ : 0.0; }
+  [[nodiscard]] double sum() const { return sum_; }
+
+  /// Merges another accumulator (parallel reduction across replications).
+  void merge(const RunningStats& other);
+
+  [[nodiscard]] std::string summary() const;  ///< "mean=… sd=… min=… max=… n=…"
+
+ private:
+  long long n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Exact-value histogram over small non-negative integers (detour counts,
+/// round counts); also provides percentiles.
+class IntHistogram {
+ public:
+  void add(long long value);
+  void merge(const IntHistogram& other);
+
+  [[nodiscard]] long long count() const { return total_; }
+  [[nodiscard]] long long count_of(long long value) const;
+  [[nodiscard]] long long min() const;
+  [[nodiscard]] long long max() const;
+  [[nodiscard]] double mean() const;
+
+  /// Smallest value v such that at least q of the mass is <= v (0 < q <= 1).
+  [[nodiscard]] long long percentile(double q) const;
+
+  /// (value, count) pairs in increasing value order.
+  [[nodiscard]] std::vector<std::pair<long long, long long>> buckets() const;
+
+ private:
+  std::vector<long long> counts_;  // index = value
+  long long total_ = 0;
+  double sum_ = 0.0;
+};
+
+}  // namespace lgfi

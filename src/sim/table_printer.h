@@ -1,0 +1,53 @@
+#pragma once
+// Aligned table and CSV output for the benchmark harness.
+//
+// Every bench regenerates a paper artifact as a table of rows; TablePrinter
+// renders them aligned for the terminal and CsvWriter mirrors the same rows
+// to a file for plotting.
+
+#include <fstream>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace lgfi {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Formats doubles with fixed precision; convenience for numeric rows.
+  static std::string num(double v, int precision = 2);
+  static std::string num(long long v);
+  static std::string num(int v);
+
+  /// Renders with a header rule and column padding.
+  void print(std::ostream& os) const;
+
+  [[nodiscard]] const std::vector<std::vector<std::string>>& rows() const { return rows_; }
+  [[nodiscard]] const std::vector<std::string>& headers() const { return headers_; }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Writes the same tabular data as RFC-4180-ish CSV.
+class CsvWriter {
+ public:
+  /// Opens `path` for writing; throws on failure.
+  explicit CsvWriter(const std::string& path);
+
+  void write_row(const std::vector<std::string>& cells);
+  void write_table(const TablePrinter& table);
+
+ private:
+  std::ofstream out_;
+};
+
+/// Prints a section banner ("== Figure 4: ... ==") used by all benches.
+void print_banner(std::ostream& os, const std::string& title);
+
+}  // namespace lgfi

@@ -1,0 +1,94 @@
+#include "src/sim/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+
+namespace lgfi {
+
+// Shared between the submitting thread and the workers; shared_ptr ownership
+// guarantees a lagging worker that wakes up after the submitter has already
+// returned still sees live state (it will find next >= count and do nothing).
+struct ThreadPool::TaskState {
+  std::function<void(int64_t)> fn;
+  std::atomic<int64_t> next{0};
+  std::atomic<int64_t> done{0};
+  int64_t count = 0;
+};
+
+ThreadPool::ThreadPool(unsigned threads) {
+  if (threads == 0) threads = std::max(1u, std::thread::hardware_concurrency());
+  workers_.reserve(threads);
+  for (unsigned i = 0; i < threads; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  cv_work_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::worker_loop() {
+  uint64_t seen = 0;
+  for (;;) {
+    std::shared_ptr<TaskState> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_work_.wait(lock, [&] { return stopping_ || generation_ != seen; });
+      if (stopping_) return;
+      seen = generation_;
+      task = task_;
+    }
+    if (!task) continue;
+    for (;;) {
+      const int64_t i = task->next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= task->count) break;
+      task->fn(i);
+      if (task->done.fetch_add(1, std::memory_order_acq_rel) + 1 == task->count) {
+        std::lock_guard<std::mutex> lock(mu_);
+        cv_done_.notify_all();
+      }
+    }
+  }
+}
+
+void ThreadPool::parallel_for(int64_t count, const std::function<void(int64_t)>& fn) {
+  if (count <= 0) return;
+  if (count == 1 || workers_.empty()) {
+    for (int64_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+  auto task = std::make_shared<TaskState>();
+  task->fn = fn;
+  task->count = count;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    task_ = task;
+    ++generation_;
+  }
+  cv_work_.notify_all();
+  // The calling thread participates too.
+  for (;;) {
+    const int64_t i = task->next.fetch_add(1, std::memory_order_relaxed);
+    if (i >= count) break;
+    fn(i);
+    task->done.fetch_add(1, std::memory_order_acq_rel);
+  }
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_done_.wait(lock, [&] { return task->done.load(std::memory_order_acquire) >= count; });
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool;
+  return pool;
+}
+
+void parallel_for(int64_t count, const std::function<void(int64_t)>& fn) {
+  ThreadPool::global().parallel_for(count, fn);
+}
+
+}  // namespace lgfi

@@ -1,0 +1,57 @@
+#pragma once
+// Minimal work-sharing thread pool for experiment replication.
+//
+// The HPC-facing surface of the library: Monte-Carlo sweeps (hundreds of
+// independent simulator replications per configuration) are embarrassingly
+// parallel.  parallel_for partitions an index range over worker threads;
+// each index gets its own forked RNG stream inside the callers, so results
+// are identical whatever the thread count — determinism is non-negotiable
+// for a reproduction.
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace lgfi {
+
+class ThreadPool {
+ public:
+  /// `threads` == 0 picks hardware_concurrency (at least 1).
+  explicit ThreadPool(unsigned threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] unsigned thread_count() const { return static_cast<unsigned>(workers_.size()); }
+
+  /// Runs fn(i) for all i in [0, count), blocking until every index is done.
+  /// fn must be safe to call concurrently for distinct i.
+  void parallel_for(int64_t count, const std::function<void(int64_t)>& fn);
+
+  /// Process-wide pool (lazily constructed, sized to the hardware).
+  static ThreadPool& global();
+
+ private:
+  struct TaskState;
+
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable cv_work_;
+  std::condition_variable cv_done_;
+  std::shared_ptr<TaskState> task_;
+  uint64_t generation_ = 0;
+  bool stopping_ = false;
+};
+
+/// Convenience wrapper over the global pool.  With threads == 1 (or count
+/// small) the loop runs inline, which keeps unit tests single-threaded.
+void parallel_for(int64_t count, const std::function<void(int64_t)>& fn);
+
+}  // namespace lgfi

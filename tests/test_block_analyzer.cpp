@@ -1,0 +1,121 @@
+// Property tests for block extraction (P1): stabilized disabled∪faulty
+// components fill their bounding boxes, are pairwise well separated, and the
+// enabled region stays connected for interior fault placements.
+
+#include <gtest/gtest.h>
+
+#include "src/fault/block_analyzer.h"
+#include "src/fault/labeling.h"
+#include "src/sim/fault_schedule.h"
+#include "src/sim/rng.h"
+
+namespace lgfi {
+namespace {
+
+struct RandomFieldCase {
+  int dims;
+  int radix;
+  int faults;
+};
+
+class BlockPropertyTest : public ::testing::TestWithParam<RandomFieldCase> {};
+
+TEST_P(BlockPropertyTest, FilledSeparatedAndConnected) {
+  const auto param = GetParam();
+  const MeshTopology m(param.dims, param.radix);
+  Rng rng(0xB10C + static_cast<uint64_t>(param.dims * 1000 + param.faults));
+
+  for (int trial = 0; trial < 8; ++trial) {
+    Rng t = rng.fork(static_cast<uint64_t>(trial));
+    const auto faults = random_fault_placement(m, param.faults, t);
+    const StatusField f = stabilized_field(m, faults);
+    const auto blocks = extract_blocks(f);
+
+    // P1a: every component fills its bounding box.
+    EXPECT_TRUE(all_blocks_filled(blocks)) << "trial " << trial;
+    // P1b: pairwise Chebyshev separation >= 2.
+    EXPECT_TRUE(blocks_well_separated(blocks)) << "trial " << trial;
+    // Each fault is inside some block; block member counts add up.
+    long long members = 0;
+    for (const auto& b : blocks) members += b.member_count;
+    EXPECT_EQ(members,
+              f.count(NodeStatus::kDisabled) + f.count(NodeStatus::kFaulty));
+    for (const auto& fault : faults) {
+      bool inside = false;
+      for (const auto& b : blocks) inside |= b.box.contains(fault);
+      EXPECT_TRUE(inside);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomFields, BlockPropertyTest,
+    ::testing::Values(RandomFieldCase{2, 12, 6}, RandomFieldCase{2, 12, 14},
+                      RandomFieldCase{2, 16, 25}, RandomFieldCase{3, 8, 10},
+                      RandomFieldCase{3, 8, 20}, RandomFieldCase{3, 10, 35},
+                      RandomFieldCase{4, 6, 12}, RandomFieldCase{4, 6, 25},
+                      RandomFieldCase{5, 4, 10}),
+    [](const ::testing::TestParamInfo<RandomFieldCase>& info) {
+      return "d" + std::to_string(info.param.dims) + "k" + std::to_string(info.param.radix) +
+             "f" + std::to_string(info.param.faults);
+    });
+
+TEST(BlockAnalyzer, NoFaultsNoBlocks) {
+  const MeshTopology m(3, 6);
+  const StatusField f = stabilized_field(m, {});
+  EXPECT_TRUE(extract_blocks(f).empty());
+  EXPECT_TRUE(enabled_region_connected(f));
+}
+
+TEST(BlockAnalyzer, TwoSeparateFaultsTwoBlocks) {
+  const MeshTopology m(2, 10);
+  const StatusField f = stabilized_field(m, {Coord{2, 2}, Coord{7, 7}});
+  const auto blocks = extract_blocks(f);
+  ASSERT_EQ(blocks.size(), 2u);
+  EXPECT_EQ(blocks[0].box, Box::point(Coord{2, 2}));
+  EXPECT_EQ(blocks[1].box, Box::point(Coord{7, 7}));
+}
+
+TEST(BlockAnalyzer, NearbyFaultsMergeIntoOneBlock) {
+  const MeshTopology m(2, 10);
+  // Chebyshev distance 1 (diagonal) forces a merge through rule 1.
+  const StatusField f = stabilized_field(m, {Coord{3, 3}, Coord{4, 4}, Coord{5, 5}});
+  const auto blocks = extract_blocks(f);
+  ASSERT_EQ(blocks.size(), 1u);
+  EXPECT_EQ(blocks[0].box, Box(Coord{3, 3}, Coord{5, 5}));
+}
+
+TEST(BlockAnalyzer, MaxBlockExtentIsEmax) {
+  const MeshTopology m(2, 12);
+  const auto faults = box_fault_placement(m, Box(Coord{2, 3}, Coord{6, 4}));
+  const StatusField f = stabilized_field(m, faults);
+  const auto blocks = extract_blocks(f);
+  ASSERT_EQ(blocks.size(), 1u);
+  EXPECT_EQ(max_block_extent(blocks), 5);
+  EXPECT_EQ(max_block_extent(block_boxes(f)), 5);
+}
+
+TEST(BlockAnalyzer, InteriorFaultsKeepEnabledRegionConnected) {
+  // Section 5: "there is no disconnected area in such a mesh" when faults
+  // avoid the outmost surface.
+  const MeshTopology m(3, 8);
+  Rng rng(0xC0FFEE);
+  for (int trial = 0; trial < 12; ++trial) {
+    Rng t = rng.fork(static_cast<uint64_t>(trial));
+    const auto faults = random_fault_placement(m, 25, t);
+    const StatusField f = stabilized_field(m, faults);
+    EXPECT_TRUE(enabled_region_connected(f)) << "trial " << trial;
+  }
+}
+
+TEST(BlockAnalyzer, BlocksSortedDeterministically) {
+  const MeshTopology m(2, 12);
+  const StatusField f = stabilized_field(m, {Coord{9, 1}, Coord{1, 9}, Coord{5, 5}});
+  const auto blocks = extract_blocks(f);
+  ASSERT_EQ(blocks.size(), 3u);
+  EXPECT_TRUE(blocks[0].box < blocks[1].box);
+  EXPECT_TRUE(blocks[1].box < blocks[2].box);
+}
+
+}  // namespace
+}  // namespace lgfi

@@ -1,0 +1,240 @@
+// Targeted tests for the distributed boundary construction and deletion
+// machinery: wall spawning geometry, provenance tracking, cancel waves,
+// carried-info sweeps, memory wipe semantics, and the out-of-date-segment
+// retraction when a new block forms across an existing wall.
+
+#include <gtest/gtest.h>
+
+#include "src/fault/block_analyzer.h"
+#include "src/fault/boundary_model.h"
+#include "src/fault/corner_taxonomy.h"
+#include "src/fault/distributed_model.h"
+#include "src/fault/labeling.h"
+#include "src/sim/fault_schedule.h"
+
+namespace lgfi {
+namespace {
+
+TEST(BoundaryProtocol, WallProvenanceRecorded) {
+  const MeshTopology mesh(2, 12);
+  DistributedFaultModel model(mesh);
+  model.inject_fault(Coord{6, 6});
+  model.stabilize(20000);
+
+  const Box block = Box::point(Coord{6, 6});
+  // (5, 3) is on the S_{y,+} wall (ring (5,5), extending -y).
+  const NodeId wall_node = mesh.index_of(Coord{5, 3});
+  ASSERT_TRUE(model.info().holds(wall_node, block));
+  const auto provs = model.info().provenance_at(wall_node);
+  ASSERT_EQ(provs.size(), 1u);
+  EXPECT_EQ(provs[0].via, InfoVia::kWall);
+
+  // (5, 5) is a ring/envelope node: provenance must be envelope.
+  const NodeId env_node = mesh.index_of(Coord{5, 5});
+  ASSERT_TRUE(model.info().holds(env_node, block));
+  EXPECT_EQ(model.info().provenance_at(env_node)[0].via, InfoVia::kEnvelope);
+}
+
+TEST(BoundaryProtocol, MergedProvenanceNamesCarrier) {
+  // Upper block's wall merges onto the lower block.
+  const MeshTopology mesh(2, 16);
+  DistributedFaultModel model(mesh);
+  const Box upper(Coord{6, 10}, Coord{8, 11});
+  const Box lower(Coord{5, 4}, Coord{9, 6});
+  for (const auto& c : box_fault_placement(mesh, upper)) model.inject_fault(c);
+  for (const auto& c : box_fault_placement(mesh, lower)) model.inject_fault(c);
+  model.stabilize(20000);
+
+  // A lateral envelope node of the lower block that is NOT on the upper
+  // block's own structures: its copy of `upper` must be a merged deposit.
+  const Coord side{4, 5};  // west face of lower's envelope
+  const NodeId id = mesh.index_of(side);
+  ASSERT_TRUE(model.info().holds(id, upper));
+  const auto infos = model.info().at(id);
+  const auto provs = model.info().provenance_at(id);
+  for (size_t i = 0; i < infos.size(); ++i) {
+    if (infos[i].box == upper) {
+      EXPECT_EQ(provs[i].via, InfoVia::kMerged);
+      EXPECT_EQ(provs[i].carrier, lower);
+    }
+  }
+}
+
+TEST(BoundaryProtocol, CancelWaveClearsWalls) {
+  const MeshTopology mesh(2, 12);
+  DistributedFaultModel model(mesh);
+  model.inject_fault(Coord{6, 6});
+  model.stabilize(20000);
+  EXPECT_GT(model.info().total_entries(), 0);
+
+  model.recover(Coord{6, 6});
+  model.stabilize(20000);
+  EXPECT_EQ(model.info().total_entries(), 0)
+      << "single-block recovery must leave zero residue";
+  EXPECT_EQ(model.field().count(NodeStatus::kEnabled), mesh.node_count());
+}
+
+TEST(BoundaryProtocol, CarrierDeathSweepsCarriedInfo) {
+  // Kill upper and lower; recover the LOWER (carrier) first: the merged
+  // copies of `upper` riding its envelope must disappear with it, while
+  // upper's own structures stay intact.
+  const MeshTopology mesh(2, 16);
+  DistributedFaultModel model(mesh);
+  const Box upper(Coord{6, 10}, Coord{8, 11});
+  const Box lower(Coord{5, 4}, Coord{9, 6});
+  for (const auto& c : box_fault_placement(mesh, upper)) model.inject_fault(c);
+  for (const auto& c : box_fault_placement(mesh, lower)) model.inject_fault(c);
+  model.stabilize(20000);
+
+  for (const auto& c : box_fault_placement(mesh, lower)) model.recover(c);
+  model.stabilize(20000);
+
+  // No node may still hold a kMerged deposit naming the dead carrier.
+  for (NodeId id = 0; id < mesh.node_count(); ++id) {
+    for (const auto& p : model.info().provenance_at(id)) {
+      EXPECT_FALSE(p.via == InfoVia::kMerged && p.carrier == lower)
+          << "stale merged deposit at " << mesh.coord_of(id).to_string();
+    }
+  }
+  // Upper's own envelope still informed.
+  for (const auto& c : envelope_positions(mesh, upper))
+    EXPECT_TRUE(model.info().holds(mesh.index_of(c), upper)) << c.to_string();
+  // The distributed placement may UNDER-cover the centralized fixpoint in
+  // the dead carrier's shadow (walls are not re-extended through freed
+  // space — deliberate, see boundary_protocol.cpp), but it must never hold
+  // anything the fixpoint doesn't: no stale boxes anywhere.
+  const auto placement = compute_information_placement(mesh, {upper}, model.epoch());
+  for (NodeId id = 0; id < mesh.node_count(); ++id) {
+    for (const auto& held : model.info().at(id)) {
+      EXPECT_TRUE(placement.store.holds(id, held.box))
+          << "stale " << held.box.to_string() << " at " << mesh.coord_of(id).to_string();
+    }
+  }
+}
+
+TEST(BoundaryProtocol, NewBlockRetractsOutOfDateWallSegment) {
+  // A wall exists first; a block then forms across it.  The stale straight
+  // segment beyond the new block must be retracted and replaced by the
+  // merge structure (the paper's "deletion of out of date boundaries").
+  const MeshTopology mesh(2, 16);
+  DistributedFaultModel model(mesh);
+  const Box upper(Coord{6, 10}, Coord{8, 11});
+  for (const auto& c : box_fault_placement(mesh, upper)) model.inject_fault(c);
+  model.stabilize(20000);
+  // Upper's S_{y,+} wall runs down columns x=5 and x=9.
+  ASSERT_TRUE(model.info().holds(mesh.index_of(Coord{5, 1}), upper));
+
+  const Box lower(Coord{4, 4}, Coord{9, 6});  // swallows part of both columns
+  for (const auto& c : box_fault_placement(mesh, lower)) model.inject_fault(c);
+  model.stabilize(20000);
+
+  // The merge places upper's info on lower's envelope and continuation
+  // walls at lower's rings (x=3 and x=10); the old straight segments at
+  // x=5/x=9 BELOW the lower block are out of date and must be gone.
+  EXPECT_FALSE(model.info().holds(mesh.index_of(Coord{5, 1}), upper))
+      << "stale pre-merge wall segment survived";
+  EXPECT_FALSE(model.info().holds(mesh.index_of(Coord{9, 1}), upper));
+  // Fixpoint equality with the centralized reference.
+  const auto placement = compute_information_placement(mesh, {upper, lower}, model.epoch());
+  long long mismatches = 0;
+  for (NodeId id = 0; id < mesh.node_count(); ++id) {
+    const auto got = model.info().at(id);
+    const auto want = placement.store.at(id);
+    if (got.size() != want.size()) ++mismatches;
+  }
+  EXPECT_EQ(mismatches, 0);
+}
+
+TEST(BoundaryProtocol, MemoryWipedOnFailureAndRecovery) {
+  const MeshTopology mesh(2, 12);
+  DistributedFaultModel model(mesh);
+  model.inject_fault(Coord{6, 6});
+  model.stabilize(20000);
+
+  // (5,5) is an envelope corner holding info; fail it — its memory must go.
+  const NodeId victim = mesh.index_of(Coord{5, 5});
+  ASSERT_FALSE(model.info().at(victim).empty());
+  model.inject_fault(Coord{5, 5});
+  EXPECT_TRUE(model.info().at(victim).empty());
+  model.stabilize(20000);
+
+  // Recover it: it must boot empty and then RELEARN the (new, merged) block
+  // info from its neighbours' constructions.
+  model.recover(Coord{5, 5});
+  model.stabilize(20000);
+  const auto blocks = block_boxes(model.field());
+  ASSERT_EQ(blocks.size(), 1u);
+  EXPECT_TRUE(model.info().holds(victim, blocks[0]))
+      << "recovered node must relearn the surviving block's info";
+}
+
+TEST(BoundaryProtocol, EagerInvalidationAblation) {
+  // With eager invalidation off, deletion still happens via the corner rule
+  // (slower but converging to the same fixpoint for simple shrink events).
+  const MeshTopology mesh(2, 12);
+  DistributedModelOptions opts;
+  opts.eager_invalidation = false;
+  DistributedFaultModel model(mesh, opts);
+  model.inject_fault(Coord{6, 6});
+  model.stabilize(20000);
+  model.recover(Coord{6, 6});
+  model.stabilize(20000);
+  EXPECT_EQ(model.info().total_entries(), 0);
+}
+
+TEST(BoundaryProtocol, InfoStoreEpochSemantics) {
+  const MeshTopology mesh(2, 6);
+  InfoStore store(mesh);
+  const Box b(Coord{2, 2}, Coord{3, 3});
+  EXPECT_TRUE(store.deposit(0, BlockInfo{b, 5}));
+  EXPECT_FALSE(store.deposit(0, BlockInfo{b, 5})) << "same epoch: no change";
+  EXPECT_FALSE(store.deposit(0, BlockInfo{b, 3})) << "older epoch: ignored";
+  EXPECT_TRUE(store.deposit(0, BlockInfo{b, 9})) << "newer epoch: refresh";
+
+  EXPECT_FALSE(store.cancel(0, b, 5)) << "cancel below stored epoch: no-op";
+  EXPECT_TRUE(store.holds(0, b));
+  EXPECT_TRUE(store.cancel(0, b, 9));
+  EXPECT_FALSE(store.holds(0, b));
+}
+
+TEST(BoundaryProtocol, InfoStoreProvenanceUpgrade) {
+  const MeshTopology mesh(2, 6);
+  InfoStore store(mesh);
+  const Box b(Coord{2, 2}, Coord{3, 3});
+  Provenance merged;
+  merged.via = InfoVia::kMerged;
+  merged.carrier = Box(Coord{0, 0}, Coord{1, 1});
+  store.deposit(0, BlockInfo{b, 1}, merged);
+  EXPECT_EQ(store.provenance_at(0)[0].via, InfoVia::kMerged);
+
+  Provenance wall;
+  wall.via = InfoVia::kWall;
+  store.deposit(0, BlockInfo{b, 1}, wall);
+  EXPECT_EQ(store.provenance_at(0)[0].via, InfoVia::kWall) << "stronger justification wins";
+
+  store.deposit(0, BlockInfo{b, 1}, Provenance{});  // envelope
+  EXPECT_EQ(store.provenance_at(0)[0].via, InfoVia::kEnvelope);
+
+  store.deposit(0, BlockInfo{b, 2}, merged);
+  EXPECT_EQ(store.provenance_at(0)[0].via, InfoVia::kEnvelope)
+      << "weaker justification never downgrades";
+}
+
+TEST(BoundaryProtocol, OnWallColumnGeometry) {
+  const Box b(Coord{4, 6}, Coord{6, 8});  // 2-D block
+  // Wall columns for S_{y,+} sit at x = 3 and x = 7, y < 6.
+  EXPECT_TRUE(DistributedFaultModel::on_wall_column(Coord{3, 2}, b, 1, true));
+  EXPECT_TRUE(DistributedFaultModel::on_wall_column(Coord{7, 5}, b, 1, true));
+  EXPECT_FALSE(DistributedFaultModel::on_wall_column(Coord{5, 2}, b, 1, true))
+      << "inside the cross-section is the dangerous area, not the wall";
+  EXPECT_FALSE(DistributedFaultModel::on_wall_column(Coord{2, 2}, b, 1, true))
+      << "two columns out is beyond the wall";
+  EXPECT_FALSE(DistributedFaultModel::on_wall_column(Coord{3, 7}, b, 1, true))
+      << "beside the block, not beyond it";
+  EXPECT_FALSE(DistributedFaultModel::on_wall_column(Coord{3, 12}, b, 1, true))
+      << "wrong side for S_{y,+}";
+  EXPECT_TRUE(DistributedFaultModel::on_wall_column(Coord{3, 12}, b, 1, false));
+}
+
+}  // namespace
+}  // namespace lgfi

@@ -1,0 +1,94 @@
+// Unit tests for Box, the geometric core of the faulty-block model.
+
+#include <gtest/gtest.h>
+
+#include "src/mesh/box.h"
+
+namespace lgfi {
+namespace {
+
+TEST(Box, CornerConstructionNormalizes) {
+  const Box b(Coord{5, 1}, Coord{2, 4});
+  EXPECT_EQ(b.lo(0), 2);
+  EXPECT_EQ(b.hi(0), 5);
+  EXPECT_EQ(b.lo(1), 1);
+  EXPECT_EQ(b.hi(1), 4);
+}
+
+TEST(Box, PaperNotationString) {
+  // The paper writes the Figure 1 block as [3:5, 5:6, 3:4].
+  const Box b(Coord{3, 5, 3}, Coord{5, 6, 4});
+  EXPECT_EQ(b.to_string(), "[3:5, 5:6, 3:4]");
+}
+
+TEST(Box, EmptyAndVolume) {
+  EXPECT_TRUE(Box().empty());
+  const Box b(Coord{3, 5, 3}, Coord{5, 6, 4});
+  EXPECT_FALSE(b.empty());
+  EXPECT_EQ(b.volume(), 3 * 2 * 2);
+  EXPECT_EQ(Box::point(Coord{1, 1}).volume(), 1);
+}
+
+TEST(Box, MaxExtentIsEmax) {
+  const Box b(Coord{3, 5, 3}, Coord{5, 6, 4});
+  EXPECT_EQ(b.max_extent(), 3);  // x spans 3:5
+}
+
+TEST(Box, Contains) {
+  const Box b(Coord{3, 5, 3}, Coord{5, 6, 4});
+  EXPECT_TRUE(b.contains(Coord{4, 5, 3}));
+  EXPECT_TRUE(b.contains(Coord{3, 5, 3}));
+  EXPECT_TRUE(b.contains(Coord{5, 6, 4}));
+  EXPECT_FALSE(b.contains(Coord{2, 5, 3}));
+  EXPECT_FALSE(b.contains(Coord{4, 7, 3}));
+}
+
+TEST(Box, IntersectionAndHull) {
+  const Box a(Coord{0, 0}, Coord{4, 4});
+  const Box b(Coord{3, 2}, Coord{7, 9});
+  ASSERT_TRUE(a.intersects(b));
+  const auto i = a.intersection(b);
+  ASSERT_TRUE(i.has_value());
+  EXPECT_EQ(*i, Box(Coord{3, 2}, Coord{4, 4}));
+  EXPECT_EQ(a.hull(b), Box(Coord{0, 0}, Coord{7, 9}));
+
+  const Box c(Coord{6, 0}, Coord{8, 1});
+  EXPECT_FALSE(a.intersects(c));
+  EXPECT_FALSE(a.intersection(c).has_value());
+}
+
+TEST(Box, InflatedIsTheEnvelopeShell) {
+  const Box b(Coord{3, 5, 3}, Coord{5, 6, 4});
+  const Box e = b.inflated(1);
+  EXPECT_EQ(e, Box(Coord{2, 4, 2}, Coord{6, 7, 5}));
+  EXPECT_EQ(e.volume() - b.volume(), 5 * 4 * 4 - 12);
+}
+
+TEST(Box, TouchesUsesChebyshevDistanceOne) {
+  const Box a(Coord{0, 0}, Coord{1, 1});
+  EXPECT_TRUE(a.touches(Box(Coord{2, 2}, Coord{3, 3})));   // diagonal contact
+  EXPECT_FALSE(a.touches(Box(Coord{3, 0}, Coord{4, 1})));  // gap of one column
+  EXPECT_TRUE(a.touches(Box(Coord{2, 0}, Coord{3, 1})));   // face contact
+}
+
+TEST(Box, ForEachVisitsEveryNodeOnce) {
+  const Box b(Coord{1, 2, 3}, Coord{2, 3, 4});
+  const auto coords = b.all_coords();
+  EXPECT_EQ(static_cast<long long>(coords.size()), b.volume());
+  for (const auto& c : coords) EXPECT_TRUE(b.contains(c));
+  // Lexicographic order, no duplicates.
+  for (size_t i = 1; i < coords.size(); ++i) EXPECT_TRUE(coords[i - 1] < coords[i]);
+}
+
+TEST(Box, HullWithCoordGrowsMinimally) {
+  Box b = Box::point(Coord{3, 3});
+  b = b.hull(Coord{5, 1});
+  EXPECT_EQ(b, Box(Coord{3, 1}, Coord{5, 3}));
+}
+
+TEST(Box, MinimalPathBoxIsRect) {
+  EXPECT_EQ(minimal_path_box(Coord{1, 7}, Coord{4, 2}), Box(Coord{1, 2}, Coord{4, 7}));
+}
+
+}  // namespace
+}  // namespace lgfi

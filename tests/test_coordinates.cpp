@@ -1,0 +1,107 @@
+// Unit tests for Coord, Direction and DirectionSet (Section 2.1 geometry).
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_set>
+
+#include "src/mesh/coordinates.h"
+#include "src/mesh/direction.h"
+
+namespace lgfi {
+namespace {
+
+TEST(Coord, ConstructionAndAccess) {
+  const Coord c{3, 5, 4};
+  EXPECT_EQ(c.size(), 3);
+  EXPECT_EQ(c[0], 3);
+  EXPECT_EQ(c[1], 5);
+  EXPECT_EQ(c[2], 4);
+  EXPECT_EQ(c.to_string(), "(3,5,4)");
+}
+
+TEST(Coord, ZeroOfDims) {
+  const Coord z(4);
+  EXPECT_EQ(z.size(), 4);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(z[i], 0);
+}
+
+TEST(Coord, WithAndShifted) {
+  const Coord c{1, 2, 3};
+  EXPECT_EQ(c.with(1, 9), (Coord{1, 9, 3}));
+  EXPECT_EQ(c.shifted(2, -1), (Coord{1, 2, 2}));
+  EXPECT_EQ(c, (Coord{1, 2, 3})) << "with/shifted must not mutate";
+}
+
+TEST(Coord, ManhattanDistanceMatchesPaperDefinition) {
+  // D(u, v) = |u1-v1| + |u2-v2| + ... + |un-vn|
+  EXPECT_EQ(manhattan_distance(Coord{0, 0, 0}, Coord{3, 5, 4}), 12);
+  EXPECT_EQ(manhattan_distance(Coord{5, 5}, Coord{5, 5}), 0);
+  EXPECT_EQ(manhattan_distance(Coord{2, 7}, Coord{7, 2}), 10);
+}
+
+TEST(Coord, LexicographicOrder) {
+  std::set<Coord> s{Coord{1, 2}, Coord{0, 9}, Coord{1, 1}};
+  auto it = s.begin();
+  EXPECT_EQ(*it++, (Coord{0, 9}));
+  EXPECT_EQ(*it++, (Coord{1, 1}));
+  EXPECT_EQ(*it++, (Coord{1, 2}));
+}
+
+TEST(Coord, HashDistinguishesDimensionality) {
+  std::unordered_set<Coord, CoordHash> s;
+  s.insert(Coord{0, 0});
+  s.insert(Coord{0, 0, 0});
+  EXPECT_EQ(s.size(), 2u);
+}
+
+TEST(Direction, EncodingRoundTrip) {
+  for (int dim = 0; dim < kMaxDims; ++dim) {
+    for (bool pos : {false, true}) {
+      const Direction d(dim, pos);
+      EXPECT_EQ(d.dim(), dim);
+      EXPECT_EQ(d.positive(), pos);
+      EXPECT_EQ(Direction::from_index(d.index()), d);
+    }
+  }
+}
+
+TEST(Direction, OppositeFlipsSignOnly) {
+  const Direction d(2, true);
+  EXPECT_EQ(d.opposite(), Direction(2, false));
+  EXPECT_EQ(d.opposite().opposite(), d);
+}
+
+TEST(Direction, ApplyMovesOneHop) {
+  const Coord c{4, 4, 4};
+  EXPECT_EQ(Direction(0, true).apply(c), (Coord{5, 4, 4}));
+  EXPECT_EQ(Direction(1, false).apply(c), (Coord{4, 3, 4}));
+  EXPECT_EQ(Direction(2, true).apply(c), (Coord{4, 4, 5}));
+}
+
+TEST(Direction, NoneIsDistinct) {
+  EXPECT_TRUE(Direction::none().is_none());
+  EXPECT_FALSE(Direction(0, false).is_none());
+}
+
+TEST(DirectionSet, InsertContainsErase) {
+  DirectionSet s;
+  EXPECT_TRUE(s.empty());
+  s.insert(Direction(1, true));
+  s.insert(Direction(0, false));
+  EXPECT_TRUE(s.contains(Direction(1, true)));
+  EXPECT_FALSE(s.contains(Direction(1, false)));
+  EXPECT_EQ(s.count(), 2);
+  s.erase(Direction(1, true));
+  EXPECT_FALSE(s.contains(Direction(1, true)));
+  EXPECT_EQ(s.count(), 1);
+}
+
+TEST(DirectionSet, HoldsAllDirectionsOfMaxDims) {
+  DirectionSet s;
+  for (int i = 0; i < 2 * kMaxDims; ++i) s.insert(Direction::from_index(i));
+  EXPECT_EQ(s.count(), 2 * kMaxDims);
+}
+
+}  // namespace
+}  // namespace lgfi

@@ -1,0 +1,100 @@
+// Tests for the Theorem 3/4/5 bound calculators.
+
+#include <gtest/gtest.h>
+
+#include "src/routing/detour_bounds.h"
+
+namespace lgfi {
+namespace {
+
+DynamicFaultTimeline simple_timeline() {
+  DynamicFaultTimeline tl;
+  tl.t = {10, 40, 70, 100};  // d_i = 30
+  tl.a = {3, 3, 3, 3};
+  tl.e_max = 4;
+  tl.route_start = 10;
+  return tl;
+}
+
+TEST(DetourBounds, FaultsBeforeStart) {
+  auto tl = simple_timeline();
+  EXPECT_EQ(tl.faults_before_start(), 1u);  // t_1 = 10 <= 10
+  tl.route_start = 75;
+  EXPECT_EQ(tl.faults_before_start(), 3u);
+  tl.route_start = 5;
+  EXPECT_EQ(tl.faults_before_start(), 0u);
+}
+
+TEST(DetourBounds, IntervalAndAMax) {
+  const auto tl = simple_timeline();
+  EXPECT_EQ(tl.interval(0), 30);
+  EXPECT_EQ(tl.a_max(), 3);
+}
+
+TEST(DetourBounds, Theorem3TrajectoryIsMonotoneNonIncreasing) {
+  const auto tl = simple_timeline();
+  const auto bounds = theorem3_distance_bounds(tl, 20);
+  ASSERT_EQ(bounds.size(), 4u);
+  EXPECT_EQ(bounds[0], 20) << "i <= p: message still at source, D(i) = D";
+  for (size_t i = 1; i < bounds.size(); ++i) EXPECT_LE(bounds[i], bounds[i - 1]);
+}
+
+TEST(DetourBounds, Theorem3ProgressPerInterval) {
+  // With d = 30, a = 3, e_max = 4 the guaranteed progress per interval is
+  // d - 2a - 2e = 30 - 6 - 8 = 16.
+  auto tl = simple_timeline();
+  tl.route_start = 10;
+  const auto bounds = theorem3_distance_bounds(tl, 40);
+  // i = p+1 = 2 (1-based): first full interval elapsed.
+  EXPECT_EQ(bounds[1], 40 - 16);
+  EXPECT_EQ(bounds[2], 40 - 32);
+  EXPECT_EQ(bounds[3], 0) << "clamped at zero";
+}
+
+TEST(DetourBounds, Theorem4SmallDistanceFitsOneInterval) {
+  const auto tl = simple_timeline();
+  const auto b = theorem4_bound(tl, 10);
+  EXPECT_EQ(b.k, 1);
+  EXPECT_EQ(b.max_detours, 1 * (4 + 3));
+}
+
+TEST(DetourBounds, Theorem4LargerDistanceSpansMoreIntervals) {
+  const auto tl = simple_timeline();
+  // progress 16/interval: D = 20 -> k = 2; D = 40 -> k = 3.
+  EXPECT_EQ(theorem4_bound(tl, 20).k, 2);
+  EXPECT_EQ(theorem4_bound(tl, 40).k, 3);
+  EXPECT_EQ(theorem4_bound(tl, 40).max_detours, 3 * 7);
+}
+
+TEST(DetourBounds, Theorem4CreditsElapsedIntervalTime) {
+  // Starting mid-interval credits t - t_p against the distance budget.
+  auto tl = simple_timeline();
+  tl.route_start = 25;  // 15 steps into interval d_1
+  const auto late = theorem4_bound(tl, 20);
+  tl.route_start = 10;
+  const auto early = theorem4_bound(tl, 20);
+  EXPECT_LE(late.k, early.k + 1);
+  EXPECT_GE(late.k, early.k) << "never fewer intervals when starting later in one";
+}
+
+TEST(DetourBounds, Theorem5MirrorsTheorem4WithPathLength) {
+  const auto tl = simple_timeline();
+  EXPECT_EQ(theorem5_bound(tl, 20).k, theorem4_bound(tl, 20).k)
+      << "Theorem 5 is Theorem 4 with L in place of D";
+}
+
+TEST(DetourBounds, ZeroBudgetMeansZeroIntervals) {
+  const auto tl = simple_timeline();
+  EXPECT_EQ(theorem4_bound(tl, 0).k, 0);
+  EXPECT_EQ(theorem4_bound(tl, 0).max_detours, 0);
+}
+
+TEST(DetourBounds, RunsOutOfKnownFaultsGracefully) {
+  // Huge distance: k saturates at the number of known intervals + 1.
+  const auto tl = simple_timeline();
+  const auto b = theorem4_bound(tl, 100000);
+  EXPECT_GE(b.k, 4);
+}
+
+}  // namespace
+}  // namespace lgfi

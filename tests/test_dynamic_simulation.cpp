@@ -1,0 +1,167 @@
+// Tests for the Section 5 step model: routing proceeding hand-in-hand with
+// the information constructions, Theorem 1 (recoveries don't hurt optimal
+// routing), and the Theorem 3/4 instrumentation.
+
+#include <gtest/gtest.h>
+
+#include "src/core/dynamic_simulation.h"
+#include "src/core/network.h"
+#include "src/core/scenario.h"
+#include "src/fault/safety.h"
+
+namespace lgfi {
+namespace {
+
+TEST(DynamicSimulation, FaultFreeMessageTakesMinimalPath) {
+  const MeshTopology mesh(2, 10);
+  DynamicSimulation sim(mesh, FaultSchedule{});
+  const int id = sim.launch_message(Coord{0, 0}, Coord{7, 5});
+  sim.run();
+  const auto& msg = sim.message(id);
+  EXPECT_TRUE(msg.delivered);
+  EXPECT_EQ(msg.header.total_steps(), 12);
+  EXPECT_EQ(msg.detours(), 0);
+  EXPECT_EQ(msg.end_step, 12) << "one hop per step, launched at step 0";
+}
+
+TEST(DynamicSimulation, StaticFaultsConvergeThenRouteMinimallyIfSafe) {
+  // Faults occur before the routing starts (p >= 1); after convergence a
+  // safe-source message is minimal, as in the static world.
+  const MeshTopology mesh(2, 12);
+  FaultSchedule schedule;
+  for (const auto& c : box_fault_placement(mesh, Box(Coord{8, 8}, Coord{9, 9})))
+    schedule.add_fail(0, c);
+  DynamicSimulation sim(mesh, schedule);
+  for (int i = 0; i < 60; ++i) sim.step();  // let everything converge
+
+  const int id = sim.launch_message(Coord{0, 0}, Coord{6, 6});
+  sim.run();
+  const auto& msg = sim.message(id);
+  EXPECT_TRUE(msg.delivered);
+  EXPECT_EQ(msg.detours(), 0);
+}
+
+TEST(DynamicSimulation, OccurrenceRecordsMeasureConvergence) {
+  const MeshTopology mesh(3, 8);
+  FaultSchedule schedule;
+  for (const auto& c : figure1_faults()) schedule.add_fail(2, c);
+  DynamicSimulation sim(mesh, schedule);
+  sim.run(200);
+  ASSERT_EQ(sim.occurrences().size(), 1u);
+  const auto& rec = sim.occurrences()[0];
+  EXPECT_EQ(rec.step, 2);
+  EXPECT_GT(rec.rounds_labeling, 0);
+  EXPECT_LE(rec.rounds_labeling, 6);
+  EXPECT_GT(rec.rounds_identification, rec.rounds_labeling);
+  EXPECT_GE(rec.rounds_boundary, rec.rounds_identification - 2);
+  EXPECT_EQ(rec.e_max_after, 3);
+  EXPECT_TRUE(rec.stabilized_before_next);
+}
+
+TEST(DynamicSimulation, LambdaSpeedsUpConvergenceInSteps) {
+  // With lambda rounds per step, stabilization takes ~1/lambda as many steps.
+  auto steps_to_converge = [](int lambda) {
+    const MeshTopology mesh(3, 8);
+    FaultSchedule schedule;
+    for (const auto& c : figure1_faults()) schedule.add_fail(0, c);
+    DynamicSimulationOptions opts;
+    opts.lambda = lambda;
+    DynamicSimulation sim(mesh, schedule, opts);
+    sim.run(2000);
+    const auto& rec = sim.occurrences()[0];
+    return (rec.rounds_boundary + lambda - 1) / lambda;
+  };
+  const int steps1 = steps_to_converge(1);
+  const int steps4 = steps_to_converge(4);
+  EXPECT_LT(steps4, steps1);
+  EXPECT_LE(steps4, steps1 / 2);
+}
+
+TEST(DynamicSimulation, MessageSurvivesMidRouteFault) {
+  // A block appears right in the message's path while it travels.
+  const MeshTopology mesh(2, 16);
+  FaultSchedule schedule;
+  for (const auto& c : box_fault_placement(mesh, Box(Coord{7, 8}, Coord{10, 9})))
+    schedule.add_fail(4, c);
+  DynamicSimulation sim(mesh, schedule);
+  const int id = sim.launch_message(Coord{8, 1}, Coord{8, 14});
+  sim.run(4000);
+  const auto& msg = sim.message(id);
+  EXPECT_TRUE(msg.delivered) << "dynamic fault must not kill the route";
+  EXPECT_GT(msg.detours(), 0) << "the new block forces a detour";
+  ASSERT_EQ(msg.distance_at_occurrence.size(), 1u);
+  EXPECT_LE(msg.distance_at_occurrence[0], msg.initial_distance);
+}
+
+TEST(DynamicSimulation, Theorem1RecoveryDoesNotHurtOptimality) {
+  // Recover a fault before launching: once constructions stabilize, a path
+  // through the recovered area is minimal again (Theorem 1's spirit).
+  const MeshTopology mesh(2, 12);
+  FaultSchedule schedule;
+  for (const auto& c : box_fault_placement(mesh, Box(Coord{5, 5}, Coord{6, 6})))
+    schedule.add_fail(0, c);
+  for (const auto& c : box_fault_placement(mesh, Box(Coord{5, 5}, Coord{6, 6})))
+    schedule.add_recover(30, c);
+  DynamicSimulation sim(mesh, schedule);
+  for (int i = 0; i < 90; ++i) sim.step();
+
+  const int id = sim.launch_message(Coord{5, 0}, Coord{5, 11});
+  sim.run(4000);
+  const auto& msg = sim.message(id);
+  EXPECT_TRUE(msg.delivered);
+  EXPECT_EQ(msg.detours(), 0) << "stale boundary info must not cause detours";
+}
+
+TEST(DynamicSimulation, TimelineFeedsTheoremBounds) {
+  const MeshTopology mesh(2, 14);
+  FaultSchedule schedule;
+  schedule.add_fail(0, Coord{4, 4});
+  schedule.add_fail(40, Coord{9, 9});
+  schedule.add_fail(80, Coord{4, 9});
+  DynamicSimulation sim(mesh, schedule);
+  const int id = sim.launch_message(Coord{0, 0}, Coord{12, 12});
+  sim.run(4000);
+  EXPECT_TRUE(sim.message(id).delivered);
+
+  const auto tl = sim.timeline(0);
+  ASSERT_EQ(tl.t.size(), 3u);
+  EXPECT_EQ(tl.t[0], 0);
+  EXPECT_EQ(tl.t[1], 40);
+  EXPECT_GT(tl.e_max, 0);
+  const auto bound = theorem4_bound(tl, sim.message(id).initial_distance);
+  EXPECT_EQ(bound.max_extra_steps, 2 * bound.max_detours);
+  EXPECT_GE(bound.max_extra_steps, sim.message(id).detours())
+      << "Theorem 4 must bound the measured extra steps";
+}
+
+TEST(DynamicSimulation, InfoModesAllDeliver) {
+  for (const InfoMode mode : {InfoMode::kLimitedGlobal, InfoMode::kNone,
+                              InfoMode::kInstantGlobal, InfoMode::kDelayedGlobal}) {
+    const MeshTopology mesh(2, 12);
+    FaultSchedule schedule;
+    for (const auto& c : box_fault_placement(mesh, Box(Coord{4, 5}, Coord{7, 6})))
+      schedule.add_fail(0, c);
+    DynamicSimulationOptions opts;
+    opts.info_mode = mode;
+    DynamicSimulation sim(mesh, schedule, opts);
+    for (int i = 0; i < 60; ++i) sim.step();
+    const int id = sim.launch_message(Coord{5, 1}, Coord{5, 10});
+    sim.run(4000);
+    EXPECT_TRUE(sim.message(id).delivered) << "mode " << static_cast<int>(mode);
+  }
+}
+
+TEST(Network, QuickstartFacade) {
+  Network net(MeshTopology(3, 8));
+  for (const auto& c : figure1_faults()) net.inject_fault(c);
+  net.stabilize();
+  const auto blocks = net.blocks();
+  ASSERT_EQ(blocks.size(), 1u);
+  EXPECT_EQ(blocks[0].box, figure1_block());
+
+  const auto r = net.route(Coord{0, 0, 0}, Coord{7, 7, 7});
+  EXPECT_TRUE(r.delivered);
+}
+
+}  // namespace
+}  // namespace lgfi

@@ -1,0 +1,94 @@
+// Tests for the table/CSV reporters backing the benchmark harness.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "src/sim/table_printer.h"
+
+namespace lgfi {
+namespace {
+
+TEST(TablePrinter, AlignsColumns) {
+  TablePrinter t({"name", "value"});
+  t.add_row({"x", "1"});
+  t.add_row({"longer-name", "22"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("longer-name"), std::string::npos);
+  // Header separator present.
+  EXPECT_NE(out.find("---"), std::string::npos);
+  // All data lines share the same column start for "value"/1/22.
+  std::istringstream is(out);
+  std::string header, sep, row1, row2;
+  std::getline(is, header);
+  std::getline(is, sep);
+  std::getline(is, row1);
+  std::getline(is, row2);
+  EXPECT_EQ(header.find("value"), row1.find("1"));
+  EXPECT_EQ(header.find("value"), row2.find("22"));
+}
+
+TEST(TablePrinter, ShortRowsPadded) {
+  TablePrinter t({"a", "b", "c"});
+  t.add_row({"only-one"});
+  EXPECT_EQ(t.rows()[0].size(), 3u);
+  EXPECT_EQ(t.rows()[0][2], "");
+}
+
+TEST(TablePrinter, NumberFormatting) {
+  EXPECT_EQ(TablePrinter::num(3.14159, 2), "3.14");
+  EXPECT_EQ(TablePrinter::num(3.0, 0), "3");
+  EXPECT_EQ(TablePrinter::num(42), "42");
+  EXPECT_EQ(TablePrinter::num(-7LL), "-7");
+}
+
+TEST(CsvWriter, EscapesSpecialCharacters) {
+  const std::string path = testing::TempDir() + "lgfi_csv_test.csv";
+  {
+    CsvWriter csv(path);
+    csv.write_row({"plain", "with,comma", "with\"quote", "multi\nline"});
+  }
+  std::ifstream in(path);
+  std::stringstream content;
+  content << in.rdbuf();
+  EXPECT_EQ(content.str(), "plain,\"with,comma\",\"with\"\"quote\",\"multi\nline\"\n");
+  std::remove(path.c_str());
+}
+
+TEST(CsvWriter, WritesWholeTable) {
+  const std::string path = testing::TempDir() + "lgfi_csv_table.csv";
+  {
+    TablePrinter t({"h1", "h2"});
+    t.add_row({"a", "b"});
+    t.add_row({"c", "d"});
+    CsvWriter csv(path);
+    csv.write_table(t);
+  }
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "h1,h2");
+  std::getline(in, line);
+  EXPECT_EQ(line, "a,b");
+  std::getline(in, line);
+  EXPECT_EQ(line, "c,d");
+  std::remove(path.c_str());
+}
+
+TEST(CsvWriter, ThrowsOnBadPath) {
+  EXPECT_THROW(CsvWriter("/nonexistent-dir-lgfi/x.csv"), std::runtime_error);
+}
+
+TEST(Banner, Format) {
+  std::ostringstream os;
+  print_banner(os, "Title Here");
+  EXPECT_EQ(os.str(), "\n== Title Here ==\n");
+}
+
+}  // namespace
+}  // namespace lgfi

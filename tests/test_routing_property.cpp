@@ -1,0 +1,152 @@
+// Parameterized property sweeps for the routing layer (P4-P7 across
+// dimensionalities, radices and fault densities): termination, delivery
+// completeness, safe-source minimality, boundary interception end-to-end,
+// and consistency between router variants.
+
+#include <gtest/gtest.h>
+
+#include "src/core/network.h"
+#include "src/core/scenario.h"
+#include "src/fault/boundary_model.h"
+#include "src/fault/safety.h"
+#include "src/routing/no_info_router.h"
+#include "src/routing/oracle_router.h"
+#include "src/routing/route_walker.h"
+#include "src/sim/fault_schedule.h"
+
+namespace lgfi {
+namespace {
+
+struct SweepCase {
+  int dims;
+  int radix;
+  int faults;
+  uint64_t seed;
+};
+
+std::string case_name(const ::testing::TestParamInfo<SweepCase>& info) {
+  return "d" + std::to_string(info.param.dims) + "k" + std::to_string(info.param.radix) +
+         "f" + std::to_string(info.param.faults);
+}
+
+class RoutingSweep : public ::testing::TestWithParam<SweepCase> {
+ protected:
+  void SetUp() override {
+    const auto p = GetParam();
+    mesh_ = std::make_unique<MeshTopology>(p.dims, p.radix);
+    net_ = std::make_unique<Network>(*mesh_);
+    rng_ = std::make_unique<Rng>(p.seed);
+    for (const auto& c : random_fault_placement(*mesh_, p.faults, *rng_))
+      net_->inject_fault(c);
+    net_->stabilize(200000);
+  }
+
+  std::unique_ptr<MeshTopology> mesh_;
+  std::unique_ptr<Network> net_;
+  std::unique_ptr<Rng> rng_;
+};
+
+TEST_P(RoutingSweep, EveryRouteTerminates) {
+  for (int i = 0; i < 25; ++i) {
+    const auto pair = random_enabled_pair(*mesh_, net_->field(), *rng_);
+    const auto r = net_->route(pair.source, pair.dest);
+    EXPECT_TRUE(r.delivered || r.unreachable || r.budget_exhausted);
+  }
+}
+
+TEST_P(RoutingSweep, SafeSourceIsMinimal) {
+  const auto blocks = block_boxes(net_->field());
+  int tested = 0;
+  for (int i = 0; i < 60 && tested < 15; ++i) {
+    const auto pair = random_enabled_pair(*mesh_, net_->field(), *rng_);
+    if (!is_safe_source(blocks, pair.source, pair.dest)) continue;
+    ++tested;
+    const auto r = net_->route(pair.source, pair.dest);
+    EXPECT_TRUE(r.delivered);
+    EXPECT_EQ(r.detours(), 0) << pair.source.to_string() << " -> " << pair.dest.to_string();
+  }
+  EXPECT_GT(tested, 0);
+}
+
+TEST_P(RoutingSweep, InformedNeverWorseThanBlindOnAverage) {
+  // Aggregate over pairs: the limited-global info must not increase the
+  // total step count (per-pair ties are common; regressions are not).
+  EmptyInfoProvider empty;
+  auto blind = make_no_info_router();
+  RoutingContext blind_ctx = net_->context();
+  blind_ctx.info = &empty;
+
+  long long informed_steps = 0, blind_steps = 0;
+  int comparable = 0;
+  for (int i = 0; i < 30; ++i) {
+    const auto pair = random_enabled_pair(*mesh_, net_->field(), *rng_);
+    const auto a = net_->route(pair.source, pair.dest);
+    const auto b = run_static_route(blind_ctx, blind, pair.source, pair.dest);
+    if (!a.delivered || !b.delivered) continue;
+    ++comparable;
+    informed_steps += a.total_steps;
+    blind_steps += b.total_steps;
+  }
+  ASSERT_GT(comparable, 5);
+  EXPECT_LE(informed_steps, blind_steps);
+}
+
+TEST_P(RoutingSweep, InformedTracksOracle) {
+  // Delivered informed routes stay within a small factor of the BFS optimum.
+  int tested = 0;
+  double worst_ratio = 1.0;
+  for (int i = 0; i < 30; ++i) {
+    const auto pair = random_enabled_pair(*mesh_, net_->field(), *rng_);
+    const auto opt = oracle_path_length(*mesh_, net_->field(), pair.source, pair.dest);
+    if (!opt.has_value() || *opt == 0) continue;
+    const auto r = net_->route(pair.source, pair.dest);
+    if (!r.delivered) continue;
+    ++tested;
+    worst_ratio = std::max(worst_ratio,
+                           static_cast<double>(r.total_steps) / static_cast<double>(*opt));
+  }
+  ASSERT_GT(tested, 5);
+  EXPECT_LT(worst_ratio, 4.0) << "informed routing should not blow up vs the oracle";
+}
+
+TEST_P(RoutingSweep, InterceptionEndToEnd) {
+  // P4 on the live distributed placement: any monotone walk entering a
+  // block's dangerous prism crosses an informed node no later than entry.
+  const auto blocks = block_boxes(net_->field());
+  for (const auto& block : blocks) {
+    for (int dim = 0; dim < mesh_->dims(); ++dim) {
+      for (bool positive : {false, true}) {
+        const Box danger = dangerous_region(*mesh_, block, Surface{dim, positive});
+        if (danger.empty() || danger.volume() < 2) continue;
+        // Walk straight into the prism along `dim` from outside.
+        Coord goal = danger.lo();
+        Coord start = goal.with(dim, positive ? 0 : mesh_->extent(dim) - 1);
+        if (danger.contains(start)) continue;
+        Coord cur = start;
+        bool informed = net_->model().info().holds(mesh_->index_of(cur), block);
+        bool ok = true;
+        int guard = 0;
+        while (cur != goal && guard++ < 2 * mesh_->extent(dim)) {
+          cur = cur.shifted(dim, cur[dim] < goal[dim] ? 1 : -1);
+          if (block.contains(cur)) break;
+          if (net_->model().info().holds(mesh_->index_of(cur), block)) informed = true;
+          if (danger.contains(cur) && !informed) ok = false;
+        }
+        EXPECT_TRUE(ok) << "uninformed entry into " << danger.to_string() << " of "
+                        << block.to_string();
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, RoutingSweep,
+    ::testing::Values(SweepCase{2, 12, 6, 11}, SweepCase{2, 16, 14, 12},
+                      SweepCase{2, 20, 28, 13}, SweepCase{3, 8, 8, 14},
+                      SweepCase{3, 10, 18, 15}, SweepCase{3, 12, 30, 16},
+                      SweepCase{4, 6, 10, 17}, SweepCase{4, 7, 20, 18},
+                      SweepCase{5, 5, 10, 19}),
+    case_name);
+
+}  // namespace
+}  // namespace lgfi

@@ -1,0 +1,82 @@
+// Tests for Theorem 2's safe-source classification.
+
+#include <gtest/gtest.h>
+
+#include "src/fault/block_analyzer.h"
+#include "src/fault/labeling.h"
+#include "src/fault/safety.h"
+#include "src/sim/fault_schedule.h"
+#include "src/sim/rng.h"
+
+namespace lgfi {
+namespace {
+
+TEST(Safety, NoBlocksMeansAlwaysSafe) {
+  EXPECT_TRUE(is_safe_source({}, Coord{0, 0}, Coord{7, 7}));
+}
+
+TEST(Safety, BlockInsideSectionMakesUnsafe) {
+  // Theorem 2 with source at the origin: block intersecting [0:u_i] sections.
+  const std::vector<Box> blocks{Box(Coord{3, 3}, Coord{4, 4})};
+  EXPECT_FALSE(is_safe_source(blocks, Coord{0, 0}, Coord{7, 7}));
+  EXPECT_TRUE(is_safe_source(blocks, Coord{0, 0}, Coord{2, 7}))
+      << "block outside the x-section";
+  EXPECT_TRUE(is_safe_source(blocks, Coord{0, 0}, Coord{7, 2}))
+      << "block outside the y-section";
+}
+
+TEST(Safety, GeneralSourceUsesMinimalPathBox) {
+  const std::vector<Box> blocks{Box(Coord{5, 5, 5}, Coord{6, 6, 6})};
+  EXPECT_FALSE(is_safe_source(blocks, Coord{4, 4, 4}, Coord{7, 7, 7}));
+  EXPECT_TRUE(is_safe_source(blocks, Coord{4, 4, 4}, Coord{4, 7, 7}))
+      << "degenerate x-range misses the block";
+  EXPECT_FALSE(is_safe_source(blocks, Coord{7, 7, 7}, Coord{4, 4, 4}))
+      << "safety is symmetric in the pair";
+}
+
+TEST(Safety, TouchingTheBoxBoundaryCounts) {
+  const std::vector<Box> blocks{Box(Coord{3, 3}, Coord{3, 3})};
+  EXPECT_FALSE(is_safe_source(blocks, Coord{0, 0}, Coord{3, 3}))
+      << "destination inside a block section is unsafe";
+}
+
+TEST(Safety, SafeFractionDecreasesWithMoreBlocks) {
+  const MeshTopology m(2, 16);
+  Rng rng(0x5AFE);
+  std::vector<Coord> candidates;
+  m.bounds().for_each([&](const Coord& c) { candidates.push_back(c); });
+
+  std::vector<Box> few{Box(Coord{7, 7}, Coord{8, 8})};
+  std::vector<Box> many{Box(Coord{3, 3}, Coord{4, 4}), Box(Coord{7, 7}, Coord{8, 8}),
+                        Box(Coord{11, 11}, Coord{12, 12}), Box(Coord{3, 11}, Coord{4, 12}),
+                        Box(Coord{11, 3}, Coord{12, 4})};
+  Rng r1 = rng.fork(1);
+  Rng r2 = rng.fork(1);  // identical sampling for a fair comparison
+  const double f_few = safe_pair_fraction(few, candidates, 2000, r1);
+  const double f_many = safe_pair_fraction(many, candidates, 2000, r2);
+  EXPECT_GT(f_few, f_many);
+  EXPECT_GT(f_few, 0.5);
+  EXPECT_GT(f_many, 0.0);
+}
+
+TEST(Safety, SafeImpliesMinimalBoxClearOnRealFields) {
+  const MeshTopology m(3, 8);
+  Rng rng(0xBEEF);
+  for (int trial = 0; trial < 10; ++trial) {
+    Rng t = rng.fork(static_cast<uint64_t>(trial));
+    const auto faults = clustered_fault_placement(m, 6, t);
+    const StatusField f = stabilized_field(m, faults);
+    const auto blocks = block_boxes(f);
+    const Coord s{0, 0, 0};
+    const Coord d{7, 7, 7};
+    const bool safe = is_safe_source(blocks, s, d);
+    bool any_member_in_box = false;
+    minimal_path_box(s, d).for_each([&](const Coord& c) {
+      if (is_block_member(f.at(c))) any_member_in_box = true;
+    });
+    EXPECT_EQ(safe, !any_member_in_box);
+  }
+}
+
+}  // namespace
+}  // namespace lgfi

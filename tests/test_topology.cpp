@@ -1,0 +1,106 @@
+// Unit tests for the k-ary n-D mesh topology (Section 2.1).
+
+#include <gtest/gtest.h>
+
+#include "src/mesh/topology.h"
+
+namespace lgfi {
+namespace {
+
+TEST(Topology, KAryNDMeshBasics) {
+  // "A k-ary n-dimensional mesh with N = k^n nodes has an interior node
+  // degree of 2n and the network diameter is (k-1)n."
+  const MeshTopology m(3, 8);  // 8-ary 3-D
+  EXPECT_EQ(m.node_count(), 512);
+  EXPECT_EQ(m.direction_count(), 6);
+  EXPECT_EQ(m.diameter(), 21);
+  EXPECT_EQ(m.dims(), 3);
+  EXPECT_EQ(m.extent(1), 8);
+}
+
+TEST(Topology, MixedRadix) {
+  const MeshTopology m({4, 6, 2});
+  EXPECT_EQ(m.node_count(), 48);
+  EXPECT_EQ(m.diameter(), 3 + 5 + 1);
+}
+
+TEST(Topology, IndexCoordRoundTrip) {
+  const MeshTopology m({5, 3, 4});
+  for (NodeId id = 0; id < m.node_count(); ++id) {
+    const Coord c = m.coord_of(id);
+    EXPECT_EQ(m.index_of(c), id);
+    EXPECT_TRUE(m.in_bounds(c));
+  }
+}
+
+TEST(Topology, InteriorDegreeIs2N) {
+  const MeshTopology m(4, 5);
+  EXPECT_EQ(m.neighbors(Coord{2, 2, 2, 2}).size(), 8u);
+}
+
+TEST(Topology, CornerDegreeIsN) {
+  const MeshTopology m(3, 5);
+  EXPECT_EQ(m.neighbors(Coord{0, 0, 0}).size(), 3u);
+  EXPECT_EQ(m.neighbors(Coord{4, 4, 4}).size(), 3u);
+}
+
+TEST(Topology, NeighborsDifferInExactlyOneDim) {
+  const MeshTopology m(3, 6);
+  const Coord u{3, 0, 5};
+  for (const Coord& v : m.neighbors(u)) {
+    EXPECT_EQ(manhattan_distance(u, v), 1);
+  }
+}
+
+TEST(Topology, NeighborIdMatchesCoordShift) {
+  const MeshTopology m({4, 4, 4});
+  const Coord u{1, 2, 3};
+  const NodeId uid = m.index_of(u);
+  for (int i = 0; i < m.direction_count(); ++i) {
+    const Direction d = Direction::from_index(i);
+    const NodeId nid = m.neighbor(uid, d);
+    if (!m.has_neighbor(u, d)) {
+      EXPECT_EQ(nid, kInvalidNode);
+    } else {
+      EXPECT_EQ(nid, m.index_of(d.apply(u)));
+    }
+  }
+}
+
+TEST(Topology, OuterSurfaceDetection) {
+  const MeshTopology m(3, 8);
+  EXPECT_TRUE(m.on_outer_surface(Coord{0, 4, 4}));
+  EXPECT_TRUE(m.on_outer_surface(Coord{3, 7, 4}));
+  EXPECT_FALSE(m.on_outer_surface(Coord{3, 4, 4}));
+}
+
+TEST(Topology, PreferredDirectionsReduceDistance) {
+  const MeshTopology m(3, 8);
+  const Coord u{2, 5, 3};
+  const Coord d{6, 5, 1};
+  const auto dirs = m.preferred_directions(u, d);
+  ASSERT_EQ(dirs.size(), 2u);  // y already matches
+  for (const Direction dir : dirs) {
+    EXPECT_LT(manhattan_distance(dir.apply(u), d), manhattan_distance(u, d));
+  }
+}
+
+TEST(Topology, ClipToBounds) {
+  const MeshTopology m(2, 6);
+  EXPECT_EQ(m.clip(Box(Coord{-2, 3}, Coord{9, 4})), Box(Coord{0, 3}, Coord{5, 4}));
+  EXPECT_TRUE(m.clip(Box(Coord{7, 7}, Coord{9, 9})).empty());
+}
+
+TEST(Topology, RejectsInvalidShapes) {
+  EXPECT_THROW(MeshTopology(std::vector<int>{}), std::invalid_argument);
+  EXPECT_THROW(MeshTopology(std::vector<int>{4, 0, 4}), std::invalid_argument);
+  EXPECT_THROW(MeshTopology(std::vector<int>(kMaxDims + 1, 3)), std::invalid_argument);
+}
+
+TEST(Topology, BoundsBoxCoversAllNodes) {
+  const MeshTopology m(std::vector<int>{3, 4});
+  EXPECT_EQ(m.bounds().volume(), m.node_count());
+}
+
+}  // namespace
+}  // namespace lgfi
