@@ -5,9 +5,7 @@
 
 #include <iostream>
 
-#include "src/core/experiment.h"
-#include "src/core/network.h"
-#include "src/sim/fault_schedule.h"
+#include "src/core/experiment_runner.h"
 #include "src/sim/table_printer.h"
 
 using namespace lgfi;
@@ -16,29 +14,33 @@ int main() {
   print_banner(std::cout,
                "E5: convergence rounds vs dimension and cluster size (random clusters)");
   TablePrinter t({"mesh", "cluster", "e_max", "a_i", "b_i", "c_i", "msgs/node"});
-  struct Config {
+  struct Row {
     int dims, radix, cluster;
   };
-  for (const Config cfg : {Config{2, 16, 4}, Config{2, 16, 9}, Config{2, 16, 16},
-                           Config{3, 10, 8}, Config{3, 10, 18}, Config{3, 10, 27},
-                           Config{4, 6, 8}, Config{4, 6, 16}}) {
-    MetricSet m;
-    parallel_replicate(12, 0xE5 + static_cast<uint64_t>(cfg.dims * 100 + cfg.cluster), m,
-                       [&](Rng& rng, MetricSet& out) {
-                         const MeshTopology mesh(cfg.dims, cfg.radix);
-                         Network net(mesh);
-                         for (const auto& c : clustered_fault_placement(mesh, cfg.cluster, rng))
-                           net.inject_fault(c);
-                         const auto rounds = net.stabilize(100000);
-                         out.add("a", rounds.labeling);
-                         out.add("b", rounds.identification);
-                         out.add("c", rounds.boundary);
-                         out.add("emax", max_block_extent(net.blocks()));
-                         out.add("msgs", static_cast<double>(net.model().messages_sent()) /
-                                             static_cast<double>(mesh.node_count()));
-                       });
-    t.add_row({std::to_string(cfg.radix) + "^" + std::to_string(cfg.dims),
-               TablePrinter::num(cfg.cluster), TablePrinter::num(m.mean("emax"), 1),
+  for (const Row row : {Row{2, 16, 4}, Row{2, 16, 9}, Row{2, 16, 16},
+                        Row{3, 10, 8}, Row{3, 10, 18}, Row{3, 10, 27},
+                        Row{4, 6, 8}, Row{4, 6, 16}}) {
+    Config cfg = experiment_config();
+    cfg.set_int("mesh_dims", row.dims);
+    cfg.set_int("radix", row.radix);
+    cfg.set_str("fault_model", "clustered");
+    cfg.set_int("faults", row.cluster);
+    cfg.set_int("replications", 12);
+    cfg.set_int("max_rounds", 100000);
+    cfg.set_int("seed", 0xE5 + row.dims * 100 + row.cluster);
+
+    const auto res = ExperimentRunner(cfg).run_each_static(
+        [](ExperimentRunner::StaticEnv& env, Rng&, MetricSet& out) {
+          out.add("a", env.rounds.labeling);
+          out.add("b", env.rounds.identification);
+          out.add("c", env.rounds.boundary);
+          out.add("emax", max_block_extent(env.net->blocks()));
+          out.add("msgs", static_cast<double>(env.net->model().messages_sent()) /
+                              static_cast<double>(env.mesh().node_count()));
+        });
+    const MetricSet& m = res.metrics;
+    t.add_row({std::to_string(row.radix) + "^" + std::to_string(row.dims),
+               TablePrinter::num(row.cluster), TablePrinter::num(m.mean("emax"), 1),
                TablePrinter::num(m.mean("a"), 1), TablePrinter::num(m.mean("b"), 1),
                TablePrinter::num(m.mean("c"), 1), TablePrinter::num(m.mean("msgs"), 2)});
   }
@@ -49,13 +51,12 @@ int main() {
   print_banner(std::cout, "E5: minimum interval d_i for stabilization before the next fault");
   TablePrinter l({"lambda", "rounds to stabilize (3-D, e=3)", "min d_i (steps)"});
   for (const int lambda : {1, 2, 4, 8}) {
-    const MeshTopology mesh(3, 10);
-    Network net(mesh);
-    for (const auto& c : box_fault_placement(mesh, Box(Coord{4, 4, 4}, Coord{6, 6, 6})))
-      net.inject_fault(c);
-    const auto rounds = net.stabilize();
-    const int steps = (rounds.total + lambda - 1) / lambda;
-    l.add_row({TablePrinter::num(lambda), TablePrinter::num(rounds.total),
+    Config cfg = experiment_config();
+    cfg.parse_string("mesh_dims=3 radix=10 fault_model=box fault_box=4:6,4:6,4:6");
+    Rng rng(static_cast<uint64_t>(cfg.get_int("seed")));
+    const auto env = ExperimentRunner(cfg).build_static(rng);
+    const int steps = (env.rounds.total + lambda - 1) / lambda;
+    l.add_row({TablePrinter::num(lambda), TablePrinter::num(env.rounds.total),
                TablePrinter::num(steps)});
   }
   l.print(std::cout);

@@ -6,7 +6,7 @@
 
 #include <iostream>
 
-#include "src/core/network.h"
+#include "src/core/experiment_runner.h"
 #include "src/core/node_process.h"
 #include "src/core/scenario.h"
 #include "src/fault/corner_taxonomy.h"
@@ -17,13 +17,15 @@ using namespace lgfi;
 int main() {
   print_banner(std::cout, "E1 / Figure 1(a): block construction from four faults (8-ary 3-D)");
 
-  Network net(MeshTopology(3, 8));
-  for (const auto& f : figure1_faults()) net.inject_fault(f);
-  const auto rounds = net.stabilize();
+  Config cfg = experiment_config();
+  cfg.parse_string("scenario=figure1");
+  Rng rng(static_cast<uint64_t>(cfg.get_int("seed")));
+  auto env = ExperimentRunner(cfg).build_static(rng);
+  Network& net = *env.net;
 
   std::cout << "  faults:";
-  for (const auto& f : figure1_faults()) std::cout << " " << f.to_string();
-  std::cout << "\n  labeling rounds (a_i): " << rounds.labeling << "\n";
+  for (const auto& f : env.faults) std::cout << " " << f.to_string();
+  std::cout << "\n  labeling rounds (a_i): " << env.rounds.labeling << "\n";
 
   const auto blocks = net.blocks();
   TablePrinter t({"block", "members", "faulty", "disabled", "filled", "e_max",

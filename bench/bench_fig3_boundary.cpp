@@ -5,7 +5,7 @@
 
 #include <iostream>
 
-#include "src/core/network.h"
+#include "src/core/experiment_runner.h"
 #include "src/core/scenario.h"
 #include "src/fault/boundary_model.h"
 #include "src/fault/corner_taxonomy.h"
@@ -16,9 +16,11 @@ using namespace lgfi;
 int main() {
   print_banner(std::cout, "E2 / Figure 1(b): the six adjacent surfaces of block [3:5,5:6,3:4]");
 
-  Network net(MeshTopology(3, 8));
-  for (const auto& f : figure1_faults()) net.inject_fault(f);
-  net.stabilize();
+  Config cfg = experiment_config();
+  cfg.parse_string("scenario=figure1");
+  Rng rng(static_cast<uint64_t>(cfg.get_int("seed")));
+  auto env = ExperimentRunner(cfg).build_static(rng);
+  Network& net = *env.net;
   const Box block = figure1_block();
   const MeshTopology& mesh = net.mesh();
 
@@ -45,9 +47,10 @@ int main() {
 
   print_banner(std::cout, "E2 / Figure 3(d): boundary of block A merging into block B (2-D)");
   const auto scenario = stacked_blocks_scenario();
-  Network net2(scenario.mesh);
-  for (const auto& f : scenario.faults) net2.inject_fault(f);
-  net2.stabilize();
+  Config cfg2 = experiment_config();
+  cfg2.parse_string("scenario=stacked_blocks");
+  auto env2 = ExperimentRunner(cfg2).build_static(rng);
+  Network& net2 = *env2.net;
 
   long long b_envelope_with_a = 0, b_envelope_total = 0, below_b_with_a = 0;
   for (const auto& c : envelope_positions(scenario.mesh, scenario.lower)) {

@@ -6,7 +6,7 @@
 
 #include <iostream>
 
-#include "src/core/network.h"
+#include "src/core/experiment_runner.h"
 #include "src/core/node_process.h"
 #include "src/core/scenario.h"
 #include "src/sim/table_printer.h"
@@ -16,9 +16,11 @@ using namespace lgfi;
 int main() {
   print_banner(std::cout, "E3 / Figure 4: recovery of (5,5,3) in the Figure 1 block");
 
-  Network net(MeshTopology(3, 8));
-  for (const auto& f : figure1_faults()) net.inject_fault(f);
-  net.stabilize();
+  Config cfg = experiment_config();
+  cfg.parse_string("scenario=figure1");
+  Rng rng(static_cast<uint64_t>(cfg.get_int("seed")));
+  auto env = ExperimentRunner(cfg).build_static(rng);
+  Network& net = *env.net;
 
   std::cout << "  before recovery: block " << net.blocks()[0].box.to_string() << "\n";
 

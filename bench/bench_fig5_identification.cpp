@@ -7,7 +7,7 @@
 
 #include <iostream>
 
-#include "src/core/network.h"
+#include "src/core/experiment_runner.h"
 #include "src/core/scenario.h"
 #include "src/fault/corner_taxonomy.h"
 #include "src/sim/table_printer.h"
@@ -59,17 +59,22 @@ int main() {
                       "messages"});
   for (int e = 1; e <= 5; ++e) {
     const int radix = std::max(8, 2 * e + 6);
-    const MeshTopology mesh(3, radix);
-    Network net(mesh);
     const int lo = radix / 2 - e / 2;
-    for (const auto& c : box_fault_placement(mesh, Box(Coord{lo, lo, lo},
-                                                       Coord{lo + e - 1, lo + e - 1, lo + e - 1})))
-      net.inject_fault(c);
-    const auto rounds = net.stabilize();
+    std::string box;
+    for (int d = 0; d < 3; ++d)
+      box += (d > 0 ? "," : "") + std::to_string(lo) + ":" + std::to_string(lo + e - 1);
+    Config cfg = experiment_config();
+    cfg.set_int("mesh_dims", 3);
+    cfg.set_int("radix", radix);
+    cfg.set_str("fault_model", "box");
+    cfg.set_str("fault_box", box);
+    Rng rng(static_cast<uint64_t>(cfg.get_int("seed")));
+    const auto env = ExperimentRunner(cfg).build_static(rng);
     sweep.add_row({std::to_string(radix) + "^3", TablePrinter::num(e),
-                   TablePrinter::num(rounds.labeling), TablePrinter::num(rounds.identification),
-                   TablePrinter::num(rounds.boundary),
-                   TablePrinter::num(net.model().messages_sent())});
+                   TablePrinter::num(env.rounds.labeling),
+                   TablePrinter::num(env.rounds.identification),
+                   TablePrinter::num(env.rounds.boundary),
+                   TablePrinter::num(env.net->model().messages_sent())});
   }
   sweep.print(std::cout);
   std::cout << "  (the paper's claim: constructions stabilize in O(block edge + mesh extent) "

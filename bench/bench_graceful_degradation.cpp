@@ -4,14 +4,16 @@
 // the information-free backtracking PCS, the instant-global oracle tables,
 // the broadcast-delayed global tables, and dimension-order routing.
 // Also ablates the persistent-marks header variant (DESIGN.md §6.7).
+//
+// Every row is one ExperimentRunner config: the comparison points differ
+// only in the router / info_mode / persistent_marks overrides.
 
 #include <iostream>
 
-#include "src/core/dynamic_simulation.h"
-#include "src/core/experiment.h"
+#include "src/core/experiment_runner.h"
 #include "src/core/scenario.h"
-#include "src/routing/dimension_order_router.h"
 #include "src/routing/route_walker.h"
+#include "src/routing/router_registry.h"
 #include "src/sim/table_printer.h"
 
 using namespace lgfi;
@@ -19,9 +21,8 @@ using namespace lgfi;
 namespace {
 
 struct ModeRow {
-  const char* name;
-  InfoMode mode;
-  bool persistent;
+  const char* label;
+  const char* overrides;  ///< config tokens selecting the comparison point
 };
 
 void degradation_sweep(int dims, int radix, std::ostream& os) {
@@ -31,44 +32,27 @@ void degradation_sweep(int dims, int radix, std::ostream& os) {
                   "mean backtracks"});
   for (const int faults : {4, 10, 18, 28}) {
     for (const ModeRow row :
-         {ModeRow{"lgfi (paper)", InfoMode::kLimitedGlobal, false},
-          ModeRow{"pcs-no-info", InfoMode::kNone, false},
-          ModeRow{"global-instant", InfoMode::kInstantGlobal, false},
-          ModeRow{"global-delayed", InfoMode::kDelayedGlobal, false},
-          ModeRow{"lgfi+persistent", InfoMode::kLimitedGlobal, true}}) {
-      MetricSet m;
-      parallel_replicate(
-          40, 0xE9 + static_cast<uint64_t>(faults * 10), m,
-          [&](Rng& rng, MetricSet& out) {
-            const MeshTopology mesh(dims, radix);
-            FaultSchedule sch;
-            // Half the faults before the route, half arriving while it runs.
-            const auto batch1 = random_fault_placement(mesh, faults / 2, rng);
-            for (const auto& c : batch1) sch.add_fail(0, c);
-            Rng rng2 = rng.fork(1);
-            const auto batch2 =
-                random_fault_placement(mesh, faults - faults / 2, rng2, {}, batch1);
-            for (const auto& c : batch2) sch.add_fail(50, c);
+         {ModeRow{"lgfi (paper)", "router=fault_info"},
+          ModeRow{"pcs-no-info", "router=no_info"},
+          ModeRow{"global-instant", "router=global_table"},
+          ModeRow{"global-delayed", "router=global_table info_mode=delayed_global"},
+          ModeRow{"lgfi+persistent", "router=fault_info persistent_marks=true"}}) {
+      Config cfg = experiment_config();
+      // Two fault batches: half before the route starts, half at step 50
+      // while it runs.
+      cfg.set_int("mesh_dims", dims);
+      cfg.set_int("radix", radix);
+      cfg.parse_string("mode=dynamic batches=2 fault_interval=50 warmup_steps=40 "
+                       "max_steps=8000 routes=1");
+      cfg.set_int("faults", faults / 2);
+      cfg.set_int("min_pair_distance", radix);
+      cfg.set_int("replications", 40);
+      cfg.set_int("seed", 0xE9 + faults * 10);
+      cfg.parse_string(row.overrides);
 
-            DynamicSimulationOptions opts;
-            opts.info_mode = row.mode;
-            opts.persistent_marks = row.persistent;
-            DynamicSimulation sim(mesh, sch, opts);
-            for (int i = 0; i < 40; ++i) sim.step();
-            Rng rng3 = rng.fork(2);
-            const auto pair =
-                random_enabled_pair(mesh, sim.model().field(), rng3, radix);
-            const int id = sim.launch_message(pair.source, pair.dest);
-            sim.run(8000);
-            const auto& msg = sim.message(id);
-            out.add("success", msg.delivered ? 100.0 : 0.0);
-            if (msg.delivered) {
-              out.add("steps", msg.header.total_steps());
-              out.add("detours", static_cast<double>(msg.detours()));
-              out.add("backtracks", msg.header.backtrack_steps());
-            }
-          });
-      t.add_row({TablePrinter::num(faults), row.name, TablePrinter::num(m.mean("success"), 0),
+      const MetricSet m = ExperimentRunner(cfg).run().metrics;
+      t.add_row({TablePrinter::num(faults), row.label,
+                 TablePrinter::num(100.0 * m.mean("delivered"), 0),
                  TablePrinter::num(m.mean("steps"), 1), TablePrinter::num(m.mean("detours"), 2),
                  TablePrinter::num(m.mean("backtracks"), 2)});
     }
@@ -85,25 +69,22 @@ int main() {
   print_banner(std::cout, "E9: dimension-order baseline collapses under the same loads (static)");
   TablePrinter d({"faults", "e-cube success %", "lgfi success %"});
   for (const int faults : {4, 10, 18, 28}) {
-    MetricSet m;
-    parallel_replicate(60, 0xD0 + static_cast<uint64_t>(faults), m,
-                       [&](Rng& rng, MetricSet& out) {
-                         const MeshTopology mesh(2, 16);
-                         Network net(mesh, {});
-                         for (const auto& c : random_fault_placement(mesh, faults, rng))
-                           net.inject_fault(c);
-                         net.stabilize();
-                         const auto pair =
-                             random_enabled_pair(mesh, net.field(), rng, 16);
-                         DimensionOrderRouter ecube;
-                         const auto r1 =
-                             run_static_route(net.context(), ecube, pair.source, pair.dest);
-                         out.add("ecube", r1.delivered ? 100.0 : 0.0);
-                         const auto r2 = net.route(pair.source, pair.dest);
-                         out.add("lgfi", r2.delivered ? 100.0 : 0.0);
-                       });
-    d.add_row({TablePrinter::num(faults), TablePrinter::num(m.mean("ecube"), 0),
-               TablePrinter::num(m.mean("lgfi"), 0)});
+    Config cfg = experiment_config();
+    cfg.parse_string("mesh_dims=2 radix=16 min_pair_distance=16 replications=60");
+    cfg.set_int("faults", faults);
+    cfg.set_int("seed", 0xD0 + faults);
+    const auto res = ExperimentRunner(cfg).run_each_static(
+        [](ExperimentRunner::StaticEnv& env, Rng& rng, MetricSet& out) {
+          const auto pair = random_enabled_pair(env.mesh(), env.net->field(), rng, 16);
+          const auto ecube = make_router("dimension_order");
+          const auto r1 =
+              run_static_route(env.net->context(), *ecube, pair.source, pair.dest);
+          out.add("ecube", r1.delivered ? 100.0 : 0.0);
+          const auto r2 = env.net->route(pair.source, pair.dest);
+          out.add("lgfi", r2.delivered ? 100.0 : 0.0);
+        });
+    d.add_row({TablePrinter::num(faults), TablePrinter::num(res.metrics.mean("ecube"), 0),
+               TablePrinter::num(res.metrics.mean("lgfi"), 0)});
   }
   d.print(std::cout);
   std::cout

@@ -7,8 +7,7 @@
 
 #include <iostream>
 
-#include "src/core/experiment.h"
-#include "src/core/network.h"
+#include "src/core/experiment_runner.h"
 #include "src/core/node_process.h"
 #include "src/sim/fault_schedule.h"
 #include "src/sim/table_printer.h"
@@ -20,22 +19,21 @@ int main() {
   TablePrinter t({"faults", "blocks", "lgfi nodes w/ info", "% of mesh", "lgfi entries",
                   "global entries (N*B)", "saving"});
   for (const int faults : {2, 6, 12, 24}) {
-    MetricSet m;
-    parallel_replicate(16, 0x10A + static_cast<uint64_t>(faults), m,
-                       [&](Rng& rng, MetricSet& out) {
-                         const MeshTopology mesh(3, 10);
-                         Network net(mesh);
-                         for (const auto& c : random_fault_placement(mesh, faults, rng))
-                           net.inject_fault(c);
-                         net.stabilize();
-                         const auto f = placement_footprint(net.model());
-                         const double blocks = static_cast<double>(net.blocks().size());
-                         out.add("blocks", blocks);
-                         out.add("nodes", static_cast<double>(f.nodes_with_info));
-                         out.add("frac", 100.0 * f.fraction_of_mesh());
-                         out.add("entries", static_cast<double>(f.total_entries));
-                         out.add("global", static_cast<double>(mesh.node_count()) * blocks);
-                       });
+    Config cfg = experiment_config();
+    cfg.parse_string("mesh_dims=3 radix=10 replications=16");
+    cfg.set_int("faults", faults);
+    cfg.set_int("seed", 0x10A + faults);
+    const auto res = ExperimentRunner(cfg).run_each_static(
+        [](ExperimentRunner::StaticEnv& env, Rng&, MetricSet& out) {
+          const auto f = placement_footprint(env.net->model());
+          const double blocks = static_cast<double>(env.net->blocks().size());
+          out.add("blocks", blocks);
+          out.add("nodes", static_cast<double>(f.nodes_with_info));
+          out.add("frac", 100.0 * f.fraction_of_mesh());
+          out.add("entries", static_cast<double>(f.total_entries));
+          out.add("global", static_cast<double>(env.mesh().node_count()) * blocks);
+        });
+    const MetricSet& m = res.metrics;
     const double saving = m.mean("global") > 0 ? m.mean("global") / m.mean("entries") : 0;
     t.add_row({TablePrinter::num(faults), TablePrinter::num(m.mean("blocks"), 1),
                TablePrinter::num(m.mean("nodes"), 0), TablePrinter::num(m.mean("frac"), 1),
@@ -47,33 +45,39 @@ int main() {
   print_banner(std::cout, "E10: update traffic per fault occurrence (messages)");
   TablePrinter u({"mesh", "lgfi msgs/fault", "global broadcast msgs/fault (= N)"});
   for (const int radix : {8, 10, 12}) {
-    MetricSet m;
-    parallel_replicate(8, 0x10B + static_cast<uint64_t>(radix), m,
-                       [&](Rng& rng, MetricSet& out) {
-                         const MeshTopology mesh(3, radix);
-                         Network net(mesh);
-                         long long prev = 0;
-                         const int events = 4;
-                         for (int e = 0; e < events; ++e) {
-                           const auto f = random_fault_placement(mesh, 1, rng);
-                           if (f.empty()) continue;
-                           net.inject_fault(f[0]);
-                           net.stabilize();
-                           const long long now_msgs = net.model().messages_sent();
-                           out.add("msgs", static_cast<double>(now_msgs - prev));
-                           prev = now_msgs;
-                         }
-                         out.add("n", static_cast<double>(mesh.node_count()));
-                       });
-    u.add_row({std::to_string(radix) + "^3", TablePrinter::num(m.mean("msgs"), 0),
-               TablePrinter::num(m.mean("n"), 0)});
+    Config cfg = experiment_config();
+    cfg.parse_string("mesh_dims=3 faults=0 replications=8");
+    cfg.set_int("radix", radix);
+    cfg.set_int("seed", 0x10B + radix);
+    const auto res = ExperimentRunner(cfg).run_each_static(
+        [](ExperimentRunner::StaticEnv& env, Rng& rng, MetricSet& out) {
+          const MeshTopology& mesh = env.mesh();
+          Network& net = *env.net;
+          long long prev = 0;
+          const int events = 4;
+          for (int e = 0; e < events; ++e) {
+            const auto f = random_fault_placement(mesh, 1, rng);
+            if (f.empty()) continue;
+            net.inject_fault(f[0]);
+            net.stabilize();
+            const long long now_msgs = net.model().messages_sent();
+            out.add("msgs", static_cast<double>(now_msgs - prev));
+            prev = now_msgs;
+          }
+          out.add("n", static_cast<double>(mesh.node_count()));
+        });
+    u.add_row({std::to_string(radix) + "^3", TablePrinter::num(res.metrics.mean("msgs"), 0),
+               TablePrinter::num(res.metrics.mean("n"), 0)});
   }
   u.print(std::cout);
 
   print_banner(std::cout, "E10: oscillation — one node failing/recovering repeatedly (2-D 12^2)");
   {
-    const MeshTopology mesh(2, 12);
-    Network net(mesh);
+    Config cfg = experiment_config();
+    cfg.parse_string("mesh_dims=2 radix=12 faults=0");
+    Rng rng(static_cast<uint64_t>(cfg.get_int("seed")));
+    auto env = ExperimentRunner(cfg).build_static(rng);
+    Network& net = *env.net;
     const Coord victim{6, 6};
     TablePrinter o({"cycle", "entries after fail", "entries after recover", "rounds to settle"});
     for (int cycle = 1; cycle <= 4; ++cycle) {

@@ -4,9 +4,7 @@
 
 #include <benchmark/benchmark.h>
 
-#include "src/core/dynamic_simulation.h"
-#include "src/core/experiment.h"
-#include "src/core/network.h"
+#include "src/core/experiment_runner.h"
 #include "src/core/scenario.h"
 #include "src/fault/labeling.h"
 #include "src/sim/thread_pool.h"
@@ -45,19 +43,31 @@ void BM_FullConstruction(benchmark::State& state) {
 BENCHMARK(BM_FullConstruction)->Arg(8)->Arg(12);
 
 void BM_StaticRoute(benchmark::State& state) {
-  const MeshTopology mesh(3, 10);
-  Network net(mesh);
+  Config cfg = experiment_config();
+  cfg.parse_string("mesh_dims=3 radix=10 fault_model=clustered faults=12 seed=3");
   Rng rng(3);
-  for (const auto& c : clustered_fault_placement(mesh, 12, rng)) net.inject_fault(c);
-  net.stabilize();
+  const auto env = ExperimentRunner(cfg).build_static(rng);
   Rng pairs(4);
   for (auto _ : state) {
-    const auto pair = random_enabled_pair(mesh, net.field(), pairs, 10);
-    const auto r = net.route(pair.source, pair.dest);
+    const auto pair = random_enabled_pair(env.mesh(), env.net->field(), pairs, 10);
+    const auto r = env.net->route(pair.source, pair.dest);
     benchmark::DoNotOptimize(r.total_steps);
   }
 }
 BENCHMARK(BM_StaticRoute);
+
+void BM_ExperimentRunnerStatic(benchmark::State& state) {
+  // Whole-facade cost: config -> build -> route -> merge, one replication.
+  Config cfg = experiment_config();
+  cfg.parse_string("mesh_dims=2 radix=12 fault_model=clustered faults=6 routes=4 "
+                   "replications=1 threads=1");
+  for (auto _ : state) {
+    const auto res = ExperimentRunner(cfg).run();
+    benchmark::DoNotOptimize(res.metrics.mean("delivered"));
+  }
+  state.SetItemsProcessed(state.iterations() * 4);
+}
+BENCHMARK(BM_ExperimentRunnerStatic);
 
 void BM_DynamicStep(benchmark::State& state) {
   const MeshTopology mesh(3, 10);

@@ -4,10 +4,8 @@
 
 #include <iostream>
 
-#include "src/core/experiment.h"
-#include "src/core/network.h"
+#include "src/core/experiment_runner.h"
 #include "src/fault/safety.h"
-#include "src/sim/fault_schedule.h"
 #include "src/sim/table_printer.h"
 
 using namespace lgfi;
@@ -16,20 +14,21 @@ int main() {
   print_banner(std::cout, "E11 / Theorem 2: fraction of safe (s,d) pairs vs fault count");
 
   TablePrinter t({"mesh", "faults", "blocks", "safe pairs %", "minimal delivery % (measured)"});
-  struct Config {
+  struct Row {
     int dims, radix;
   };
-  for (const Config cfg : {Config{2, 16}, Config{3, 10}, Config{4, 6}}) {
+  for (const Row cfg : {Row{2, 16}, Row{3, 10}, Row{4, 6}}) {
     for (const int faults : {2, 6, 12, 24}) {
-      MetricSet m;
-      parallel_replicate(
-          12, 0xE11 + static_cast<uint64_t>(cfg.dims * 100 + faults), m,
-          [&](Rng& rng, MetricSet& out) {
-            const MeshTopology mesh(cfg.dims, cfg.radix);
-            Network net(mesh);
-            for (const auto& c : random_fault_placement(mesh, faults, rng))
-              net.inject_fault(c);
-            net.stabilize();
+      Config c = experiment_config();
+      c.set_int("mesh_dims", cfg.dims);
+      c.set_int("radix", cfg.radix);
+      c.set_int("faults", faults);
+      c.set_int("replications", 12);
+      c.set_int("seed", 0xE11 + cfg.dims * 100 + faults);
+      const auto res = ExperimentRunner(c).run_each_static(
+          [](ExperimentRunner::StaticEnv& env, Rng& rng, MetricSet& out) {
+            const MeshTopology& mesh = env.mesh();
+            Network& net = *env.net;
             const auto blocks = block_boxes(net.field());
             out.add("blocks", static_cast<double>(blocks.size()));
 
@@ -60,6 +59,7 @@ int main() {
               out.add("safe_honored", safe > 0 ? 100.0 * safe_minimal / safe : 100.0);
             }
           });
+      const MetricSet& m = res.metrics;
       t.add_row({std::to_string(cfg.radix) + "^" + std::to_string(cfg.dims),
                  TablePrinter::num(faults), TablePrinter::num(m.mean("blocks"), 1),
                  TablePrinter::num(m.mean("safe"), 1), TablePrinter::num(m.mean("minimal"), 1)});

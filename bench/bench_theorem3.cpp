@@ -5,7 +5,7 @@
 
 #include <iostream>
 
-#include "src/core/dynamic_simulation.h"
+#include "src/core/experiment_runner.h"
 #include "src/core/scenario.h"
 #include "src/fault/labeling.h"
 #include "src/fault/safety.h"
@@ -56,32 +56,38 @@ int main() {
 
   print_banner(std::cout, "E6: randomized validation (100 runs, 2-D and 3-D)");
   int runs = 0, violations = 0, delivered = 0;
-  Rng rng(0xE6);
-  for (int trial = 0; trial < 100; ++trial) {
-    Rng t2 = rng.fork(static_cast<uint64_t>(trial));
-    const int dims = 2 + trial % 2;
-    const MeshTopology m2(dims, dims == 2 ? 16 : 10);
-    FaultSchedule sch;
-    const long long interval = 60;
-    for (int b = 0; b < 3; ++b) {
-      const auto faults = clustered_fault_placement(m2, 3, t2);
-      for (const auto& c : faults) sch.add_fail(b * interval, c);
-    }
-    DynamicSimulationOptions opts;
-    DynamicSimulation sim2(m2, sch, opts);
-    for (int i = 0; i < 40; ++i) sim2.step();
-    const auto pair = random_enabled_pair(m2, sim2.model().field(), t2, m2.extent(0));
-    if (!is_safe_source(block_boxes(sim2.model().field()), pair.source, pair.dest)) continue;
-    const int mid = sim2.launch_message(pair.source, pair.dest);
-    sim2.run(8000);
-    const auto& m = sim2.message(mid);
-    if (!m.delivered) continue;
-    ++delivered;
-    const auto tl2 = sim2.timeline(m.start_step);
-    const auto b2 = theorem3_distance_bounds(tl2, m.initial_distance);
-    ++runs;
-    for (size_t i = 0; i < tl2.t.size() && i < m.distance_at_occurrence.size(); ++i)
-      if (m.distance_at_occurrence[i] > b2[i]) ++violations;
+  for (const int dims : {2, 3}) {
+    Config cfg = experiment_config();
+    cfg.parse_string("mode=dynamic fault_model=clustered faults=3 batches=3 "
+                     "fault_interval=60 warmup_steps=40 max_steps=8000 replications=50");
+    cfg.set_int("mesh_dims", dims);
+    cfg.set_int("radix", dims == 2 ? 16 : 10);
+    cfg.set_int("seed", 0xE6 + dims);
+    ExperimentRunner runner(cfg);
+    const auto res = runner.run_each([&runner](Rng& rng, MetricSet& out) {
+      auto env = runner.build_dynamic(rng);
+      const auto pair = random_enabled_pair(*env.mesh, env.sim->model().field(), rng,
+                                            env.mesh->extent(0));
+      if (!is_safe_source(block_boxes(env.sim->model().field()), pair.source, pair.dest))
+        return;
+      const int mid = env.sim->launch_message(pair.source, pair.dest);
+      env.sim->run(8000);
+      const auto& m = env.sim->message(mid);
+      if (!m.delivered) return;
+      out.add("delivered", 1.0);
+      const auto tl2 = env.sim->timeline(m.start_step);
+      const auto b2 = theorem3_distance_bounds(tl2, m.initial_distance);
+      out.add("runs", 1.0);
+      int bad = 0;
+      for (size_t i = 0; i < tl2.t.size() && i < m.distance_at_occurrence.size(); ++i)
+        if (m.distance_at_occurrence[i] > b2[i]) ++bad;
+      out.add("violations", bad);
+    });
+    runs += static_cast<int>(res.metrics.has("runs") ? res.metrics.stats("runs").sum() : 0);
+    delivered += static_cast<int>(
+        res.metrics.has("delivered") ? res.metrics.stats("delivered").sum() : 0);
+    violations += static_cast<int>(
+        res.metrics.has("violations") ? res.metrics.stats("violations").sum() : 0);
   }
   std::cout << "  runs checked: " << runs << "  delivered: " << delivered
             << "  bound violations: " << violations << "\n";

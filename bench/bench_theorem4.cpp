@@ -5,7 +5,7 @@
 
 #include <iostream>
 
-#include "src/core/dynamic_simulation.h"
+#include "src/core/experiment_runner.h"
 #include "src/core/scenario.h"
 #include "src/fault/safety.h"
 #include "src/sim/statistics.h"
@@ -19,45 +19,49 @@ int main() {
   TablePrinter t({"mesh", "interval d", "runs", "delivered", "mean detours", "max detours",
                   "mean bound (extra steps)", "violations"});
   int total_violations = 0;
-  struct Config {
+  struct Row {
     int dims, radix;
     long long interval;
   };
-  for (const Config cfg :
-       {Config{2, 16, 50}, Config{2, 16, 80}, Config{3, 10, 60}, Config{3, 10, 90}}) {
-    Rng rng(0xE7 + static_cast<uint64_t>(cfg.dims * 1000 + cfg.interval));
-    RunningStats detours, bounds;
-    int runs = 0, delivered = 0, violations = 0;
-    for (int trial = 0; trial < 60; ++trial) {
-      Rng tr = rng.fork(static_cast<uint64_t>(trial));
-      const MeshTopology mesh(cfg.dims, cfg.radix);
-      FaultSchedule sch;
-      for (int b = 0; b < 3; ++b) {
-        const auto faults = clustered_fault_placement(mesh, 3, tr);
-        for (const auto& c : faults) sch.add_fail(b * cfg.interval, c);
-      }
-      DynamicSimulation sim(mesh, sch);
-      for (int i = 0; i < 35; ++i) sim.step();  // first batch converges; p >= 1
-      const auto pair = random_enabled_pair(mesh, sim.model().field(), tr, cfg.radix);
-      if (!is_safe_source(block_boxes(sim.model().field()), pair.source, pair.dest)) continue;
-      const int id = sim.launch_message(pair.source, pair.dest);
-      sim.run(8000);
-      const auto& msg = sim.message(id);
-      ++runs;
-      if (!msg.delivered) continue;
-      ++delivered;
-      const auto tl = sim.timeline(msg.start_step);
+  for (const Row row :
+       {Row{2, 16, 50}, Row{2, 16, 80}, Row{3, 10, 60}, Row{3, 10, 90}}) {
+    Config cfg = experiment_config();
+    cfg.parse_string("mode=dynamic fault_model=clustered faults=3 batches=3 "
+                     "warmup_steps=35 max_steps=8000 replications=60");
+    cfg.set_int("mesh_dims", row.dims);
+    cfg.set_int("radix", row.radix);
+    cfg.set_int("fault_interval", row.interval);
+    cfg.set_int("min_pair_distance", row.radix);
+    cfg.set_int("seed", 0xE7 + row.dims * 1000 + row.interval);
+    ExperimentRunner runner(cfg);
+    const auto res = runner.run_each([&runner, &row](Rng& rng, MetricSet& out) {
+      auto env = runner.build_dynamic(rng);
+      const auto pair =
+          random_enabled_pair(*env.mesh, env.sim->model().field(), rng, row.radix);
+      if (!is_safe_source(block_boxes(env.sim->model().field()), pair.source, pair.dest))
+        return;
+      const int id = env.sim->launch_message(pair.source, pair.dest);
+      env.sim->run(8000);
+      const auto& msg = env.sim->message(id);
+      out.add("runs", 1.0);
+      if (!msg.delivered) return;
+      const auto tl = env.sim->timeline(msg.start_step);
       const auto bound = theorem4_bound(tl, msg.initial_distance);
-      detours.add(static_cast<double>(msg.detours()));
-      bounds.add(static_cast<double>(bound.max_extra_steps));
-      if (msg.detours() > bound.max_extra_steps) ++violations;
-    }
+      out.add("detours", static_cast<double>(msg.detours()));
+      out.add("bounds", static_cast<double>(bound.max_extra_steps));
+      out.add("violations", msg.detours() > bound.max_extra_steps ? 1.0 : 0.0);
+    });
+    const MetricSet& m = res.metrics;
+    const int runs = m.has("runs") ? static_cast<int>(m.stats("runs").count()) : 0;
+    const int delivered = m.has("detours") ? static_cast<int>(m.stats("detours").count()) : 0;
+    const int violations =
+        m.has("violations") ? static_cast<int>(m.stats("violations").sum()) : 0;
     total_violations += violations;
-    t.add_row({std::to_string(cfg.radix) + "^" + std::to_string(cfg.dims),
-               TablePrinter::num(cfg.interval), TablePrinter::num(runs),
-               TablePrinter::num(delivered), TablePrinter::num(detours.mean(), 2),
-               TablePrinter::num(detours.max(), 0), TablePrinter::num(bounds.mean(), 1),
-               TablePrinter::num(violations)});
+    t.add_row({std::to_string(row.radix) + "^" + std::to_string(row.dims),
+               TablePrinter::num(row.interval), TablePrinter::num(runs),
+               TablePrinter::num(delivered), TablePrinter::num(m.mean("detours"), 2),
+               TablePrinter::num(m.has("detours") ? m.stats("detours").max() : 0.0, 0),
+               TablePrinter::num(m.mean("bounds"), 1), TablePrinter::num(violations)});
   }
   t.print(std::cout);
   std::cout << "  shape check: random faults rarely cut the route — measured extra steps sit\n"

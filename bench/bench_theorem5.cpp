@@ -6,7 +6,7 @@
 
 #include <iostream>
 
-#include "src/core/dynamic_simulation.h"
+#include "src/core/experiment_runner.h"
 #include "src/core/scenario.h"
 #include "src/fault/safety.h"
 #include "src/routing/oracle_router.h"
@@ -21,47 +21,43 @@ int main() {
   TablePrinter t({"mesh", "runs", "delivered", "mean L-D", "mean intervals used",
                   "mean bound k", "violations"});
   int total_violations = 0;
-  struct Config {
+  struct Row {
     int dims, radix;
   };
-  for (const Config cfg : {Config{2, 16}, Config{3, 10}}) {
-    Rng rng(0xE8 + static_cast<uint64_t>(cfg.dims));
-    RunningStats slack, used, bound_k;
-    int runs = 0, delivered = 0, violations = 0;
-    for (int trial = 0; trial < 80; ++trial) {
-      Rng tr = rng.fork(static_cast<uint64_t>(trial));
-      const MeshTopology mesh(cfg.dims, cfg.radix);
-      FaultSchedule sch;
-      const long long interval = 70;
-      for (int b = 0; b < 3; ++b) {
-        const auto faults = clustered_fault_placement(mesh, 4, tr);
-        for (const auto& c : faults) sch.add_fail(b * interval, c);
-      }
-      DynamicSimulation sim(mesh, sch);
-      for (int i = 0; i < 40; ++i) sim.step();
+  for (const Row row : {Row{2, 16}, Row{3, 10}}) {
+    Config cfg = experiment_config();
+    cfg.parse_string("mode=dynamic fault_model=clustered faults=4 batches=3 "
+                     "fault_interval=70 warmup_steps=40 max_steps=8000 replications=80");
+    cfg.set_int("mesh_dims", row.dims);
+    cfg.set_int("radix", row.radix);
+    cfg.set_int("min_pair_distance", row.radix);
+    cfg.set_int("seed", 0xE8 + row.dims);
+    ExperimentRunner runner(cfg);
+    const auto res = runner.run_each([&runner, &row](Rng& rng, MetricSet& out) {
+      auto env = runner.build_dynamic(rng);
+      DynamicSimulation& sim = *env.sim;
+      const MeshTopology& mesh = *env.mesh;
 
       // Hunt for an UNSAFE pair.
       Pair pair{};
       bool found = false;
       const auto blocks = block_boxes(sim.model().field());
       for (int attempt = 0; attempt < 200; ++attempt) {
-        pair = random_enabled_pair(mesh, sim.model().field(), tr, cfg.radix);
+        pair = random_enabled_pair(mesh, sim.model().field(), rng, row.radix);
         if (!is_safe_source(blocks, pair.source, pair.dest)) {
           found = true;
           break;
         }
       }
-      if (!found) continue;
-      const auto L =
-          oracle_path_length(mesh, sim.model().field(), pair.source, pair.dest);
-      if (!L.has_value()) continue;
+      if (!found) return;
+      const auto L = oracle_path_length(mesh, sim.model().field(), pair.source, pair.dest);
+      if (!L.has_value()) return;
 
       const int id = sim.launch_message(pair.source, pair.dest);
       sim.run(8000);
       const auto& msg = sim.message(id);
-      ++runs;
-      if (!msg.delivered) continue;
-      ++delivered;
+      out.add("runs", 1.0);
+      if (!msg.delivered) return;
 
       const auto tl = sim.timeline(msg.start_step);
       const auto bound = theorem5_bound(tl, *L);
@@ -70,16 +66,21 @@ int main() {
       long long intervals_used = 1;
       for (const auto t_i : tl.t)
         if (t_i > msg.start_step && t_i <= msg.end_step) ++intervals_used;
-      slack.add(static_cast<double>(*L - msg.initial_distance));
-      used.add(static_cast<double>(intervals_used));
-      bound_k.add(static_cast<double>(bound.k));
-      if (intervals_used > bound.k) ++violations;
-    }
+      out.add("slack", static_cast<double>(*L - msg.initial_distance));
+      out.add("used", static_cast<double>(intervals_used));
+      out.add("bound_k", static_cast<double>(bound.k));
+      out.add("violations", intervals_used > bound.k ? 1.0 : 0.0);
+    });
+    const MetricSet& m = res.metrics;
+    const int runs = m.has("runs") ? static_cast<int>(m.stats("runs").count()) : 0;
+    const int delivered = m.has("used") ? static_cast<int>(m.stats("used").count()) : 0;
+    const int violations =
+        m.has("violations") ? static_cast<int>(m.stats("violations").sum()) : 0;
     total_violations += violations;
-    t.add_row({std::to_string(cfg.radix) + "^" + std::to_string(cfg.dims),
+    t.add_row({std::to_string(row.radix) + "^" + std::to_string(row.dims),
                TablePrinter::num(runs), TablePrinter::num(delivered),
-               TablePrinter::num(slack.mean(), 2), TablePrinter::num(used.mean(), 2),
-               TablePrinter::num(bound_k.mean(), 2), TablePrinter::num(violations)});
+               TablePrinter::num(m.mean("slack"), 2), TablePrinter::num(m.mean("used"), 2),
+               TablePrinter::num(m.mean("bound_k"), 2), TablePrinter::num(violations)});
   }
   t.print(std::cout);
   std::cout << "  shape check: unsafe sources pay L - D extra distance up front; the number\n"

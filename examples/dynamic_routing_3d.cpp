@@ -2,15 +2,43 @@
 // appear WHILE a message travels; the constructions and the routing proceed
 // hand-in-hand, one hop per round/step, and the message detours around the
 // growing damage.
+//
+// The step loop's knobs come from the experiment config, so the same
+// narrative runs under any router / lambda / info mode:
+//
+//   ./dynamic_routing_3d router=no_info
+//   ./dynamic_routing_3d lambda=4 info_mode=delayed_global
 
 #include <iostream>
 
-#include "src/core/dynamic_simulation.h"
+#include "src/core/experiment_runner.h"
 #include "src/sim/table_printer.h"
 
 using namespace lgfi;
 
-int main() {
+int main(int argc, char** argv) {
+  // Only the step-loop knobs are overridable — the mesh and fault timeline
+  // are this example's narrative.  A schema with just these keys makes any
+  // other override fail loudly instead of being silently ignored.
+  Config cfg;
+  cfg.define_int("lambda", 1, "information rounds per routing step")
+      .define_string("router", "auto", "registered router name")
+      .define_string("info_mode", "auto", "information placement mode")
+      .define_bool("persistent_marks", false, "header ablation");
+  DynamicSimulationOptions opts;
+  try {
+    cfg.parse_args(argc, argv);
+    opts.lambda = static_cast<int>(cfg.get_int("lambda"));
+    opts.router = cfg.get_str("router") == "auto" ? "fault_info" : cfg.get_str("router");
+    Config resolve = cfg;
+    resolve.set_str("router", opts.router);
+    opts.info_mode = resolve_info_mode(resolve);
+    opts.persistent_marks = cfg.get_bool("persistent_marks");
+  } catch (const ConfigError& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
+  }
+
   const MeshTopology mesh(3, 10);
 
   // A block materializes at step 6 squarely across the message's path, and
@@ -21,7 +49,7 @@ int main() {
   for (const auto& c : box_fault_placement(mesh, Box(Coord{7, 6, 4}, Coord{8, 7, 5})))
     schedule.add_fail(18, c);
 
-  DynamicSimulation sim(mesh, schedule);
+  DynamicSimulation sim(mesh, schedule, opts);
   const Coord source{5, 0, 5};
   const Coord dest{5, 9, 4};
   const int id = sim.launch_message(source, dest);

@@ -1,49 +1,78 @@
-// Quickstart: the paper's Figure 1 scenario in a dozen lines of API.
+// Quickstart: the paper's Figure 1 scenario through the declarative
+// experiment API.
 //
-//   1. build an 8-ary 3-D mesh,
-//   2. fail four nodes,
-//   3. let the limited-global information model converge,
-//   4. inspect what individual nodes know,
-//   5. route a message with Algorithm 3.
+// The library has two public surfaces:
+//
+//   * Network / DynamicSimulation — the object API, for poking at one
+//     scenario interactively (inject faults, stabilize, inspect, route);
+//   * Config + ExperimentRunner — the declarative API, where one line of
+//     "key=value" tokens describes a whole experiment (mesh, fault
+//     placement, router, replication count) and reproduces it exactly.
+//
+// This example drives both: it builds the Figure 1 environment from a
+// config, inspects it with the object API, routes one message with a
+// registry-built router, and finally runs the same scenario as a replicated
+// experiment with a one-line config.
 
 #include <iostream>
 
-#include "src/core/network.h"
+#include "src/core/experiment_runner.h"
 #include "src/core/node_process.h"
 #include "src/core/scenario.h"
+#include "src/routing/route_walker.h"
+#include "src/routing/router_registry.h"
 
 using namespace lgfi;
 
 int main() {
-  // An 8-ary 3-D mesh: 512 nodes, interior degree 6.
-  Network net(MeshTopology(3, 8));
+  // 1. Describe the scenario declaratively.  `scenario=figure1` is the
+  //    paper's worked example: an 8-ary 3-D mesh (512 nodes) with the four
+  //    faults of Figure 1.  Any key can be overridden from a string or the
+  //    command line; Config rejects unknown keys and bad values.
+  Config cfg = experiment_config();
+  cfg.parse_string("scenario=figure1 routes=1 replications=1");
+  std::cout << "config: " << cfg.to_string() << "\n\n";
 
-  // The four faults of the paper's Figure 1.
-  for (const Coord& f : figure1_faults()) net.inject_fault(f);
+  // 2. Build it.  build_static injects the faults and runs the distributed
+  //    constructions (Algorithm 1 labeling, Algorithm 2 identification +
+  //    distribution, Definition 3 boundaries) to quiescence.
+  ExperimentRunner runner(cfg);
+  Rng rng(static_cast<uint64_t>(cfg.get_int("seed")));
+  auto env = runner.build_static(rng);
+  Network& net = *env.net;
+  std::cout << "constructions converged: labeling " << env.rounds.labeling
+            << " rounds, identification " << env.rounds.identification
+            << " rounds, boundaries " << env.rounds.boundary << " rounds\n";
 
-  // Run the distributed constructions (Algorithm 1 labeling, Algorithm 2
-  // identification + distribution, Definition 3 boundaries) to quiescence.
-  const ConstructionRounds rounds = net.stabilize();
-  std::cout << "constructions converged: labeling " << rounds.labeling
-            << " rounds, identification " << rounds.identification
-            << " rounds, boundaries " << rounds.boundary << " rounds\n";
-
-  // One faulty block formed, exactly as the paper says: [3:5, 5:6, 3:4].
+  // 3. One faulty block formed, exactly as the paper says: [3:5, 5:6, 3:4].
   for (const BlockSummary& b : net.blocks())
     std::cout << "faulty block " << b.box.to_string() << " (" << b.faulty_count
               << " faulty, " << b.member_count - b.faulty_count << " disabled)\n";
 
-  // Who knows what?  Only envelope and boundary nodes store anything.
+  // 4. Who knows what?  Only envelope and boundary nodes store anything —
+  //    the limited-global placement the paper is about.
   for (const Coord& probe : {Coord{6, 4, 5}, Coord{2, 0, 3}, Coord{0, 0, 0}})
     std::cout << "  " << inspect_node(net.model(), probe).describe() << "\n";
 
-  // Route around the block: fault-information-based PCS (Algorithm 3).
+  // 5. Route around the block.  Routers come from the registry by name —
+  //    the same names the `router=` config key accepts (fault_info is
+  //    Algorithm 3 over the limited-global placement).
+  const auto router = make_router("fault_info");
   const Coord source{4, 0, 4};
   const Coord dest{4, 7, 4};  // straight across the dangerous area
-  const RouteResult r = net.route(source, dest);
+  const RouteResult r =
+      run_static_route(net.context(), *router, source, dest);
   std::cout << "route " << source.to_string() << " -> " << dest.to_string() << ": "
             << (r.delivered ? "delivered" : "failed") << " in " << r.total_steps
             << " steps (minimum " << r.min_distance << ", detours " << r.detours()
             << ", backtracks " << r.backtrack_steps << ")\n";
+
+  // 6. The same scenario as a replicated experiment: 32 random pairs over
+  //    the Figure 1 field, fanned over the thread pool, reported as a
+  //    table.  Identical results for any thread count.
+  std::cout << "\nreplicated experiment over the same scenario:\n";
+  Config sweep = experiment_config();
+  sweep.parse_string("scenario=figure1 routes=8 replications=4 min_pair_distance=7");
+  ExperimentRunner(sweep).run_and_report(std::cout);
   return r.delivered ? 0 : 1;
 }

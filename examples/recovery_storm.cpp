@@ -5,18 +5,22 @@
 
 #include <iostream>
 
-#include "src/core/network.h"
+#include "src/core/experiment_runner.h"
 #include "src/core/node_process.h"
 #include "src/sim/fault_schedule.h"
-#include "src/sim/rng.h"
 #include "src/sim/table_printer.h"
 
 using namespace lgfi;
 
 int main() {
-  const MeshTopology mesh(2, 20);
-  Network net(mesh);
-  Rng rng(2026);
+  // Start from an empty 20^2 field built by the experiment runner; the
+  // fail/recover waves below then drive the object API directly.
+  Config cfg = experiment_config();
+  cfg.parse_string("mesh_dims=2 radix=20 faults=0 seed=2026");
+  Rng rng(static_cast<uint64_t>(cfg.get_int("seed")));
+  auto env = ExperimentRunner(cfg).build_static(rng);
+  Network& net = *env.net;
+  const MeshTopology& mesh = net.mesh();
 
   TablePrinter t({"wave", "event", "faulty", "disabled", "blocks", "e_max",
                   "nodes w/ info", "settle rounds"});

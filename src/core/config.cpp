@@ -1,0 +1,280 @@
+#include "src/core/config.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <sstream>
+
+namespace lgfi {
+
+namespace {
+
+std::string lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  return s;
+}
+
+const char* type_name(Config::Type t) {
+  switch (t) {
+    case Config::Type::kInt: return "int";
+    case Config::Type::kDouble: return "double";
+    case Config::Type::kBool: return "bool";
+    case Config::Type::kString: return "string";
+  }
+  return "?";
+}
+
+/// Doubles print with enough digits to round-trip exactly.
+std::string format_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+}  // namespace
+
+Config& Config::define(const std::string& key, Entry entry) {
+  if (entries_.count(key) > 0)
+    throw ConfigError("config key '" + key + "' defined twice");
+  if (key.empty() || key.find('=') != std::string::npos ||
+      key.find_first_of(" \t\n") != std::string::npos)
+    throw ConfigError("invalid config key '" + key + "'");
+  entries_.emplace(key, std::move(entry));
+  return *this;
+}
+
+Config& Config::define_int(const std::string& key, long long def, std::string help) {
+  Entry e;
+  e.type = Type::kInt;
+  e.int_value = def;
+  e.default_as_string = std::to_string(def);
+  e.help = std::move(help);
+  return define(key, std::move(e));
+}
+
+Config& Config::define_double(const std::string& key, double def, std::string help) {
+  Entry e;
+  e.type = Type::kDouble;
+  e.double_value = def;
+  e.default_as_string = format_double(def);
+  e.help = std::move(help);
+  return define(key, std::move(e));
+}
+
+Config& Config::define_bool(const std::string& key, bool def, std::string help) {
+  Entry e;
+  e.type = Type::kBool;
+  e.bool_value = def;
+  e.default_as_string = def ? "true" : "false";
+  e.help = std::move(help);
+  return define(key, std::move(e));
+}
+
+Config& Config::define_string(const std::string& key, std::string def, std::string help) {
+  Entry e;
+  e.type = Type::kString;
+  e.string_value = std::move(def);
+  e.default_as_string = e.string_value;
+  e.help = std::move(help);
+  return define(key, std::move(e));
+}
+
+Config::Entry& Config::require(const std::string& key) {
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    std::string known;
+    for (const auto& [k, _] : entries_) known += (known.empty() ? "" : ", ") + k;
+    throw ConfigError("unknown config key '" + key + "' (known keys: " + known + ")");
+  }
+  return it->second;
+}
+
+const Config::Entry& Config::require(const std::string& key) const {
+  return const_cast<Config*>(this)->require(key);
+}
+
+bool Config::defined(const std::string& key) const { return entries_.count(key) > 0; }
+
+Config::Type Config::type(const std::string& key) const { return require(key).type; }
+
+std::vector<std::string> Config::keys() const {
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const auto& [k, _] : entries_) out.push_back(k);
+  return out;
+}
+
+long long Config::get_int(const std::string& key) const {
+  const Entry& e = require(key);
+  if (e.type != Type::kInt)
+    throw ConfigError("config key '" + key + "' is " + type_name(e.type) + ", not int");
+  return e.int_value;
+}
+
+double Config::get_double(const std::string& key) const {
+  const Entry& e = require(key);
+  if (e.type == Type::kDouble) return e.double_value;
+  if (e.type == Type::kInt) return static_cast<double>(e.int_value);
+  throw ConfigError("config key '" + key + "' is " + type_name(e.type) + ", not double");
+}
+
+bool Config::get_bool(const std::string& key) const {
+  const Entry& e = require(key);
+  if (e.type != Type::kBool)
+    throw ConfigError("config key '" + key + "' is " + type_name(e.type) + ", not bool");
+  return e.bool_value;
+}
+
+const std::string& Config::get_str(const std::string& key) const {
+  const Entry& e = require(key);
+  if (e.type != Type::kString)
+    throw ConfigError("config key '" + key + "' is " + type_name(e.type) + ", not string");
+  return e.string_value;
+}
+
+void Config::set_int(const std::string& key, long long value) {
+  Entry& e = require(key);
+  if (e.type != Type::kInt)
+    throw ConfigError("config key '" + key + "' is " + type_name(e.type) + ", not int");
+  e.int_value = value;
+}
+
+void Config::set_double(const std::string& key, double value) {
+  Entry& e = require(key);
+  if (e.type != Type::kDouble)
+    throw ConfigError("config key '" + key + "' is " + type_name(e.type) + ", not double");
+  e.double_value = value;
+}
+
+void Config::set_bool(const std::string& key, bool value) {
+  Entry& e = require(key);
+  if (e.type != Type::kBool)
+    throw ConfigError("config key '" + key + "' is " + type_name(e.type) + ", not bool");
+  e.bool_value = value;
+}
+
+void Config::set_str(const std::string& key, std::string value) {
+  Entry& e = require(key);
+  if (e.type != Type::kString)
+    throw ConfigError("config key '" + key + "' is " + type_name(e.type) + ", not string");
+  // Values are serialized as whitespace-separated tokens; embedded
+  // whitespace would break the to_string()/parse_string() round trip.
+  if (value.find_first_of(" \t\n\r") != std::string::npos)
+    throw ConfigError("string value for config key '" + key +
+                      "' must not contain whitespace: '" + value + "'");
+  e.string_value = std::move(value);
+}
+
+void Config::set_from_string(const std::string& key, const std::string& value) {
+  Entry& e = require(key);
+  switch (e.type) {
+    case Type::kInt: {
+      size_t pos = 0;
+      long long v = 0;
+      try {
+        v = std::stoll(value, &pos, 0);
+      } catch (const std::exception&) {
+        pos = 0;
+      }
+      if (pos == 0 || pos != value.size())
+        throw ConfigError("bad int value '" + value + "' for config key '" + key + "'");
+      e.int_value = v;
+      break;
+    }
+    case Type::kDouble: {
+      size_t pos = 0;
+      double v = 0.0;
+      try {
+        v = std::stod(value, &pos);
+      } catch (const std::exception&) {
+        pos = 0;
+      }
+      if (pos == 0 || pos != value.size())
+        throw ConfigError("bad double value '" + value + "' for config key '" + key + "'");
+      e.double_value = v;
+      break;
+    }
+    case Type::kBool: {
+      const std::string v = lower(value);
+      if (v == "true" || v == "1" || v == "yes" || v == "on") e.bool_value = true;
+      else if (v == "false" || v == "0" || v == "no" || v == "off") e.bool_value = false;
+      else
+        throw ConfigError("bad bool value '" + value + "' for config key '" + key +
+                          "' (want true/false/1/0/yes/no/on/off)");
+      break;
+    }
+    case Type::kString:
+      if (value.find_first_of(" \t\n\r") != std::string::npos)
+        throw ConfigError("string value for config key '" + key +
+                          "' must not contain whitespace: '" + value + "'");
+      e.string_value = value;
+      break;
+  }
+}
+
+void Config::parse_token(const std::string& token) {
+  const size_t eq = token.find('=');
+  if (eq == std::string::npos || eq == 0)
+    throw ConfigError("bad override '" + token + "' (want key=value)");
+  set_from_string(token.substr(0, eq), token.substr(eq + 1));
+}
+
+void Config::parse_string(const std::string& line) {
+  std::istringstream is(line);
+  std::string token;
+  while (is >> token) parse_token(token);
+}
+
+void Config::parse_args(int argc, const char* const* argv, int first) {
+  for (int i = first; i < argc; ++i) parse_token(argv[i]);
+}
+
+std::string Config::value_as_string(const std::string& key) const {
+  const Entry& e = require(key);
+  switch (e.type) {
+    case Type::kInt: return std::to_string(e.int_value);
+    case Type::kDouble: return format_double(e.double_value);
+    case Type::kBool: return e.bool_value ? "true" : "false";
+    case Type::kString: return e.string_value;
+  }
+  return "";
+}
+
+std::string Config::to_string() const {
+  std::string out;
+  for (const auto& [key, _] : entries_) {
+    if (!out.empty()) out += ' ';
+    out += key + "=" + value_as_string(key);
+  }
+  return out;
+}
+
+std::string Config::help() const {
+  std::ostringstream os;
+  size_t key_w = 3, type_w = 4, def_w = 7;
+  for (const auto& [key, e] : entries_) {
+    key_w = std::max(key_w, key.size());
+    type_w = std::max(type_w, std::string(type_name(e.type)).size());
+    def_w = std::max(def_w, e.default_as_string.size());
+  }
+  for (const auto& [key, e] : entries_) {
+    os << "  " << key << std::string(key_w - key.size() + 2, ' ') << type_name(e.type)
+       << std::string(type_w - std::string(type_name(e.type)).size() + 2, ' ') << "default="
+       << e.default_as_string << std::string(def_w - e.default_as_string.size() + 2, ' ')
+       << e.help << "\n";
+  }
+  return os.str();
+}
+
+bool operator==(const Config& a, const Config& b) {
+  if (a.entries_.size() != b.entries_.size()) return false;
+  for (const auto& [key, ea] : a.entries_) {
+    const auto it = b.entries_.find(key);
+    if (it == b.entries_.end() || it->second.type != ea.type) return false;
+    if (a.value_as_string(key) != b.value_as_string(key)) return false;
+  }
+  return true;
+}
+
+}  // namespace lgfi

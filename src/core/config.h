@@ -1,0 +1,103 @@
+#pragma once
+// Declarative experiment configuration.
+//
+// A Config is a typed key/value store: every key is *defined* once with a
+// type, a default and a help line, after which it can be overridden from
+// strings ("key=value" tokens, command lines, serialized configs).  Unknown
+// keys and unparsable values throw ConfigError, so a typo in a sweep script
+// fails loudly instead of silently running the default scenario.
+//
+// Round-trip guarantee: to_string() emits every key as "key=value" in sorted
+// order, and parse_string() applied to a config with the same schema
+// restores exactly the same values — one line fully reproduces a run.
+
+#include <cstdint>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace lgfi {
+
+/// Unknown key, wrong type, or unparsable value.
+class ConfigError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+class Config {
+ public:
+  enum class Type : uint8_t { kInt, kDouble, kBool, kString };
+
+  Config() = default;
+
+  /// Defines a key with its type, default and help line.  Redefinition
+  /// throws; chainable for schema building.
+  Config& define_int(const std::string& key, long long def, std::string help = "");
+  Config& define_double(const std::string& key, double def, std::string help = "");
+  Config& define_bool(const std::string& key, bool def, std::string help = "");
+  Config& define_string(const std::string& key, std::string def, std::string help = "");
+
+  [[nodiscard]] bool defined(const std::string& key) const;
+  [[nodiscard]] Type type(const std::string& key) const;
+  [[nodiscard]] std::vector<std::string> keys() const;  ///< sorted
+
+  // Typed access.  get_int/get_bool/get_str require an exact type match;
+  // get_double also accepts int keys (promotion).  All throw ConfigError on
+  // an unknown key.
+  [[nodiscard]] long long get_int(const std::string& key) const;
+  [[nodiscard]] double get_double(const std::string& key) const;
+  [[nodiscard]] bool get_bool(const std::string& key) const;
+  [[nodiscard]] const std::string& get_str(const std::string& key) const;
+
+  void set_int(const std::string& key, long long value);
+  void set_double(const std::string& key, double value);
+  void set_bool(const std::string& key, bool value);
+  void set_str(const std::string& key, std::string value);
+
+  /// Parses `value` according to the declared type of `key`.  Bool accepts
+  /// true/false/1/0/yes/no/on/off (case-insensitive).
+  void set_from_string(const std::string& key, const std::string& value);
+
+  /// One "key=value" override token.
+  void parse_token(const std::string& token);
+
+  /// Whitespace-separated "key=value" tokens — the serialized form.
+  /// parse_string(other.to_string()) copies other's values.
+  void parse_string(const std::string& line);
+
+  /// argv[first..argc) as override tokens (the command-line surface).
+  void parse_args(int argc, const char* const* argv, int first = 1);
+
+  /// The current value of `key` rendered as a string (round-trips through
+  /// set_from_string).
+  [[nodiscard]] std::string value_as_string(const std::string& key) const;
+
+  /// "key1=v1 key2=v2 ..." over all keys, sorted — the one-line reproducible
+  /// description of a run.
+  [[nodiscard]] std::string to_string() const;
+
+  /// Human-readable schema table: key, type, default, current, help.
+  [[nodiscard]] std::string help() const;
+
+  friend bool operator==(const Config& a, const Config& b);
+
+ private:
+  struct Entry {
+    Type type = Type::kString;
+    long long int_value = 0;
+    double double_value = 0.0;
+    bool bool_value = false;
+    std::string string_value;
+    std::string default_as_string;
+    std::string help;
+  };
+
+  Entry& require(const std::string& key);
+  [[nodiscard]] const Entry& require(const std::string& key) const;
+  Config& define(const std::string& key, Entry entry);
+
+  std::map<std::string, Entry> entries_;
+};
+
+}  // namespace lgfi

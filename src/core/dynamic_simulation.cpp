@@ -4,8 +4,7 @@
 
 #include "src/fault/block_analyzer.h"
 #include "src/fault/labeling.h"
-#include "src/routing/fault_info_router.h"
-#include "src/routing/no_info_router.h"
+#include "src/routing/router_registry.h"
 
 namespace lgfi {
 
@@ -20,16 +19,9 @@ DynamicSimulation::DynamicSimulation(const MeshTopology& mesh, FaultSchedule sch
   if (options_.info_mode == InfoMode::kDelayedGlobal)
     delayed_provider_ = std::make_unique<DelayedGlobalInfoProvider>(mesh);
 
-  FaultInfoRouterOptions ropts;
-  if (options_.info_mode == InfoMode::kNone) {
-    ropts.policy.use_block_info = false;
-    ropts.name = "pcs-no-info";
-  } else if (options_.info_mode == InfoMode::kLimitedGlobal) {
-    ropts.name = "lgfi";
-  } else {
-    ropts.name = "global-table";
-  }
-  router_ = std::make_unique<FaultInfoRouter>(ropts);
+  router_ = make_router(options_.router == "auto" ? router_name_for(options_.info_mode)
+                                                  : options_.router,
+                        options_.router_config);
 }
 
 RoutingContext DynamicSimulation::context() const {

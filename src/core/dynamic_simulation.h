@@ -20,21 +20,20 @@
 #include "src/routing/detour_bounds.h"
 #include "src/routing/global_table_router.h"
 #include "src/routing/oracle_router.h"
+#include "src/routing/router_registry.h"
 #include "src/sim/fault_schedule.h"
 
 namespace lgfi {
 
-/// Where routing decisions get their block information from.
-enum class InfoMode : uint8_t {
-  kLimitedGlobal,  ///< the paper's model: the distributed InfoStore
-  kNone,           ///< information-free PCS baseline
-  kInstantGlobal,  ///< every node sees the true block list immediately
-  kDelayedGlobal,  ///< global tables updated by a broadcast wave (baseline)
-};
-
 struct DynamicSimulationOptions {
   int lambda = 1;  ///< information rounds per routing step (Section 5's lambda)
   InfoMode info_mode = InfoMode::kLimitedGlobal;
+  /// Registered router name; "auto" pairs the historical router with
+  /// info_mode (fault_info / no_info / global_table).
+  std::string router = "auto";
+  /// Router-level options (oracle_avoid, ecube_strict, ...) forwarded to the
+  /// registry factory; an empty config means router defaults.
+  Config router_config;
   bool persistent_marks = false;      ///< header ablation (DESIGN.md §6.7)
   DistributedModelOptions model;
   long long step_budget_per_message = 0;  ///< 0: 4 * 2n * N safety net

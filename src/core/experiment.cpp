@@ -1,8 +1,23 @@
 #include "src/core/experiment.h"
 
+#include <stdexcept>
+
 #include "src/sim/thread_pool.h"
 
 namespace lgfi {
+
+MetricSet::MetricSet(MetricSet&& other) noexcept {
+  std::lock_guard<std::mutex> lock(other.mu_);
+  stats_ = std::move(other.stats_);
+}
+
+MetricSet& MetricSet::operator=(MetricSet&& other) noexcept {
+  if (this != &other) {
+    std::scoped_lock lock(mu_, other.mu_);
+    stats_ = std::move(other.stats_);
+  }
+  return *this;
+}
 
 void MetricSet::add(const std::string& name, double value) {
   std::lock_guard<std::mutex> lock(mu_);
@@ -11,9 +26,14 @@ void MetricSet::add(const std::string& name, double value) {
 
 const RunningStats& MetricSet::stats(const std::string& name) const {
   std::lock_guard<std::mutex> lock(mu_);
-  static const RunningStats empty;
   const auto it = stats_.find(name);
-  return it != stats_.end() ? it->second : empty;
+  if (it == stats_.end()) {
+    std::string recorded;
+    for (const auto& [n, _] : stats_) recorded += (recorded.empty() ? "" : ", ") + n;
+    throw std::out_of_range("no metric named '" + name + "' (recorded: " +
+                            (recorded.empty() ? "<none>" : recorded) + ")");
+  }
+  return it->second;
 }
 
 bool MetricSet::has(const std::string& name) const {
@@ -28,7 +48,14 @@ std::vector<std::string> MetricSet::names() const {
   return out;
 }
 
-double MetricSet::mean(const std::string& name) const { return stats(name).mean(); }
+double MetricSet::mean(const std::string& name) const {
+  return has(name) ? stats(name).mean() : 0.0;
+}
+
+void MetricSet::merge(const MetricSet& other) {
+  std::scoped_lock lock(mu_, other.mu_);
+  for (const auto& [name, stats] : other.stats_) stats_[name].merge(stats);
+}
 
 void parallel_replicate(int replications, uint64_t seed, MetricSet& metrics,
                         const std::function<void(Rng&, MetricSet&)>& fn) {

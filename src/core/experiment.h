@@ -22,15 +22,27 @@ namespace lgfi {
 /// Named statistics for one experiment configuration.
 class MetricSet {
  public:
+  MetricSet() = default;
+  MetricSet(MetricSet&& other) noexcept;
+  MetricSet& operator=(MetricSet&& other) noexcept;
+
   /// Records a sample (thread-safe).
   void add(const std::string& name, double value);
 
+  /// Statistics for `name`; throws std::out_of_range naming the missing
+  /// metric (and listing what was recorded) so metric-name typos in benches
+  /// fail loudly.  Use has() / mean() for optional metrics.
   [[nodiscard]] const RunningStats& stats(const std::string& name) const;
   [[nodiscard]] bool has(const std::string& name) const;
   [[nodiscard]] std::vector<std::string> names() const;
 
-  /// mean of `name` (0 if absent) — the common bench accessor.
+  /// mean of `name` (0 if absent — metrics recorded only on success, e.g.
+  /// "steps" of delivered routes, may legitimately be empty).
   [[nodiscard]] double mean(const std::string& name) const;
+
+  /// Folds `other` into this set (deterministic parallel reduction: merge
+  /// per-replication sets in replication order).
+  void merge(const MetricSet& other);
 
  private:
   mutable std::mutex mu_;

@@ -1,0 +1,425 @@
+#include "src/core/experiment_runner.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <exception>
+#include <mutex>
+#include <ostream>
+#include <sstream>
+
+#include "src/core/scenario.h"
+#include "src/routing/global_table_router.h"
+#include "src/routing/route_walker.h"
+#include "src/routing/router_registry.h"
+#include "src/sim/table_printer.h"
+#include "src/sim/thread_pool.h"
+
+namespace lgfi {
+
+namespace {
+
+/// "3:5,5:6,3:4" -> Box([3,5,3], [5,6,4]); one lo:hi range per dimension.
+Box parse_box(const std::string& spec) {
+  std::vector<std::pair<int, int>> ranges;
+  std::istringstream is(spec);
+  std::string range;
+  while (std::getline(is, range, ',')) {
+    const size_t colon = range.find(':');
+    try {
+      if (colon == std::string::npos) {
+        const int v = std::stoi(range);
+        ranges.emplace_back(v, v);
+      } else {
+        ranges.emplace_back(std::stoi(range.substr(0, colon)),
+                            std::stoi(range.substr(colon + 1)));
+      }
+    } catch (const std::exception&) {
+      throw ConfigError("bad fault_box '" + spec + "' (want lo:hi,lo:hi,... per dimension)");
+    }
+  }
+  if (ranges.empty() || ranges.size() > static_cast<size_t>(kMaxDims))
+    throw ConfigError("bad fault_box '" + spec + "' (want 1.." + std::to_string(kMaxDims) +
+                      " dimensions)");
+  Coord lo(static_cast<int>(ranges.size())), hi(static_cast<int>(ranges.size()));
+  for (size_t i = 0; i < ranges.size(); ++i) {
+    lo[static_cast<int>(i)] = ranges[i].first;
+    hi[static_cast<int>(i)] = ranges[i].second;
+  }
+  return Box(lo, hi);
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+std::string json_number(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+std::string csv_quote(const std::string& s) {
+  std::string out = "\"";
+  for (const char c : s) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  return out + "\"";
+}
+
+}  // namespace
+
+Config experiment_config() {
+  Config cfg;
+  cfg.define_int("mesh_dims", 2, "mesh dimensionality n")
+      .define_int("radix", 16, "nodes per dimension k (the mesh is k-ary n-D)")
+      .define_string("router", "fault_info",
+                     "registered routing function (see RouterRegistry)")
+      .define_string("info_mode", "auto",
+                     "limited_global|none|instant_global|delayed_global|auto "
+                     "(auto = the router's default)")
+      .define_string("mode", "static",
+                     "static: route over a converged field; dynamic: faults "
+                     "arrive while messages travel")
+      .define_string("scenario", "random",
+                     "random (per fault_model) | figure1 | stacked_blocks "
+                     "(paper worked examples; override mesh keys)")
+      .define_int("faults", 8, "fault count (per batch in dynamic mode)")
+      .define_string("fault_model", "random",
+                     "random | clustered | box placement generator")
+      .define_string("fault_box", "",
+                     "box extents lo:hi,lo:hi,... for fault_model=box")
+      .define_int("batches", 1, "dynamic: number of fault batches")
+      .define_int("fault_start", 0, "dynamic: step of the first batch")
+      .define_int("fault_interval", 60, "dynamic: steps between batches (d_i)")
+      .define_bool("recoveries", false,
+                   "dynamic: earlier faults sometimes recover (Definition 4)")
+      .define_int("lambda", 1, "information rounds per routing step (Section 5)")
+      .define_int("warmup_steps", 0, "dynamic: steps before launching messages")
+      .define_int("max_steps", 1 << 20, "dynamic: hard step cap per replication")
+      .define_int("replications", 1, "independent replications (Rng fork per rep)")
+      .define_int("routes", 1, "random source/destination pairs per replication")
+      .define_int("min_pair_distance", 1, "minimum D(s,d) of sampled pairs")
+      .define_int("seed", 1, "base RNG seed")
+      .define_int("threads", 0, "0: shared global pool; N: private pool of N")
+      .define_int("step_budget", 0, "per-message step budget (0: 4*2n*N safety net)")
+      .define_int("max_rounds", 1 << 20, "stabilization round cap (static mode)")
+      .define_bool("persistent_marks", false,
+                   "header ablation: marks survive backtracking (DESIGN.md 6.7)")
+      .define_bool("ecube_strict", true,
+                   "dimension_order: disabled nodes block the route too")
+      .define_string("oracle_avoid", "block_members",
+                     "oracle: block_members | faulty_only obstacles")
+      .define_string("report", "table", "reporter: table | csv | json");
+  return cfg;
+}
+
+// ---------------------------------------------------------------------------
+// Reporters.
+// ---------------------------------------------------------------------------
+
+void TableReporter::report(const ExperimentResult& result, std::ostream& os) const {
+  os << "config: " << result.config.to_string() << "\n";
+  os << "replications: " << result.replications << "\n";
+  TablePrinter t({"metric", "count", "mean", "stddev", "min", "max"});
+  for (const auto& name : result.metrics.names()) {
+    const RunningStats& s = result.metrics.stats(name);
+    t.add_row({name, TablePrinter::num(s.count()), TablePrinter::num(s.mean(), 4),
+               TablePrinter::num(s.stddev(), 4), TablePrinter::num(s.min(), 4),
+               TablePrinter::num(s.max(), 4)});
+  }
+  t.print(os);
+}
+
+void CsvReporter::report(const ExperimentResult& result, std::ostream& os) const {
+  os << "config,metric,count,mean,stddev,min,max\n";
+  const std::string cfg = csv_quote(result.config.to_string());
+  for (const auto& name : result.metrics.names()) {
+    const RunningStats& s = result.metrics.stats(name);
+    os << cfg << ',' << name << ',' << s.count() << ',' << json_number(s.mean()) << ','
+       << json_number(s.stddev()) << ',' << json_number(s.min()) << ','
+       << json_number(s.max()) << "\n";
+  }
+}
+
+void JsonReporter::report(const ExperimentResult& result, std::ostream& os) const {
+  os << "{\"config\":{";
+  bool first = true;
+  for (const auto& key : result.config.keys()) {
+    if (!first) os << ',';
+    first = false;
+    os << '"' << json_escape(key) << "\":\"" << json_escape(result.config.value_as_string(key))
+       << '"';
+  }
+  os << "},\"replications\":" << result.replications << ",\"metrics\":{";
+  first = true;
+  for (const auto& name : result.metrics.names()) {
+    const RunningStats& s = result.metrics.stats(name);
+    if (!first) os << ',';
+    first = false;
+    os << '"' << json_escape(name) << "\":{\"count\":" << s.count()
+       << ",\"mean\":" << json_number(s.mean()) << ",\"stddev\":" << json_number(s.stddev())
+       << ",\"min\":" << json_number(s.min()) << ",\"max\":" << json_number(s.max()) << '}';
+  }
+  os << "}}\n";
+}
+
+std::unique_ptr<Reporter> make_reporter(const std::string& name) {
+  if (name == "table") return std::make_unique<TableReporter>();
+  if (name == "csv") return std::make_unique<CsvReporter>();
+  if (name == "json") return std::make_unique<JsonReporter>();
+  throw ConfigError("unknown reporter '" + name + "' (want table, csv, json)");
+}
+
+// ---------------------------------------------------------------------------
+// ExperimentRunner.
+// ---------------------------------------------------------------------------
+
+ExperimentRunner::ExperimentRunner(Config config) : config_(std::move(config)) {
+  // Fail fast on name typos instead of inside a worker thread.
+  (void)RouterRegistry::instance().default_info_mode(config_.get_str("router"));
+  (void)make_reporter(config_.get_str("report"));
+  if (config_.get_str("info_mode") != "auto") (void)parse_info_mode(config_.get_str("info_mode"));
+}
+
+std::unique_ptr<Router> ExperimentRunner::make_router() const {
+  return lgfi::make_router(config_.get_str("router"), config_);
+}
+
+InfoMode ExperimentRunner::info_mode() const { return resolve_info_mode(config_); }
+
+namespace {
+std::vector<Coord> placement_for(const Config& cfg, const MeshTopology& mesh, Rng& rng) {
+  const std::string& model = cfg.get_str("fault_model");
+  const int count = static_cast<int>(cfg.get_int("faults"));
+  if (model == "random") return random_fault_placement(mesh, count, rng);
+  if (model == "clustered") return clustered_fault_placement(mesh, count, rng);
+  if (model == "box") {
+    const Box box = parse_box(cfg.get_str("fault_box"));
+    if (box.lo().size() != mesh.dims())
+      throw ConfigError("fault_box '" + cfg.get_str("fault_box") + "' has " +
+                        std::to_string(box.lo().size()) + " dimensions but the mesh has " +
+                        std::to_string(mesh.dims()));
+    return box_fault_placement(mesh, box);
+  }
+  throw ConfigError("unknown fault_model '" + model + "' (want random, clustered, box)");
+}
+}  // namespace
+
+ExperimentRunner::StaticEnv ExperimentRunner::build_static(Rng& rng) const {
+  StaticEnv env;
+  const std::string& scenario = config_.get_str("scenario");
+  if (scenario == "figure1") {
+    env.net = std::make_unique<Network>(MeshTopology(3, 8));
+    env.faults = figure1_faults();
+  } else if (scenario == "stacked_blocks") {
+    auto s = stacked_blocks_scenario();
+    env.net = std::make_unique<Network>(s.mesh);
+    env.faults = s.faults;
+  } else if (scenario == "random") {
+    const MeshTopology mesh(static_cast<int>(config_.get_int("mesh_dims")),
+                            static_cast<int>(config_.get_int("radix")));
+    env.net = std::make_unique<Network>(mesh);
+    env.faults = placement_for(config_, env.net->mesh(), rng);
+  } else {
+    throw ConfigError("unknown scenario '" + scenario +
+                      "' (want random, figure1, stacked_blocks)");
+  }
+  for (const auto& c : env.faults) env.net->inject_fault(c);
+  env.rounds = env.net->stabilize(static_cast<int>(config_.get_int("max_rounds")));
+  return env;
+}
+
+ExperimentRunner::DynamicEnv ExperimentRunner::build_dynamic(Rng& rng) const {
+  DynamicEnv env;
+  const std::string& scenario = config_.get_str("scenario");
+  const long long start = config_.get_int("fault_start");
+  const long long interval = config_.get_int("fault_interval");
+  const int batches = static_cast<int>(config_.get_int("batches"));
+
+  if (scenario == "figure1") {
+    env.mesh = std::make_unique<MeshTopology>(3, 8);
+    for (const auto& c : figure1_faults()) env.schedule.add_fail(start, c);
+  } else if (scenario == "random") {
+    env.mesh = std::make_unique<MeshTopology>(static_cast<int>(config_.get_int("mesh_dims")),
+                                              static_cast<int>(config_.get_int("radix")));
+    if (config_.get_bool("recoveries")) {
+      env.schedule = periodic_random_schedule(*env.mesh, batches,
+                                              static_cast<int>(config_.get_int("faults")),
+                                              start, interval, rng, /*recoveries=*/true);
+    } else {
+      if (batches > 1 && config_.get_str("fault_model") == "box")
+        throw ConfigError(
+            "fault_model=box places the same nodes every batch; use batches=1 "
+            "(or a random/clustered model for multi-batch schedules)");
+      // Later batches never re-fail an earlier batch's node: random
+      // placement excludes them up front; other models are deduplicated.
+      std::vector<Coord> placed;
+      for (int b = 0; b < batches; ++b) {
+        const auto batch =
+            config_.get_str("fault_model") == "random"
+                ? random_fault_placement(*env.mesh,
+                                         static_cast<int>(config_.get_int("faults")), rng,
+                                         {}, placed)
+                : placement_for(config_, *env.mesh, rng);
+        for (const auto& c : batch) {
+          if (std::find(placed.begin(), placed.end(), c) != placed.end()) continue;
+          env.schedule.add_fail(start + b * interval, c);
+          placed.push_back(c);
+        }
+      }
+    }
+  } else {
+    throw ConfigError("unknown dynamic scenario '" + scenario + "' (want random, figure1)");
+  }
+
+  DynamicSimulationOptions opts;
+  opts.lambda = static_cast<int>(config_.get_int("lambda"));
+  opts.info_mode = info_mode();
+  opts.router = config_.get_str("router");
+  opts.router_config = config_;
+  opts.persistent_marks = config_.get_bool("persistent_marks");
+  opts.step_budget_per_message = config_.get_int("step_budget");
+  env.sim = std::make_unique<DynamicSimulation>(*env.mesh, env.schedule, opts);
+  const long long warmup = config_.get_int("warmup_steps");
+  for (long long i = 0; i < warmup; ++i) env.sim->step();
+  return env;
+}
+
+ExperimentResult ExperimentRunner::run_each(
+    const std::function<void(Rng&, MetricSet&)>& body) const {
+  const int replications = static_cast<int>(config_.get_int("replications"));
+  const int threads = static_cast<int>(config_.get_int("threads"));
+  const Rng base(static_cast<uint64_t>(config_.get_int("seed")));
+
+  std::vector<MetricSet> per_rep(static_cast<size_t>(replications));
+  // Exceptions must not escape into pool workers (std::terminate) or past
+  // per_rep while other replications still write into it: capture the first
+  // one and rethrow after the fan-out has fully drained.
+  std::exception_ptr first_error;
+  std::mutex error_mu;
+  const auto task = [&](int64_t rep) {
+    try {
+      Rng rng = base.fork(static_cast<uint64_t>(rep));
+      body(rng, per_rep[static_cast<size_t>(rep)]);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(error_mu);
+      if (!first_error) first_error = std::current_exception();
+    }
+  };
+  if (threads > 0) {
+    ThreadPool pool(static_cast<unsigned>(threads));
+    pool.parallel_for(replications, task);
+  } else {
+    parallel_for(replications, task);
+  }
+  if (first_error) std::rethrow_exception(first_error);
+
+  ExperimentResult result;
+  result.config = config_;
+  result.replications = replications;
+  // Merge in replication order: byte-identical results for any thread count.
+  for (const auto& m : per_rep) result.metrics.merge(m);
+  return result;
+}
+
+ExperimentResult ExperimentRunner::run_each_static(
+    const std::function<void(StaticEnv&, Rng&, MetricSet&)>& body) const {
+  return run_each([this, &body](Rng& rng, MetricSet& out) {
+    StaticEnv env = build_static(rng);
+    body(env, rng, out);
+  });
+}
+
+void ExperimentRunner::run_one_static(Rng& rng, MetricSet& out) const {
+  StaticEnv env = build_static(rng);
+  out.add("blocks", static_cast<double>(env.net->blocks().size()));
+  out.add("converge_rounds", env.rounds.total);
+
+  const auto router = make_router();
+  const InfoMode mode = info_mode();
+  EmptyInfoProvider empty;
+  GlobalInfoProvider global;
+  RoutingContext ctx = env.net->context();
+  if (mode == InfoMode::kNone) {
+    ctx.info = &empty;
+  } else if (mode == InfoMode::kInstantGlobal || mode == InfoMode::kDelayedGlobal) {
+    // A frozen field has no broadcast latency: both global modes see the
+    // stabilized block list everywhere.
+    std::vector<BlockInfo> infos;
+    for (const auto& b : env.net->blocks())
+      infos.push_back(BlockInfo{b.box, env.net->model().epoch()});
+    global.set_blocks(std::move(infos));
+    ctx.info = &global;
+  }
+
+  const int routes = static_cast<int>(config_.get_int("routes"));
+  const int min_distance = static_cast<int>(config_.get_int("min_pair_distance"));
+  for (int i = 0; i < routes; ++i) {
+    const Pair pair = random_enabled_pair(env.mesh(), env.net->field(), rng, min_distance);
+    const RouteResult r = run_static_route(ctx, *router, pair.source, pair.dest,
+                                           config_.get_int("step_budget"));
+    out.add("delivered", r.delivered ? 1.0 : 0.0);
+    if (r.delivered) {
+      out.add("steps", r.total_steps);
+      out.add("detours", r.detours());
+      out.add("backtracks", r.backtrack_steps);
+      out.add("min_distance", r.min_distance);
+    }
+  }
+}
+
+void ExperimentRunner::run_one_dynamic(Rng& rng, MetricSet& out) const {
+  DynamicEnv env = build_dynamic(rng);
+  const int routes = static_cast<int>(config_.get_int("routes"));
+  const int min_distance = static_cast<int>(config_.get_int("min_pair_distance"));
+  std::vector<int> ids;
+  for (int i = 0; i < routes; ++i) {
+    const Pair pair =
+        random_enabled_pair(*env.mesh, env.sim->model().field(), rng, min_distance);
+    ids.push_back(env.sim->launch_message(pair.source, pair.dest));
+  }
+  env.sim->run(config_.get_int("max_steps"));
+
+  out.add("occurrences", static_cast<double>(env.sim->occurrences().size()));
+  for (const int id : ids) {
+    const MessageProgress& msg = env.sim->message(id);
+    out.add("delivered", msg.delivered ? 1.0 : 0.0);
+    if (msg.delivered) {
+      out.add("steps", static_cast<double>(msg.header.total_steps()));
+      out.add("detours", static_cast<double>(msg.detours()));
+      out.add("backtracks", static_cast<double>(msg.header.backtrack_steps()));
+      out.add("min_distance", msg.initial_distance);
+    }
+  }
+}
+
+ExperimentResult ExperimentRunner::run() const {
+  const std::string& mode = config_.get_str("mode");
+  if (mode == "static")
+    return run_each([this](Rng& rng, MetricSet& out) { run_one_static(rng, out); });
+  if (mode == "dynamic")
+    return run_each([this](Rng& rng, MetricSet& out) { run_one_dynamic(rng, out); });
+  throw ConfigError("unknown mode '" + mode + "' (want static or dynamic)");
+}
+
+ExperimentResult ExperimentRunner::run_and_report(std::ostream& os) const {
+  ExperimentResult result = run();
+  make_reporter(config_.get_str("report"))->report(result, os);
+  return result;
+}
+
+}  // namespace lgfi

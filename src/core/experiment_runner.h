@@ -1,0 +1,136 @@
+#pragma once
+// The declarative experiment surface.
+//
+// An ExperimentRunner takes a Config (schema: experiment_config()), builds
+// the mesh / network / fault schedule / router it describes, fans the
+// replications over the thread pool, and reports the collected metrics
+// through a pluggable Reporter.  One config line reproduces any run:
+//
+//   Config cfg = experiment_config();
+//   cfg.parse_string("mesh_dims=3 radix=10 router=fault_info faults=18 "
+//                    "replications=200 seed=7");
+//   ExperimentRunner(cfg).run_and_report(std::cout);
+//
+// Replication fan-out is deterministic *and* schedule-independent: each
+// replication gets Rng(seed).fork(rep) and its own MetricSet, and the
+// per-replication sets are merged in replication order, so results are
+// byte-identical for any thread count.
+//
+// Benches with bespoke measurements keep their own tables but reuse the
+// environment construction: build_static()/build_dynamic() turn the config
+// into a ready simulator, and run_each()/run_each_static() provide the
+// deterministic replication fan-out.
+
+#include <functional>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/config.h"
+#include "src/core/dynamic_simulation.h"
+#include "src/core/experiment.h"
+#include "src/core/network.h"
+#include "src/sim/fault_schedule.h"
+
+namespace lgfi {
+
+/// The standard experiment schema: every key with a typed default and help
+/// line.  `Config::help()` prints the grammar; see README.md for the table.
+Config experiment_config();
+
+struct ExperimentResult {
+  Config config;       ///< the exact configuration that produced the metrics
+  MetricSet metrics;   ///< merged over all replications
+  int replications = 0;
+};
+
+/// Pluggable result sink.
+class Reporter {
+ public:
+  virtual ~Reporter() = default;
+  virtual void report(const ExperimentResult& result, std::ostream& os) const = 0;
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// Aligned terminal table (TablePrinter): metric, count, mean, sd, min, max.
+class TableReporter final : public Reporter {
+ public:
+  void report(const ExperimentResult& result, std::ostream& os) const override;
+  [[nodiscard]] std::string name() const override { return "table"; }
+};
+
+/// RFC-4180-ish CSV with a header row; first column is the config string.
+class CsvReporter final : public Reporter {
+ public:
+  void report(const ExperimentResult& result, std::ostream& os) const override;
+  [[nodiscard]] std::string name() const override { return "csv"; }
+};
+
+/// One JSON object: {"config": {...}, "replications": N, "metrics": {...}}.
+/// Doubles print with round-trip precision, so equal runs emit equal bytes.
+class JsonReporter final : public Reporter {
+ public:
+  void report(const ExperimentResult& result, std::ostream& os) const override;
+  [[nodiscard]] std::string name() const override { return "json"; }
+};
+
+/// table / csv / json; throws ConfigError on anything else.
+std::unique_ptr<Reporter> make_reporter(const std::string& name);
+
+class ExperimentRunner {
+ public:
+  explicit ExperimentRunner(Config config);
+
+  [[nodiscard]] const Config& config() const { return config_; }
+
+  /// A fully-built static environment: mesh + faults injected + information
+  /// constructions converged.
+  struct StaticEnv {
+    std::unique_ptr<Network> net;
+    std::vector<Coord> faults;
+    ConstructionRounds rounds;
+    [[nodiscard]] const MeshTopology& mesh() const { return net->mesh(); }
+  };
+  [[nodiscard]] StaticEnv build_static(Rng& rng) const;
+
+  /// A fully-built dynamic environment: schedule realized per config and
+  /// `warmup_steps` already stepped.
+  struct DynamicEnv {
+    std::unique_ptr<MeshTopology> mesh;
+    FaultSchedule schedule;
+    std::unique_ptr<DynamicSimulation> sim;
+  };
+  [[nodiscard]] DynamicEnv build_dynamic(Rng& rng) const;
+
+  /// The configured router (from the registry) and its information mode.
+  [[nodiscard]] std::unique_ptr<Router> make_router() const;
+  [[nodiscard]] InfoMode info_mode() const;
+
+  /// Deterministic replication fan-out: runs `body(rng, metrics)` once per
+  /// replication (Rng(seed).fork(rep)), merging per-replication metrics in
+  /// replication order.  `threads` > 0 uses a private pool of that size.
+  ExperimentResult run_each(const std::function<void(Rng&, MetricSet&)>& body) const;
+
+  /// run_each with the static environment already built per replication.
+  ExperimentResult run_each_static(
+      const std::function<void(StaticEnv&, Rng&, MetricSet&)>& body) const;
+
+  /// The standard scenario: per replication, build the configured
+  /// environment, route `routes` random pairs with the configured router,
+  /// and record delivery / steps / detours / backtracks (+ environment
+  /// metrics).  mode=static routes over the frozen field; mode=dynamic
+  /// launches the messages into the step loop.
+  [[nodiscard]] ExperimentResult run() const;
+
+  /// run() + report through the configured reporter.
+  ExperimentResult run_and_report(std::ostream& os) const;
+
+ private:
+  void run_one_static(Rng& rng, MetricSet& out) const;
+  void run_one_dynamic(Rng& rng, MetricSet& out) const;
+
+  Config config_;
+};
+
+}  // namespace lgfi

@@ -1,11 +1,14 @@
 #include "src/core/network.h"
 
-#include "src/routing/fault_info_router.h"
+#include "src/routing/router_registry.h"
 
 namespace lgfi {
 
 Network::Network(MeshTopology mesh, DistributedModelOptions options)
-    : mesh_(std::move(mesh)), model_(mesh_, options), provider_(model_.info()) {}
+    : mesh_(std::move(mesh)),
+      model_(mesh_, options),
+      provider_(model_.info()),
+      router_(make_router("fault_info")) {}
 
 RoutingContext Network::context() const {
   RoutingContext ctx;
@@ -16,8 +19,7 @@ RoutingContext Network::context() const {
 }
 
 RouteResult Network::route(const Coord& source, const Coord& dest, long long step_budget) {
-  FaultInfoRouter router;
-  return run_static_route(context(), router, source, dest, step_budget);
+  return run_static_route(context(), *router_, source, dest, step_budget);
 }
 
 }  // namespace lgfi

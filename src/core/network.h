@@ -51,6 +51,7 @@ class Network {
   MeshTopology mesh_;
   DistributedFaultModel model_;
   StoreInfoProvider provider_;
+  std::unique_ptr<Router> router_;  ///< registry-built Algorithm 3 (route())
 };
 
 }  // namespace lgfi

@@ -1,0 +1,153 @@
+#include "src/routing/router_registry.h"
+
+#include <algorithm>
+
+#include "src/routing/dimension_order_router.h"
+#include "src/routing/fault_info_router.h"
+#include "src/routing/global_table_router.h"
+#include "src/routing/no_info_router.h"
+#include "src/routing/oracle_router.h"
+
+namespace lgfi {
+
+InfoMode parse_info_mode(const std::string& name) {
+  if (name == "limited_global") return InfoMode::kLimitedGlobal;
+  if (name == "none") return InfoMode::kNone;
+  if (name == "instant_global") return InfoMode::kInstantGlobal;
+  if (name == "delayed_global") return InfoMode::kDelayedGlobal;
+  throw ConfigError("unknown info mode '" + name +
+                    "' (want limited_global, none, instant_global, delayed_global, or auto)");
+}
+
+const char* to_string(InfoMode mode) {
+  switch (mode) {
+    case InfoMode::kLimitedGlobal: return "limited_global";
+    case InfoMode::kNone: return "none";
+    case InfoMode::kInstantGlobal: return "instant_global";
+    case InfoMode::kDelayedGlobal: return "delayed_global";
+  }
+  return "?";
+}
+
+RouterRegistry& RouterRegistry::instance() {
+  static RouterRegistry registry;
+  return registry;
+}
+
+void RouterRegistry::add(const std::string& name, InfoMode default_mode,
+                         RouterFactory factory) {
+  for (const auto& [existing, _] : registrations_)
+    if (existing == name) throw ConfigError("router '" + name + "' registered twice");
+  registrations_.emplace_back(name, Registration{default_mode, std::move(factory)});
+}
+
+bool RouterRegistry::contains(const std::string& name) const {
+  for (const auto& [existing, _] : registrations_)
+    if (existing == name) return true;
+  return false;
+}
+
+std::vector<std::string> RouterRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(registrations_.size());
+  for (const auto& [name, _] : registrations_) out.push_back(name);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+const RouterRegistry::Registration& RouterRegistry::require(const std::string& name) const {
+  for (const auto& [existing, reg] : registrations_)
+    if (existing == name) return reg;
+  std::string known;
+  for (const auto& n : names()) known += (known.empty() ? "" : ", ") + n;
+  throw ConfigError("unknown router '" + name + "' (registered: " + known + ")");
+}
+
+std::unique_ptr<Router> RouterRegistry::make(const std::string& name,
+                                             const Config& config) const {
+  return require(name).factory(config);
+}
+
+InfoMode RouterRegistry::default_info_mode(const std::string& name) const {
+  return require(name).default_mode;
+}
+
+RouterRegistrar::RouterRegistrar(const std::string& name, InfoMode default_mode,
+                                 RouterFactory factory) {
+  RouterRegistry::instance().add(name, default_mode, std::move(factory));
+}
+
+std::unique_ptr<Router> make_router(const std::string& name) {
+  return RouterRegistry::instance().make(name, Config{});
+}
+
+std::unique_ptr<Router> make_router(const std::string& name, const Config& config) {
+  return RouterRegistry::instance().make(name, config);
+}
+
+const char* router_name_for(InfoMode mode) {
+  switch (mode) {
+    case InfoMode::kLimitedGlobal: return "fault_info";
+    case InfoMode::kNone: return "no_info";
+    case InfoMode::kInstantGlobal:
+    case InfoMode::kDelayedGlobal: return "global_table";
+  }
+  return "fault_info";
+}
+
+InfoMode resolve_info_mode(const Config& config) {
+  if (config.defined("info_mode")) {
+    const std::string& mode = config.get_str("info_mode");
+    if (mode != "auto") return parse_info_mode(mode);
+  }
+  const std::string router =
+      config.defined("router") ? config.get_str("router") : "fault_info";
+  return RouterRegistry::instance().default_info_mode(router);
+}
+
+// ---------------------------------------------------------------------------
+// Built-in registrations.  These live in the same translation unit as the
+// registry so a static-library link can never strip them.
+// ---------------------------------------------------------------------------
+namespace {
+
+const RouterRegistrar kDimensionOrder(
+    "dimension_order", InfoMode::kNone, [](const Config& cfg) -> std::unique_ptr<Router> {
+      const bool strict =
+          cfg.defined("ecube_strict") ? cfg.get_bool("ecube_strict") : true;
+      return std::make_unique<DimensionOrderRouter>(strict);
+    });
+
+const RouterRegistrar kNoInfo(
+    "no_info", InfoMode::kNone, [](const Config&) -> std::unique_ptr<Router> {
+      return std::make_unique<FaultInfoRouter>(make_no_info_router().options());
+    });
+
+const RouterRegistrar kFaultInfo(
+    "fault_info", InfoMode::kLimitedGlobal, [](const Config&) -> std::unique_ptr<Router> {
+      return std::make_unique<FaultInfoRouter>();
+    });
+
+const RouterRegistrar kGlobalTable(
+    "global_table", InfoMode::kInstantGlobal,
+    [](const Config&) -> std::unique_ptr<Router> {
+      return std::make_unique<FaultInfoRouter>(make_global_table_router().options());
+    });
+
+const RouterRegistrar kOracle(
+    "oracle", InfoMode::kNone, [](const Config& cfg) -> std::unique_ptr<Router> {
+      OracleAvoid avoid = OracleAvoid::kBlockMembers;
+      if (cfg.defined("oracle_avoid")) {
+        const std::string& a = cfg.get_str("oracle_avoid");
+        if (a == "faulty_only") avoid = OracleAvoid::kFaultyOnly;
+        else if (a == "block_members") avoid = OracleAvoid::kBlockMembers;
+        else
+          throw ConfigError("unknown oracle_avoid '" + a +
+                            "' (want faulty_only or block_members)");
+      }
+      return std::make_unique<OracleRouter>(avoid);
+    });
+
+}  // namespace
+
+}  // namespace lgfi

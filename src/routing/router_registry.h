@@ -1,0 +1,87 @@
+#pragma once
+// Routing-function registry: routers self-register by name and are built
+// from a Config, so benches, examples and the simulators never construct a
+// concrete router type directly (the booksim RegisterRoutingFunctions
+// pattern).  The registry also owns the InfoMode vocabulary — where a
+// router's block information comes from — and resolves it from config
+// instead of hard-coded enums at call sites.
+//
+// Registered names:
+//   dimension_order  e-cube baseline (no fault info consulted)
+//   no_info          backtracking PCS, block information ignored
+//   fault_info       Algorithm 3 over the limited-global placement (paper)
+//   global_table     Algorithm 3 with per-node global tables (baseline)
+//   oracle           BFS shortest path over live nodes (lower bound)
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/config.h"
+#include "src/routing/router.h"
+
+namespace lgfi {
+
+/// Where routing decisions get their block information from.
+enum class InfoMode : uint8_t {
+  kLimitedGlobal,  ///< the paper's model: the distributed InfoStore
+  kNone,           ///< information-free PCS baseline
+  kInstantGlobal,  ///< every node sees the true block list immediately
+  kDelayedGlobal,  ///< global tables updated by a broadcast wave (baseline)
+};
+
+/// limited_global / none / instant_global / delayed_global; throws
+/// ConfigError on anything else.
+InfoMode parse_info_mode(const std::string& name);
+const char* to_string(InfoMode mode);
+
+using RouterFactory = std::function<std::unique_ptr<Router>(const Config&)>;
+
+class RouterRegistry {
+ public:
+  /// The process-wide registry (populated during static initialization by
+  /// RouterRegistrar instances).
+  static RouterRegistry& instance();
+
+  /// Registers a factory under `name`; `default_mode` is the information
+  /// placement the router is designed for.  Duplicate names throw.
+  void add(const std::string& name, InfoMode default_mode, RouterFactory factory);
+
+  [[nodiscard]] bool contains(const std::string& name) const;
+  [[nodiscard]] std::vector<std::string> names() const;  ///< sorted
+
+  /// Builds the named router; throws ConfigError with the known names on an
+  /// unknown `name`.  The config is passed to the factory for router-level
+  /// options (e.g. oracle_avoid, ecube_strict).
+  [[nodiscard]] std::unique_ptr<Router> make(const std::string& name,
+                                             const Config& config) const;
+
+  [[nodiscard]] InfoMode default_info_mode(const std::string& name) const;
+
+ private:
+  struct Registration {
+    InfoMode default_mode;
+    RouterFactory factory;
+  };
+  [[nodiscard]] const Registration& require(const std::string& name) const;
+  std::vector<std::pair<std::string, Registration>> registrations_;
+};
+
+/// Self-registration helper: `static RouterRegistrar r("name", mode, fn);`
+struct RouterRegistrar {
+  RouterRegistrar(const std::string& name, InfoMode default_mode, RouterFactory factory);
+};
+
+/// Convenience: build by name with router defaults / with options from `config`.
+std::unique_ptr<Router> make_router(const std::string& name);
+std::unique_ptr<Router> make_router(const std::string& name, const Config& config);
+
+/// The router name DynamicSimulation historically paired with each mode.
+const char* router_name_for(InfoMode mode);
+
+/// Resolves the run's InfoMode from config: `info_mode` when set to a
+/// concrete mode, else ("auto") the registered default of `router`.
+InfoMode resolve_info_mode(const Config& config);
+
+}  // namespace lgfi

@@ -1,0 +1,139 @@
+// Tests for the Config subsystem: typed defaults, parsing, overrides,
+// rejection of unknown keys / bad values, and round-trip serialization.
+
+#include <gtest/gtest.h>
+
+#include "src/core/config.h"
+#include "src/core/experiment_runner.h"
+
+namespace lgfi {
+namespace {
+
+Config small_schema() {
+  Config cfg;
+  cfg.define_int("count", 4, "a counter")
+      .define_double("rate", 0.5, "a rate")
+      .define_bool("flag", false, "a flag")
+      .define_string("name", "alpha", "a name");
+  return cfg;
+}
+
+TEST(Config, DefaultsAndTypedAccess) {
+  const Config cfg = small_schema();
+  EXPECT_EQ(cfg.get_int("count"), 4);
+  EXPECT_DOUBLE_EQ(cfg.get_double("rate"), 0.5);
+  EXPECT_FALSE(cfg.get_bool("flag"));
+  EXPECT_EQ(cfg.get_str("name"), "alpha");
+  // int promotes to double, nothing else crosses types.
+  EXPECT_DOUBLE_EQ(cfg.get_double("count"), 4.0);
+  EXPECT_THROW((void)cfg.get_int("rate"), ConfigError);
+  EXPECT_THROW((void)cfg.get_bool("name"), ConfigError);
+  EXPECT_THROW((void)cfg.get_str("count"), ConfigError);
+}
+
+TEST(Config, SettersAreTypeChecked) {
+  Config cfg = small_schema();
+  cfg.set_int("count", 9);
+  cfg.set_double("rate", 0.25);
+  cfg.set_bool("flag", true);
+  cfg.set_str("name", "beta");
+  EXPECT_EQ(cfg.get_int("count"), 9);
+  EXPECT_TRUE(cfg.get_bool("flag"));
+  EXPECT_THROW(cfg.set_int("rate", 1), ConfigError);
+  EXPECT_THROW(cfg.set_str("flag", "x"), ConfigError);
+}
+
+TEST(Config, UnknownKeyRejectedWithKnownKeysListed) {
+  Config cfg = small_schema();
+  try {
+    cfg.parse_token("typo=1");
+    FAIL() << "unknown key must throw";
+  } catch (const ConfigError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("typo"), std::string::npos);
+    EXPECT_NE(msg.find("count"), std::string::npos) << "message lists known keys";
+  }
+  EXPECT_THROW((void)cfg.get_int("typo"), ConfigError);
+}
+
+TEST(Config, BadValuesRejected) {
+  Config cfg = small_schema();
+  EXPECT_THROW(cfg.set_from_string("count", "seven"), ConfigError);
+  EXPECT_THROW(cfg.set_from_string("count", "7x"), ConfigError);
+  EXPECT_THROW(cfg.set_from_string("rate", "fast"), ConfigError);
+  EXPECT_THROW(cfg.set_from_string("flag", "maybe"), ConfigError);
+  EXPECT_THROW(cfg.parse_token("no-equals-sign"), ConfigError);
+  EXPECT_THROW(cfg.parse_token("=5"), ConfigError);
+  // Nothing was modified by the failed parses.
+  EXPECT_EQ(cfg.get_int("count"), 4);
+}
+
+TEST(Config, BoolSpellings) {
+  Config cfg = small_schema();
+  for (const char* yes : {"true", "1", "yes", "on", "TRUE", "Yes"}) {
+    cfg.set_from_string("flag", yes);
+    EXPECT_TRUE(cfg.get_bool("flag")) << yes;
+  }
+  for (const char* no : {"false", "0", "no", "off", "FALSE"}) {
+    cfg.set_from_string("flag", no);
+    EXPECT_FALSE(cfg.get_bool("flag")) << no;
+  }
+}
+
+TEST(Config, CommandLineOverrides) {
+  Config cfg = small_schema();
+  const char* argv[] = {"prog", "count=12", "name=gamma", "flag=yes"};
+  cfg.parse_args(4, argv);
+  EXPECT_EQ(cfg.get_int("count"), 12);
+  EXPECT_EQ(cfg.get_str("name"), "gamma");
+  EXPECT_TRUE(cfg.get_bool("flag"));
+}
+
+TEST(Config, RoundTripSerialization) {
+  Config cfg = small_schema();
+  cfg.parse_string("count=42 rate=0.125 flag=true name=delta");
+  Config copy = small_schema();
+  copy.parse_string(cfg.to_string());
+  EXPECT_EQ(cfg, copy);
+  EXPECT_EQ(cfg.to_string(), copy.to_string());
+  EXPECT_EQ(copy.get_int("count"), 42);
+  EXPECT_DOUBLE_EQ(copy.get_double("rate"), 0.125);
+}
+
+TEST(Config, ExperimentSchemaRoundTrips) {
+  Config cfg = experiment_config();
+  cfg.parse_string("mesh_dims=4 radix=6 router=global_table replications=200 "
+                   "fault_box=3:5,5:6,3:4 lambda=2 persistent_marks=true");
+  Config copy = experiment_config();
+  copy.parse_string(cfg.to_string());
+  EXPECT_EQ(cfg, copy);
+  EXPECT_EQ(copy.get_int("mesh_dims"), 4);
+  EXPECT_EQ(copy.get_str("fault_box"), "3:5,5:6,3:4");
+  EXPECT_TRUE(copy.get_bool("persistent_marks"));
+}
+
+TEST(Config, WhitespaceStringValuesRejected) {
+  // Values with embedded whitespace would break the to_string() /
+  // parse_string() round trip, so they are rejected up front.
+  Config cfg = small_schema();
+  EXPECT_THROW(cfg.set_str("name", "two words"), ConfigError);
+  EXPECT_THROW(cfg.set_from_string("name", "a\tb"), ConfigError);
+  EXPECT_EQ(cfg.get_str("name"), "alpha") << "failed set must not modify the value";
+}
+
+TEST(Config, DuplicateDefinitionRejected) {
+  Config cfg;
+  cfg.define_int("k", 1);
+  EXPECT_THROW(cfg.define_int("k", 2), ConfigError);
+  EXPECT_THROW(cfg.define_string("k", "v"), ConfigError);
+}
+
+TEST(Config, HelpListsEveryKey) {
+  const Config cfg = experiment_config();
+  const std::string help = cfg.help();
+  for (const auto& key : cfg.keys())
+    EXPECT_NE(help.find(key), std::string::npos) << key;
+}
+
+}  // namespace
+}  // namespace lgfi

@@ -17,9 +17,35 @@ TEST(Experiment, MetricSetAccumulates) {
   m.add("y", 10.0);
   EXPECT_DOUBLE_EQ(m.mean("x"), 2.0);
   EXPECT_DOUBLE_EQ(m.mean("y"), 10.0);
-  EXPECT_DOUBLE_EQ(m.mean("absent"), 0.0);
+  EXPECT_DOUBLE_EQ(m.mean("absent"), 0.0) << "mean stays lenient for optional metrics";
   EXPECT_EQ(m.names(), (std::vector<std::string>{"x", "y"}));
   EXPECT_EQ(m.stats("x").count(), 2);
+}
+
+TEST(Experiment, StatsThrowsNamingTheMissingMetric) {
+  MetricSet m;
+  m.add("steps", 4.0);
+  try {
+    (void)m.stats("setps");  // typo'd metric name
+    FAIL() << "stats() must throw on a missing metric";
+  } catch (const std::out_of_range& e) {
+    EXPECT_NE(std::string(e.what()).find("setps"), std::string::npos)
+        << "error must name the missing metric";
+    EXPECT_NE(std::string(e.what()).find("steps"), std::string::npos)
+        << "error must list what was recorded";
+  }
+}
+
+TEST(Experiment, MetricSetMergeCombinesStreams) {
+  MetricSet a, b;
+  a.add("v", 1.0);
+  a.add("v", 2.0);
+  b.add("v", 3.0);
+  b.add("w", 7.0);
+  a.merge(b);
+  EXPECT_EQ(a.stats("v").count(), 3);
+  EXPECT_DOUBLE_EQ(a.mean("v"), 2.0);
+  EXPECT_DOUBLE_EQ(a.mean("w"), 7.0);
 }
 
 TEST(Experiment, ParallelReplicateDeterministic) {

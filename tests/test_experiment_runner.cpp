@@ -1,0 +1,203 @@
+// Tests for the ExperimentRunner facade: config-driven environment
+// construction, the standard static/dynamic runs, reporters, and the
+// determinism guarantee (byte-identical results for any thread count).
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+
+#include "src/core/experiment_runner.h"
+#include "src/core/scenario.h"
+
+namespace lgfi {
+namespace {
+
+TEST(ExperimentRunner, BuildStaticReproducesFigure1) {
+  Config cfg = experiment_config();
+  cfg.parse_string("scenario=figure1");
+  Rng rng(1);
+  const auto env = ExperimentRunner(cfg).build_static(rng);
+  ASSERT_EQ(env.net->blocks().size(), 1u);
+  EXPECT_EQ(env.net->blocks()[0].box, figure1_block());
+  EXPECT_EQ(env.faults.size(), figure1_faults().size());
+  EXPECT_GT(env.rounds.labeling, 0);
+}
+
+TEST(ExperimentRunner, StandardStaticRunRecordsTheCoreMetrics) {
+  Config cfg = experiment_config();
+  cfg.parse_string("mesh_dims=2 radix=10 faults=4 replications=3 routes=5 seed=7");
+  const auto res = ExperimentRunner(cfg).run();
+  EXPECT_EQ(res.replications, 3);
+  EXPECT_EQ(res.metrics.stats("delivered").count(), 15) << "routes * replications";
+  EXPECT_EQ(res.metrics.stats("blocks").count(), 3);
+  EXPECT_GT(res.metrics.mean("delivered"), 0.0);
+}
+
+TEST(ExperimentRunner, DynamicModeRunsTheStepLoop) {
+  Config cfg = experiment_config();
+  cfg.parse_string("mode=dynamic mesh_dims=2 radix=10 faults=3 batches=2 "
+                   "fault_interval=30 warmup_steps=20 replications=2 routes=2 "
+                   "max_steps=4000 seed=9");
+  const auto res = ExperimentRunner(cfg).run();
+  EXPECT_EQ(res.metrics.stats("delivered").count(), 4);
+  EXPECT_GE(res.metrics.mean("occurrences"), 1.0);
+}
+
+TEST(ExperimentRunner, Figure1ResultByteIdenticalAcrossThreadCounts) {
+  // The determinism contract: same seed => byte-identical report whether the
+  // replications run on 1 thread or fan out over 8.
+  const auto report_with_threads = [](int threads) {
+    Config cfg = experiment_config();
+    cfg.parse_string("scenario=figure1 routes=6 replications=16 min_pair_distance=7 seed=3");
+    cfg.set_int("threads", threads);
+    const auto res = ExperimentRunner(cfg).run();
+    std::ostringstream os;
+    JsonReporter().report(res, os);
+    // Drop the config section (the threads key legitimately differs); the
+    // metrics bytes must match exactly.
+    const std::string s = os.str();
+    return s.substr(s.find("\"metrics\""));
+  };
+  const std::string serial = report_with_threads(1);
+  EXPECT_EQ(serial, report_with_threads(8));
+  EXPECT_EQ(serial, report_with_threads(3));
+  EXPECT_NE(serial.find("\"delivered\":{\"count\":96"), std::string::npos)
+      << "routes * replications samples: " << serial;
+}
+
+TEST(ExperimentRunner, RunEachStaticExposesTheBuiltEnvironment) {
+  Config cfg = experiment_config();
+  cfg.parse_string("mesh_dims=3 radix=8 fault_model=clustered faults=6 replications=4");
+  const auto res = ExperimentRunner(cfg).run_each_static(
+      [](ExperimentRunner::StaticEnv& env, Rng&, MetricSet& out) {
+        out.add("nodes", static_cast<double>(env.mesh().node_count()));
+        out.add("rounds", env.rounds.total);
+      });
+  EXPECT_EQ(res.metrics.stats("nodes").count(), 4);
+  EXPECT_DOUBLE_EQ(res.metrics.mean("nodes"), 512.0);
+}
+
+TEST(ExperimentRunner, RejectsBadConfigurationEagerly) {
+  Config cfg = experiment_config();
+  cfg.set_str("router", "nonexistent");
+  EXPECT_THROW(ExperimentRunner{cfg}, ConfigError);
+
+  Config bad_report = experiment_config();
+  bad_report.set_str("report", "telegram");
+  EXPECT_THROW(ExperimentRunner{bad_report}, ConfigError);
+
+  Config bad_mode = experiment_config();
+  bad_mode.set_str("mode", "quantum");
+  EXPECT_THROW(ExperimentRunner(bad_mode).run(), ConfigError);
+
+  Config bad_model = experiment_config();
+  bad_model.set_str("fault_model", "gremlins");
+  Rng rng(1);
+  EXPECT_THROW(ExperimentRunner(bad_model).build_static(rng), ConfigError);
+
+  Config bad_box = experiment_config();
+  bad_box.parse_string("fault_model=box fault_box=oops");
+  EXPECT_THROW(ExperimentRunner(bad_box).build_static(rng), ConfigError);
+}
+
+TEST(ExperimentRunner, FaultBoxDimensionMismatchRejected) {
+  Config cfg = experiment_config();
+  cfg.parse_string("mesh_dims=3 radix=8 fault_model=box fault_box=4:6,5:7");
+  Rng rng(1);
+  EXPECT_THROW(ExperimentRunner(cfg).build_static(rng), ConfigError)
+      << "a 2-D box on a 3-D mesh must not silently run fault-free";
+}
+
+TEST(ExperimentRunner, DynamicModeForwardsRouterOptionsToTheFactory) {
+  Config cfg = experiment_config();
+  cfg.parse_string("mode=dynamic mesh_dims=2 radix=8 faults=2 router=oracle "
+                   "oracle_avoid=psychic");
+  Rng rng(1);
+  EXPECT_THROW(ExperimentRunner(cfg).build_dynamic(rng), ConfigError)
+      << "router-level options must reach the registry factory in dynamic mode too";
+}
+
+TEST(ExperimentRunner, ReplicationBodyErrorsSurfaceInsteadOfTerminating) {
+  // A ConfigError thrown inside a pool worker must reach the caller as an
+  // exception, not std::terminate the process.
+  Config cfg = experiment_config();
+  cfg.parse_string("fault_model=box fault_box=oops replications=8 threads=4");
+  EXPECT_THROW(ExperimentRunner(cfg).run(), ConfigError);
+}
+
+TEST(ExperimentRunner, BoxModelWithMultipleBatchesRejected) {
+  Config cfg = experiment_config();
+  cfg.parse_string("mode=dynamic fault_model=box fault_box=4:5,4:5 batches=3 "
+                   "mesh_dims=2 radix=10");
+  Rng rng(1);
+  EXPECT_THROW(ExperimentRunner(cfg).build_dynamic(rng), ConfigError)
+      << "a deterministic placement cannot honour batches>1; fail loudly";
+}
+
+TEST(ExperimentRunner, DynamicBatchesNeverRefailEarlierNodes) {
+  Config cfg = experiment_config();
+  cfg.parse_string("mode=dynamic mesh_dims=2 radix=10 faults=6 batches=3 "
+                   "fault_interval=10 seed=5");
+  Rng rng(2);
+  const auto env = ExperimentRunner(cfg).build_dynamic(rng);
+  std::set<std::string> seen;
+  for (const auto& e : env.schedule.events())
+    EXPECT_TRUE(seen.insert(e.node.to_string()).second)
+        << e.node.to_string() << " scheduled to fail twice";
+}
+
+TEST(ExperimentRunner, FaultBoxPlantsTheExactBlock) {
+  Config cfg = experiment_config();
+  cfg.parse_string("mesh_dims=2 radix=12 fault_model=box fault_box=4:6,5:7");
+  Rng rng(1);
+  const auto env = ExperimentRunner(cfg).build_static(rng);
+  ASSERT_EQ(env.net->blocks().size(), 1u);
+  EXPECT_EQ(env.net->blocks()[0].box, Box(Coord{4, 5}, Coord{6, 7}));
+}
+
+TEST(Reporters, TableReporterPrintsEveryMetric) {
+  ExperimentResult res;
+  res.config = experiment_config();
+  res.replications = 2;
+  res.metrics.add("alpha", 1.0);
+  res.metrics.add("beta", 2.5);
+  std::ostringstream os;
+  TableReporter().report(res, os);
+  EXPECT_NE(os.str().find("alpha"), std::string::npos);
+  EXPECT_NE(os.str().find("beta"), std::string::npos);
+  EXPECT_NE(os.str().find("config:"), std::string::npos);
+}
+
+TEST(Reporters, CsvReporterEmitsHeaderAndRows) {
+  ExperimentResult res;
+  res.config = experiment_config();
+  res.metrics.add("alpha", 1.0);
+  std::ostringstream os;
+  CsvReporter().report(res, os);
+  const std::string out = os.str();
+  EXPECT_EQ(out.find("config,metric,count,mean,stddev,min,max"), 0u);
+  EXPECT_NE(out.find(",alpha,1,"), std::string::npos);
+}
+
+TEST(Reporters, JsonReporterEmitsConfigAndMetrics) {
+  ExperimentResult res;
+  res.config = experiment_config();
+  res.replications = 1;
+  res.metrics.add("alpha", 0.5);
+  std::ostringstream os;
+  JsonReporter().report(res, os);
+  const std::string out = os.str();
+  EXPECT_EQ(out.find("{\"config\":{"), 0u);
+  EXPECT_NE(out.find("\"alpha\":{\"count\":1,\"mean\":0.5"), std::string::npos);
+}
+
+TEST(Reporters, FactoryResolvesNamesAndRejectsUnknown) {
+  EXPECT_EQ(make_reporter("table")->name(), "table");
+  EXPECT_EQ(make_reporter("csv")->name(), "csv");
+  EXPECT_EQ(make_reporter("json")->name(), "json");
+  EXPECT_THROW(make_reporter("morse"), ConfigError);
+}
+
+}  // namespace
+}  // namespace lgfi

@@ -1,0 +1,106 @@
+// Tests for the router registry: every built-in router resolves by name,
+// unknown names are rejected, factories honour config options, and InfoMode
+// resolution follows the router's registered default.
+
+#include <gtest/gtest.h>
+
+#include "src/core/experiment_runner.h"
+#include "src/routing/route_walker.h"
+#include "src/routing/router_registry.h"
+
+namespace lgfi {
+namespace {
+
+TEST(RouterRegistry, AllFiveBuiltInsResolve) {
+  for (const char* name :
+       {"dimension_order", "no_info", "fault_info", "global_table", "oracle"}) {
+    EXPECT_TRUE(RouterRegistry::instance().contains(name)) << name;
+    const auto router = make_router(name);
+    ASSERT_NE(router, nullptr) << name;
+    EXPECT_FALSE(router->name().empty()) << name;
+  }
+  const auto names = RouterRegistry::instance().names();
+  EXPECT_GE(names.size(), 5u);
+}
+
+TEST(RouterRegistry, UnknownNameRejectedListingRegistered) {
+  try {
+    make_router("warp_drive");
+    FAIL() << "unknown router must throw";
+  } catch (const ConfigError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("warp_drive"), std::string::npos);
+    EXPECT_NE(msg.find("fault_info"), std::string::npos) << "message lists registered names";
+  }
+}
+
+TEST(RouterRegistry, DuplicateRegistrationRejected) {
+  EXPECT_THROW(RouterRegistry::instance().add(
+                   "fault_info", InfoMode::kLimitedGlobal,
+                   [](const Config&) -> std::unique_ptr<Router> { return nullptr; }),
+               ConfigError);
+}
+
+TEST(RouterRegistry, DefaultInfoModesMatchTheRoutersDesign) {
+  auto& reg = RouterRegistry::instance();
+  EXPECT_EQ(reg.default_info_mode("fault_info"), InfoMode::kLimitedGlobal);
+  EXPECT_EQ(reg.default_info_mode("no_info"), InfoMode::kNone);
+  EXPECT_EQ(reg.default_info_mode("global_table"), InfoMode::kInstantGlobal);
+  EXPECT_EQ(reg.default_info_mode("dimension_order"), InfoMode::kNone);
+}
+
+TEST(RouterRegistry, InfoModeParsingRoundTrips) {
+  for (const InfoMode mode : {InfoMode::kLimitedGlobal, InfoMode::kNone,
+                              InfoMode::kInstantGlobal, InfoMode::kDelayedGlobal})
+    EXPECT_EQ(parse_info_mode(to_string(mode)), mode);
+  EXPECT_THROW(parse_info_mode("telepathy"), ConfigError);
+}
+
+TEST(RouterRegistry, ResolveInfoModeFromConfig) {
+  Config cfg = experiment_config();
+  // auto: follow the router's registered default.
+  cfg.set_str("router", "no_info");
+  EXPECT_EQ(resolve_info_mode(cfg), InfoMode::kNone);
+  cfg.set_str("router", "fault_info");
+  EXPECT_EQ(resolve_info_mode(cfg), InfoMode::kLimitedGlobal);
+  // An explicit mode overrides the router default.
+  cfg.set_str("info_mode", "delayed_global");
+  EXPECT_EQ(resolve_info_mode(cfg), InfoMode::kDelayedGlobal);
+}
+
+TEST(RouterRegistry, FactoriesHonourConfigOptions) {
+  Config cfg = experiment_config();
+  cfg.set_str("oracle_avoid", "faulty_only");
+  EXPECT_NE(make_router("oracle", cfg), nullptr);
+  cfg.set_str("oracle_avoid", "psychic");
+  EXPECT_THROW(make_router("oracle", cfg), ConfigError);
+
+  Config ecube = experiment_config();
+  ecube.set_bool("ecube_strict", false);
+  EXPECT_NE(make_router("dimension_order", ecube), nullptr);
+}
+
+TEST(RouterRegistry, RegistryRoutersRouteEndToEnd) {
+  // Each built-in router delivers on a fault-free 2-D field.
+  const MeshTopology mesh(2, 8);
+  StatusField field(mesh);
+  EmptyInfoProvider info;
+  RoutingContext ctx{&mesh, &field, &info};
+  for (const char* name :
+       {"dimension_order", "no_info", "fault_info", "global_table", "oracle"}) {
+    const auto router = make_router(name);
+    const auto r = run_static_route(ctx, *router, Coord{0, 0}, Coord{6, 5});
+    EXPECT_TRUE(r.delivered) << name;
+    EXPECT_EQ(r.total_steps, 11) << name << " must be minimal on a clean mesh";
+  }
+}
+
+TEST(RouterRegistry, RouterNameForModeMatchesHistoricalPairing) {
+  EXPECT_STREQ(router_name_for(InfoMode::kLimitedGlobal), "fault_info");
+  EXPECT_STREQ(router_name_for(InfoMode::kNone), "no_info");
+  EXPECT_STREQ(router_name_for(InfoMode::kInstantGlobal), "global_table");
+  EXPECT_STREQ(router_name_for(InfoMode::kDelayedGlobal), "global_table");
+}
+
+}  // namespace
+}  // namespace lgfi

@@ -9,9 +9,9 @@
 #include "src/core/scenario.h"
 #include "src/fault/boundary_model.h"
 #include "src/fault/safety.h"
-#include "src/routing/no_info_router.h"
 #include "src/routing/oracle_router.h"
 #include "src/routing/route_walker.h"
+#include "src/routing/router_registry.h"
 #include "src/sim/fault_schedule.h"
 
 namespace lgfi {
@@ -72,7 +72,7 @@ TEST_P(RoutingSweep, InformedNeverWorseThanBlindOnAverage) {
   // Aggregate over pairs: the limited-global info must not increase the
   // total step count (per-pair ties are common; regressions are not).
   EmptyInfoProvider empty;
-  auto blind = make_no_info_router();
+  const auto blind = make_router("no_info");
   RoutingContext blind_ctx = net_->context();
   blind_ctx.info = &empty;
 
@@ -81,7 +81,7 @@ TEST_P(RoutingSweep, InformedNeverWorseThanBlindOnAverage) {
   for (int i = 0; i < 30; ++i) {
     const auto pair = random_enabled_pair(*mesh_, net_->field(), *rng_);
     const auto a = net_->route(pair.source, pair.dest);
-    const auto b = run_static_route(blind_ctx, blind, pair.source, pair.dest);
+    const auto b = run_static_route(blind_ctx, *blind, pair.source, pair.dest);
     if (!a.delivered || !b.delivered) continue;
     ++comparable;
     informed_steps += a.total_steps;

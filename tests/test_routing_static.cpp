@@ -8,13 +8,11 @@
 #include "src/fault/boundary_model.h"
 #include "src/fault/labeling.h"
 #include "src/fault/safety.h"
-#include "src/routing/dimension_order_router.h"
 #include "src/routing/direction_policy.h"
-#include "src/routing/fault_info_router.h"
 #include "src/routing/global_table_router.h"
-#include "src/routing/no_info_router.h"
 #include "src/routing/oracle_router.h"
 #include "src/routing/route_walker.h"
+#include "src/routing/router_registry.h"
 #include "src/sim/fault_schedule.h"
 #include "src/sim/rng.h"
 
@@ -146,8 +144,8 @@ TEST(DirectionPolicy, DetourPreferredDemotedBelowSpares) {
 
 TEST(Routing, FaultFreeDeliversMinimal) {
   StaticWorld w(3, 8, {});
-  FaultInfoRouter router;
-  const auto r = run_static_route(w.ctx, router, Coord{0, 0, 0}, Coord{7, 7, 7});
+  const auto router = make_router("fault_info");
+  const auto r = run_static_route(w.ctx, *router, Coord{0, 0, 0}, Coord{7, 7, 7});
   EXPECT_TRUE(r.delivered);
   EXPECT_EQ(r.total_steps, 21);
   EXPECT_EQ(r.detours(), 0);
@@ -156,8 +154,8 @@ TEST(Routing, FaultFreeDeliversMinimal) {
 
 TEST(Routing, SourceEqualsDestination) {
   StaticWorld w(2, 8, {});
-  FaultInfoRouter router;
-  const auto r = run_static_route(w.ctx, router, Coord{3, 3}, Coord{3, 3});
+  const auto router = make_router("fault_info");
+  const auto r = run_static_route(w.ctx, *router, Coord{3, 3}, Coord{3, 3});
   EXPECT_TRUE(r.delivered);
   EXPECT_EQ(r.total_steps, 0);
 }
@@ -171,7 +169,7 @@ TEST(Routing, SafeSourceDeliversMinimal) {
     Rng t = rng.fork(static_cast<uint64_t>(trial));
     const auto faults = clustered_fault_placement(mesh, 8, t);
     StaticWorld w(3, 8, faults);
-    FaultInfoRouter router;
+    const auto router = make_router("fault_info");
     for (int pair = 0; pair < 10; ++pair) {
       Coord s(3), d(3);
       for (int i = 0; i < 3; ++i) {
@@ -181,7 +179,7 @@ TEST(Routing, SafeSourceDeliversMinimal) {
       if (w.field.at(s) != NodeStatus::kEnabled || w.field.at(d) != NodeStatus::kEnabled)
         continue;
       if (!is_safe_source(w.blocks, s, d)) continue;
-      const auto r = run_static_route(w.ctx, router, s, d);
+      const auto r = run_static_route(w.ctx, *router, s, d);
       EXPECT_TRUE(r.delivered) << s.to_string() << " -> " << d.to_string();
       EXPECT_EQ(r.total_steps, manhattan_distance(s, d))
           << s.to_string() << " -> " << d.to_string();
@@ -198,9 +196,9 @@ TEST(Routing, InformedAvoidsDangerousPrism) {
   // north there instead of entering; the walk stays minimal.
   StaticWorld w(2, 16, box_fault_placement(MeshTopology(2, 16), Box(Coord{4, 8}, Coord{11, 9})));
   ASSERT_EQ(w.blocks.size(), 1u);
-  FaultInfoRouter informed;
+  const auto informed = make_router("fault_info");
   const Coord s{1, 2}, d{7, 14};
-  const auto r = run_static_route(w.ctx, informed, s, d);
+  const auto r = run_static_route(w.ctx, *informed, s, d);
   EXPECT_TRUE(r.delivered);
   EXPECT_EQ(r.backtrack_steps, 0) << "boundary info should prevent dead-ends";
   EXPECT_EQ(r.total_steps, manhattan_distance(s, d))
@@ -208,11 +206,11 @@ TEST(Routing, InformedAvoidsDangerousPrism) {
 
   // The info-free router walks into the prism, hits the block surface and
   // must crawl around it — strictly more steps.
-  auto blind = make_no_info_router();
+  const auto blind = make_router("no_info");
   EmptyInfoProvider empty;
   RoutingContext blind_ctx = w.ctx;
   blind_ctx.info = &empty;
-  const auto rb = run_static_route(blind_ctx, blind, s, d);
+  const auto rb = run_static_route(blind_ctx, *blind, s, d);
   EXPECT_TRUE(rb.delivered);
   EXPECT_GT(rb.total_steps, r.total_steps) << "information must help";
 }
@@ -222,8 +220,8 @@ TEST(Routing, SourceInsidePrismStillDelivers) {
   // Theorem 5's sense) gets no early warning — walls only guard entry — but
   // the route still delivers after learning at the block's envelope.
   StaticWorld w(2, 16, box_fault_placement(MeshTopology(2, 16), Box(Coord{4, 8}, Coord{11, 9})));
-  FaultInfoRouter informed;
-  const auto r = run_static_route(w.ctx, informed, Coord{7, 2}, Coord{8, 14});
+  const auto informed = make_router("fault_info");
+  const auto r = run_static_route(w.ctx, *informed, Coord{7, 2}, Coord{8, 14});
   EXPECT_TRUE(r.delivered);
   EXPECT_EQ(r.backtrack_steps, 0);
   EXPECT_GT(r.total_steps, manhattan_distance(Coord{7, 2}, Coord{8, 14}))
@@ -239,7 +237,7 @@ TEST(Routing, PersistentMarksCompleteness) {
     Rng t = rng.fork(static_cast<uint64_t>(trial));
     const auto faults = random_fault_placement(mesh, 30, t);
     StaticWorld w(3, 8, faults);
-    FaultInfoRouter router;
+    const auto router = make_router("fault_info");
     for (int pair = 0; pair < 6; ++pair) {
       Coord s(3), d(3);
       for (int i = 0; i < 3; ++i) {
@@ -254,7 +252,7 @@ TEST(Routing, PersistentMarksCompleteness) {
       RouteResult r;
       r.min_distance = manhattan_distance(s, d);
       for (long long step = 0; step < 100000; ++step) {
-        const RouteDecision dec = router.decide(w.ctx, header);
+        const RouteDecision dec = router->decide(w.ctx, header);
         if (dec.action == RouteAction::kDelivered) {
           r.delivered = true;
           break;
@@ -289,7 +287,7 @@ TEST(Routing, PaperModeTerminatesWithinBudget) {
     Rng t = rng.fork(static_cast<uint64_t>(trial));
     const auto faults = random_fault_placement(mesh, 20, t);
     StaticWorld w(2, 12, faults);
-    FaultInfoRouter router;
+    const auto router = make_router("fault_info");
     Coord s(2), d(2);
     for (int i = 0; i < 2; ++i) {
       s[i] = t.uniform_int(0, 11);
@@ -297,7 +295,7 @@ TEST(Routing, PaperModeTerminatesWithinBudget) {
     }
     if (w.field.at(s) != NodeStatus::kEnabled || w.field.at(d) != NodeStatus::kEnabled)
       continue;
-    const auto r = run_static_route(w.ctx, router, s, d);
+    const auto r = run_static_route(w.ctx, *router, s, d);
     EXPECT_TRUE(r.delivered || r.unreachable) << "budget exhausted at trial " << trial;
   }
 }
@@ -318,10 +316,10 @@ TEST(Routing, UnreachableDestinationNeedsPersistentMarks) {
   StaticWorld w(2, 10, ring);
   ASSERT_EQ(w.field.at(Coord{4, 4}), NodeStatus::kDisabled)
       << "the walled-in node is absorbed into the block";
-  FaultInfoRouter router;
+  const auto router = make_router("fault_info");
 
   // Paper-literal mode: the safety budget is what terminates the walk.
-  const auto r = run_static_route(w.ctx, router, Coord{0, 0}, Coord{4, 4});
+  const auto r = run_static_route(w.ctx, *router, Coord{0, 0}, Coord{4, 4});
   EXPECT_TRUE(r.budget_exhausted) << "literal Algorithm 3 livelocks on unreachable dests";
 
   // Persistent-marks mode: every (node, direction) pair is tried at most
@@ -330,7 +328,7 @@ TEST(Routing, UnreachableDestinationNeedsPersistentMarks) {
   header.enable_persistent_marks();
   bool unreachable = false;
   for (int step = 0; step < 100000; ++step) {
-    const RouteDecision dec = router.decide(w.ctx, header);
+    const RouteDecision dec = router->decide(w.ctx, header);
     ASSERT_NE(dec.action, RouteAction::kDelivered);
     if (dec.action == RouteAction::kUnreachable) {
       unreachable = true;
@@ -344,11 +342,11 @@ TEST(Routing, UnreachableDestinationNeedsPersistentMarks) {
 
 TEST(Routing, OracleMatchesBfsLength) {
   StaticWorld w(2, 12, box_fault_placement(MeshTopology(2, 12), Box(Coord{4, 4}, Coord{7, 7})));
-  OracleRouter oracle;
+  const auto oracle = make_router("oracle");
   const Coord s{2, 5}, d{10, 6};
   const auto len = oracle_path_length(w.mesh, w.field, s, d);
   ASSERT_TRUE(len.has_value());
-  const auto r = run_static_route(w.ctx, oracle, s, d);
+  const auto r = run_static_route(w.ctx, *oracle, s, d);
   EXPECT_TRUE(r.delivered);
   EXPECT_EQ(r.total_steps, *len);
   EXPECT_EQ(r.backtrack_steps, 0);
@@ -371,12 +369,12 @@ TEST(Routing, OracleFaultyOnlyCanCrossDisabled) {
 
 TEST(Routing, DimensionOrderFailsAtBlocks) {
   StaticWorld w(2, 10, box_fault_placement(MeshTopology(2, 10), Box(Coord{4, 2}, Coord{5, 7})));
-  DimensionOrderRouter ecube;
+  const auto ecube = make_router("dimension_order");
   // Path 0->x first: runs straight into the wall.
-  const auto r = run_static_route(w.ctx, ecube, Coord{1, 4}, Coord{8, 4});
+  const auto r = run_static_route(w.ctx, *ecube, Coord{1, 4}, Coord{8, 4});
   EXPECT_TRUE(r.unreachable);
   // An unobstructed pair works and is minimal.
-  const auto ok = run_static_route(w.ctx, ecube, Coord{0, 0}, Coord{8, 1});
+  const auto ok = run_static_route(w.ctx, *ecube, Coord{0, 0}, Coord{8, 1});
   EXPECT_TRUE(ok.delivered);
   EXPECT_EQ(ok.total_steps, 9);
 }
@@ -397,11 +395,11 @@ TEST(Routing, GlobalTableEqualsLimitedInfoOnStaticFields) {
   RoutingContext global_ctx = w.ctx;
   global_ctx.info = &global_provider;
 
-  FaultInfoRouter limited;
-  auto global = make_global_table_router();
+  const auto limited = make_router("fault_info");
+  const auto global = make_router("global_table");
   const Coord s{7, 2}, d{7, 12};
-  const auto rl = run_static_route(w.ctx, limited, s, d);
-  const auto rg = run_static_route(global_ctx, global, s, d);
+  const auto rl = run_static_route(w.ctx, *limited, s, d);
+  const auto rg = run_static_route(global_ctx, *global, s, d);
   EXPECT_TRUE(rl.delivered);
   EXPECT_TRUE(rg.delivered);
   EXPECT_EQ(rl.total_steps, rg.total_steps);
@@ -412,8 +410,8 @@ TEST(Routing, DetourForwardStepsCounted) {
   // a block, source inside the prism, surrounded by used-up options... the
   // simplest observable: routing from inside the prism still delivers.
   StaticWorld w(2, 16, box_fault_placement(MeshTopology(2, 16), Box(Coord{4, 8}, Coord{11, 9})));
-  FaultInfoRouter router;
-  const auto r = run_static_route(w.ctx, router, Coord{7, 5}, Coord{7, 13});
+  const auto router = make_router("fault_info");
+  const auto r = run_static_route(w.ctx, *router, Coord{7, 5}, Coord{7, 13});
   EXPECT_TRUE(r.delivered);
   EXPECT_GT(r.total_steps, manhattan_distance(Coord{7, 5}, Coord{7, 13}));
 }
