@@ -1,5 +1,6 @@
 #include "src/core/dynamic_simulation.h"
 
+#include <algorithm>
 #include <cassert>
 
 #include "src/fault/block_analyzer.h"
@@ -18,6 +19,10 @@ DynamicSimulation::DynamicSimulation(const MeshTopology& mesh, FaultSchedule sch
   assert(options_.lambda >= 1);
   if (options_.info_mode == InfoMode::kDelayedGlobal)
     delayed_provider_ = std::make_unique<DelayedGlobalInfoProvider>(mesh);
+  if (options_.link_arbitration) {
+    arbiter_ = std::make_unique<LinkArbiter>(mesh);
+    node_fifo_.resize(static_cast<size_t>(mesh.node_count()));
+  }
 
   router_ = make_router(options_.router == "auto" ? router_name_for(options_.info_mode)
                                                   : options_.router,
@@ -44,14 +49,26 @@ int DynamicSimulation::launch_message(const Coord& source, const Coord& dest) {
   // Occurrences that already happened have D(i) = D (message at source).
   msg.distance_at_occurrence.assign(occurrences_.size(), msg.initial_distance);
   messages_.push_back(std::move(msg));
+  ++active_messages_;
+  if (options_.link_arbitration)
+    node_fifo_[static_cast<size_t>(mesh_->index_of(source))].push_back(messages_.back().id);
   return messages_.back().id;
 }
 
-void DynamicSimulation::apply_fault_events() {
-  const auto events = schedule_.events_at(now_);
-  if (events.empty()) return;
+StepContext DynamicSimulation::begin_step() {
+  StepContext ctx;
+  ctx.step = now_;
+  ctx.arbiter = arbiter_.get();
+  return ctx;
+}
 
-  for (const auto& e : events) {
+void DynamicSimulation::end_step(StepContext&) { ++now_; }
+
+void DynamicSimulation::apply_fault_events(StepContext& ctx) {
+  ctx.events = schedule_.events_at(now_);
+  if (ctx.events.empty()) return;
+
+  for (const auto& e : ctx.events) {
     if (e.kind == FaultEventKind::kFail) {
       if (model_.field().at(e.node) != NodeStatus::kFaulty) model_.inject_fault(e.node);
     } else {
@@ -65,8 +82,10 @@ void DynamicSimulation::apply_fault_events() {
     occurrences_[static_cast<size_t>(converging_)].stabilized_before_next = false;
   OccurrenceRecord rec;
   rec.step = now_;
+  rec.origin = ctx.events.front().node;
   occurrences_.push_back(rec);
   converging_ = static_cast<int>(occurrences_.size()) - 1;
+  ctx.occurrence_opened = true;
 
   // Record D(i) for every in-flight message at this occurrence.
   for (auto& msg : messages_) {
@@ -86,7 +105,7 @@ void DynamicSimulation::apply_fault_events() {
   }
 }
 
-void DynamicSimulation::run_information_rounds() {
+void DynamicSimulation::run_information_rounds(StepContext& ctx) {
   for (int r = 0; r < options_.lambda; ++r) {
     const bool active = model_.run_round();
     if (converging_ >= 0) {
@@ -106,58 +125,154 @@ void DynamicSimulation::run_information_rounds() {
           std::vector<BlockInfo> infos;
           for (const auto& b : block_boxes(model_.field()))
             infos.push_back(BlockInfo{b, model_.epoch()});
-          delayed_provider_->publish(infos, mesh_->coord_of(0), now_);
+          delayed_provider_->publish(infos, rec.origin, now_);
         }
         converging_ = -1;
+        ctx.stabilized = true;
       }
     }
   }
   if (options_.info_mode == InfoMode::kDelayedGlobal) delayed_provider_->advance(now_);
 }
 
-void DynamicSimulation::advance_messages() {
-  const RoutingContext ctx = context();
-  const long long budget = options_.step_budget_per_message > 0
-                               ? options_.step_budget_per_message
-                               : 4ll * mesh_->direction_count() * mesh_->node_count();
+void DynamicSimulation::finish_message(MessageProgress& msg, StepContext& ctx) {
+  msg.end_step = now_;
+  --active_messages_;
+  ++ctx.finished;
+}
+
+void DynamicSimulation::move_between_fifos(int id, NodeId from, NodeId to) {
+  auto& q = node_fifo_[static_cast<size_t>(from)];
+  q.erase(std::find(q.begin(), q.end(), id));
+  if (to != kInvalidNode) node_fifo_[static_cast<size_t>(to)].push_back(id);
+}
+
+void DynamicSimulation::advance_contention_free(StepContext& ctx, long long budget) {
+  // The historical Figure 7 loop: every message advances unconditionally,
+  // one hop per step, in launch order.
   for (auto& msg : messages_) {
-    if (msg.delivered || msg.unreachable || msg.budget_exhausted) continue;
-    const RouteDecision d = router_->decide(ctx, msg.header);
+    if (msg.done()) continue;
+    const RouteDecision d = router_->decide(ctx.routing, msg.header);
     switch (d.action) {
       case RouteAction::kDelivered:
         msg.delivered = true;
-        msg.end_step = now_;
+        ++ctx.delivered;
+        finish_message(msg, ctx);
         break;
       case RouteAction::kUnreachable:
         msg.unreachable = true;
-        msg.end_step = now_;
+        finish_message(msg, ctx);
         break;
       case RouteAction::kForward:
         msg.header.forward(d.direction);
         if (d.detour_preferred) ++msg.detour_preferred_taken;
+        ++ctx.moved;
         break;
       case RouteAction::kBacktrack:
         msg.header.backtrack();
+        ++ctx.moved;
         break;
     }
     if (msg.header.total_steps() >= budget && !msg.delivered && !msg.unreachable) {
       msg.budget_exhausted = true;
-      msg.end_step = now_;
+      finish_message(msg, ctx);
     }
   }
 }
 
-void DynamicSimulation::step() {
-  apply_fault_events();       // fault detection phase
-  run_information_rounds();   // lambda rounds of the three constructions
-  advance_messages();         // message reception + routing decision + send
-  ++now_;
+void DynamicSimulation::advance_arbitrated(StepContext& ctx, long long budget) {
+  LinkArbiter& arbiter = *ctx.arbiter;
+  // Decision sub-phase: every in-flight message decides at its current node,
+  // in per-node FIFO service order (nodes ascending, arrivals in order), and
+  // moves become channel requests.  Decisions are pure w.r.t. the header
+  // (marking happens on the granted traversal), so a stalled message simply
+  // re-decides next step under the then-current information.
+  struct Pending {
+    int id;
+    RouteDecision decision;
+    int ticket;
+  };
+  arbiter.begin_step();
+  std::vector<Pending> pending;
+  std::vector<std::pair<NodeId, int>> finished_in_place;
+  const NodeId nodes = static_cast<NodeId>(mesh_->node_count());
+  for (NodeId node = 0; node < nodes; ++node) {
+    for (const int id : node_fifo_[static_cast<size_t>(node)]) {
+      MessageProgress& msg = messages_[static_cast<size_t>(id)];
+      const RouteDecision d = router_->decide(ctx.routing, msg.header);
+      switch (d.action) {
+        case RouteAction::kDelivered:
+          msg.delivered = true;
+          ++ctx.delivered;
+          finish_message(msg, ctx);
+          finished_in_place.emplace_back(node, id);
+          break;
+        case RouteAction::kUnreachable:
+          msg.unreachable = true;
+          finish_message(msg, ctx);
+          finished_in_place.emplace_back(node, id);
+          break;
+        case RouteAction::kForward:
+          pending.push_back({id, d, arbiter.request(node, d.direction)});
+          break;
+        case RouteAction::kBacktrack: {
+          // Backtracking traverses the channel back to the previous node —
+          // it contends like any other traversal.
+          const Direction back = msg.header.top().incoming.opposite();
+          pending.push_back({id, d, arbiter.request(node, back)});
+          break;
+        }
+      }
+    }
+  }
+  for (const auto& [node, id] : finished_in_place) move_between_fifos(id, node, kInvalidNode);
+
+  arbiter.arbitrate();
+
+  // Traversal sub-phase: winners move one hop; losers stall where they are.
+  for (const Pending& p : pending) {
+    MessageProgress& msg = messages_[static_cast<size_t>(p.id)];
+    if (!arbiter.granted(p.ticket)) {
+      ++msg.stall_steps;
+      ++ctx.stalled;
+      continue;
+    }
+    const NodeId from = mesh_->index_of(msg.header.current());
+    if (p.decision.action == RouteAction::kForward) {
+      msg.header.forward(p.decision.direction);
+      if (p.decision.detour_preferred) ++msg.detour_preferred_taken;
+    } else {
+      msg.header.backtrack();
+    }
+    ++ctx.moved;
+    const NodeId to = mesh_->index_of(msg.header.current());
+    move_between_fifos(p.id, from, to);
+    if (msg.header.total_steps() >= budget) {
+      msg.budget_exhausted = true;
+      finish_message(msg, ctx);
+      move_between_fifos(p.id, to, kInvalidNode);
+    }
+  }
 }
 
-bool DynamicSimulation::all_messages_done() const {
-  for (const auto& m : messages_)
-    if (!m.delivered && !m.unreachable && !m.budget_exhausted) return false;
-  return true;
+void DynamicSimulation::arbitrate_and_advance(StepContext& ctx) {
+  ctx.routing = context();
+  const long long budget = options_.step_budget_per_message > 0
+                               ? options_.step_budget_per_message
+                               : 4ll * mesh_->direction_count() * mesh_->node_count();
+  if (options_.link_arbitration) {
+    advance_arbitrated(ctx, budget);
+  } else {
+    advance_contention_free(ctx, budget);
+  }
+}
+
+void DynamicSimulation::step() {
+  StepContext ctx = begin_step();
+  apply_fault_events(ctx);       // fault detection phase
+  run_information_rounds(ctx);   // lambda rounds of the three constructions
+  arbitrate_and_advance(ctx);    // message reception + routing decision + send
+  end_step(ctx);
 }
 
 void DynamicSimulation::run(long long max_steps) {

@@ -1,5 +1,6 @@
 #pragma once
-// The dynamic fault model's step loop (Section 5, Figure 7).
+// The dynamic fault model's step loop (Section 5, Figure 7), structured as a
+// phased pipeline (DESIGN.md §7).
 //
 // At each step, every node: (1) detects adjacent faults/recoveries scheduled
 // for this step; (2) collects and distributes the three kinds of fault
@@ -9,6 +10,19 @@
 // routing message advances one hop per step while the information model
 // converges around it — the regime Theorems 3-5 bound.
 //
+// step() composes three explicit phases over a shared StepContext:
+//
+//   apply_fault_events      fault detection, occurrence bookkeeping
+//   run_information_rounds  lambda rounds of the three constructions
+//   arbitrate_and_advance   routing decisions + channel traversal
+//
+// With options.link_arbitration, the advance phase is contention-aware: at
+// most one message traverses a directed channel per step (LinkArbiter,
+// DESIGN.md §8); losers stall in the holding node's FIFO and retry.  The
+// default is the paper's contention-free idealization, so single-message
+// experiments (the Theorem 3-5 benches) are byte-identical to the historical
+// loop.
+//
 // The simulation also records the quantities of Table 1: occurrence times
 // t_i, per-occurrence convergence rounds a_i (labeling), b_i
 // (identification), c_i (boundary), e_max, and per-message D(i) snapshots.
@@ -17,11 +31,13 @@
 #include <vector>
 
 #include "src/core/network.h"
+#include "src/core/step_context.h"
 #include "src/routing/detour_bounds.h"
 #include "src/routing/global_table_router.h"
 #include "src/routing/oracle_router.h"
 #include "src/routing/router_registry.h"
 #include "src/sim/fault_schedule.h"
+#include "src/sim/link_arbiter.h"
 
 namespace lgfi {
 
@@ -35,6 +51,9 @@ struct DynamicSimulationOptions {
   /// registry factory; an empty config means router defaults.
   Config router_config;
   bool persistent_marks = false;      ///< header ablation (DESIGN.md §6.7)
+  /// Contention-aware advance phase: at most one message per directed
+  /// channel per step (DESIGN.md §8).  Off = the Figure 7 idealization.
+  bool link_arbitration = false;
   DistributedModelOptions model;
   long long step_budget_per_message = 0;  ///< 0: 4 * 2n * N safety net
 };
@@ -50,12 +69,18 @@ struct MessageProgress {
   long long end_step = -1;
   int initial_distance = 0;    ///< D
   int detour_preferred_taken = 0;
+  /// Steps spent waiting for a contended channel (link_arbitration only);
+  /// latency = moves + stalls, so end_step - start_step ==
+  /// header.total_steps() + stall_steps for a delivered message.
+  int stall_steps = 0;
   /// D(i) at each fault occurrence (Theorem 3's measured trajectory);
   /// parallel to occurrence_steps() of the simulation.
   std::vector<int> distance_at_occurrence;
 
   MessageProgress(int id_, const Coord& s, const Coord& d)
       : id(id_), header(s, d), initial_distance(manhattan_distance(s, d)) {}
+
+  [[nodiscard]] bool done() const { return delivered || unreachable || budget_exhausted; }
 
   /// Extra steps beyond the fault-free minimum once delivered.
   [[nodiscard]] long long detours() const {
@@ -66,6 +91,7 @@ struct MessageProgress {
 /// Per-fault-occurrence convergence record (the a_i, b_i, c_i of Table 1).
 struct OccurrenceRecord {
   long long step = 0;      ///< t_i
+  Coord origin;            ///< site of the change (first event of the occurrence)
   int rounds_labeling = 0;       ///< a_i (in rounds)
   int rounds_identification = 0; ///< b_i
   int rounds_boundary = 0;       ///< c_i
@@ -82,7 +108,23 @@ class DynamicSimulation {
   /// hop per subsequent step.  Returns the message id.
   int launch_message(const Coord& source, const Coord& dest);
 
-  /// Runs one step of the Figure 7 loop.
+  // --- the phased pipeline (DESIGN.md §7) ---------------------------------
+  /// Opens a step: a StepContext carrying the step number and the arbiter.
+  [[nodiscard]] StepContext begin_step();
+  /// Phase 1: fault detection — applies the schedule's events for this step
+  /// and opens the occurrence record.
+  void apply_fault_events(StepContext& ctx);
+  /// Phase 2: lambda rounds of the three information constructions, plus
+  /// convergence bookkeeping and (delayed-global) snapshot publication.
+  void run_information_rounds(StepContext& ctx);
+  /// Phase 3: routing decisions for every in-flight message, then channel
+  /// traversal — arbitrated per directed channel when link_arbitration is
+  /// on, unconditional otherwise.  Builds ctx.routing on entry.
+  void arbitrate_and_advance(StepContext& ctx);
+  /// Closes the step (advances the clock).
+  void end_step(StepContext& ctx);
+
+  /// Runs one step of the Figure 7 loop — the composed pipeline.
   void step();
 
   /// Runs until all messages finished and the schedule is exhausted (with a
@@ -99,18 +141,32 @@ class DynamicSimulation {
   }
   [[nodiscard]] const DistributedFaultModel& model() const { return model_; }
   [[nodiscard]] const MeshTopology& mesh() const { return *mesh_; }
+  /// The delayed-global provider, or null unless info_mode=kDelayedGlobal.
+  [[nodiscard]] const DelayedGlobalInfoProvider* delayed_provider() const {
+    return delayed_provider_.get();
+  }
+
+  /// Messages launched but not yet delivered/unreachable/budget-exhausted.
+  /// Maintained incrementally, so the run() loop's termination test is O(1)
+  /// even with thousands of injected messages.
+  [[nodiscard]] long long active_messages() const { return active_messages_; }
+  [[nodiscard]] bool all_messages_done() const { return active_messages_ == 0; }
+
+  /// Total channel-traversal requests denied by arbitration so far.
+  [[nodiscard]] long long total_stalls() const {
+    return arbiter_ ? arbiter_->total_stalled() : 0;
+  }
 
   /// Builds the Theorem 3/4/5 timeline from the recorded occurrences (a_i in
   /// steps, i.e. ceil(rounds / lambda)).
   [[nodiscard]] DynamicFaultTimeline timeline(long long route_start) const;
 
-  [[nodiscard]] bool all_messages_done() const;
-
  private:
-  void apply_fault_events();
-  void run_information_rounds();
-  void advance_messages();
   [[nodiscard]] RoutingContext context() const;
+  void advance_contention_free(StepContext& ctx, long long budget);
+  void advance_arbitrated(StepContext& ctx, long long budget);
+  void finish_message(MessageProgress& msg, StepContext& ctx);
+  void move_between_fifos(int id, NodeId from, NodeId to);
 
   const MeshTopology* mesh_;
   FaultSchedule schedule_;
@@ -121,10 +177,16 @@ class DynamicSimulation {
   GlobalInfoProvider instant_provider_;
   std::unique_ptr<DelayedGlobalInfoProvider> delayed_provider_;
   std::unique_ptr<Router> router_;
+  std::unique_ptr<LinkArbiter> arbiter_;  ///< present iff link_arbitration
 
   std::vector<MessageProgress> messages_;
+  /// Per-node FIFO of resident active message ids (link_arbitration only):
+  /// the service order of the advance phase, hence the submission order the
+  /// arbiter's round-robin rotates over.
+  std::vector<std::vector<int>> node_fifo_;
   std::vector<OccurrenceRecord> occurrences_;
   long long now_ = 0;
+  long long active_messages_ = 0;
   /// Open occurrence currently converging (index into occurrences_), or -1.
   int converging_ = -1;
 };

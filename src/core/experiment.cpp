@@ -24,6 +24,11 @@ void MetricSet::add(const std::string& name, double value) {
   stats_[name].add(value);
 }
 
+void MetricSet::add_repeated(const std::string& name, double value, long long count) {
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_[name].add_repeated(value, count);
+}
+
 const RunningStats& MetricSet::stats(const std::string& name) const {
   std::lock_guard<std::mutex> lock(mu_);
   const auto it = stats_.find(name);

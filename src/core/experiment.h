@@ -29,6 +29,10 @@ class MetricSet {
   /// Records a sample (thread-safe).
   void add(const std::string& name, double value);
 
+  /// Records `count` identical samples in one O(1) update — the histogram
+  /// fold-in path (one lock + map lookup per bucket, not per sample).
+  void add_repeated(const std::string& name, double value, long long count);
+
   /// Statistics for `name`; throws std::out_of_range naming the missing
   /// metric (and listing what was recorded) so metric-name typos in benches
   /// fail loudly.  Use has() / mean() for optional metrics.

@@ -8,6 +8,7 @@
 #include <sstream>
 
 #include "src/core/scenario.h"
+#include "src/core/traffic_workload.h"
 #include "src/routing/global_table_router.h"
 #include "src/routing/route_walker.h"
 #include "src/routing/router_registry.h"
@@ -108,6 +109,18 @@ Config experiment_config() {
       .define_bool("recoveries", false,
                    "dynamic: earlier faults sometimes recover (Definition 4)")
       .define_int("lambda", 1, "information rounds per routing step (Section 5)")
+      .define_string("traffic", "none",
+                     "open-loop traffic pattern (uniform | transpose | "
+                     "bit_complement | hotspot | permutation); overrides mode")
+      .define_double("injection_rate", 0.02,
+                     "traffic: per-node per-step Bernoulli injection probability")
+      .define_int("measure_steps", 1000, "traffic: measurement window (steps)")
+      .define_int("drain_steps", 0, "traffic: drain-phase cap (0: 4*2n*N safety net)")
+      .define_double("hotspot_frac", kDefaultHotspotFrac,
+                     "traffic=hotspot: fraction of injections targeting the center")
+      .define_bool("arbitration", true,
+                   "dynamic/traffic: at most one message per directed channel "
+                   "per step (losers stall in per-node FIFOs)")
       .define_int("warmup_steps", 0, "dynamic: steps before launching messages")
       .define_int("max_steps", 1 << 20, "dynamic: hard step cap per replication")
       .define_int("replications", 1, "independent replications (Rng fork per rep)")
@@ -193,6 +206,15 @@ ExperimentRunner::ExperimentRunner(Config config) : config_(std::move(config)) {
   (void)RouterRegistry::instance().default_info_mode(config_.get_str("router"));
   (void)make_reporter(config_.get_str("report"));
   if (config_.get_str("info_mode") != "auto") (void)parse_info_mode(config_.get_str("info_mode"));
+  const std::string& mode = config_.get_str("mode");
+  if (mode != "static" && mode != "dynamic")
+    throw ConfigError("unknown mode '" + mode + "' (want static or dynamic)");
+  const std::string& traffic = config_.get_str("traffic");
+  if (traffic != "none" && !TrafficPatternRegistry::instance().contains(traffic)) {
+    std::string known = "none";
+    for (const auto& n : TrafficPatternRegistry::instance().names()) known += ", " + n;
+    throw ConfigError("unknown traffic pattern '" + traffic + "' (want " + known + ")");
+  }
 }
 
 std::unique_ptr<Router> ExperimentRunner::make_router() const {
@@ -243,7 +265,7 @@ ExperimentRunner::StaticEnv ExperimentRunner::build_static(Rng& rng) const {
   return env;
 }
 
-ExperimentRunner::DynamicEnv ExperimentRunner::build_dynamic(Rng& rng) const {
+ExperimentRunner::DynamicEnv ExperimentRunner::build_dynamic(Rng& rng, bool run_warmup) const {
   DynamicEnv env;
   const std::string& scenario = config_.get_str("scenario");
   const long long start = config_.get_int("fault_start");
@@ -292,10 +314,13 @@ ExperimentRunner::DynamicEnv ExperimentRunner::build_dynamic(Rng& rng) const {
   opts.router = config_.get_str("router");
   opts.router_config = config_;
   opts.persistent_marks = config_.get_bool("persistent_marks");
+  opts.link_arbitration = config_.get_bool("arbitration");
   opts.step_budget_per_message = config_.get_int("step_budget");
   env.sim = std::make_unique<DynamicSimulation>(*env.mesh, env.schedule, opts);
-  const long long warmup = config_.get_int("warmup_steps");
-  for (long long i = 0; i < warmup; ++i) env.sim->step();
+  if (run_warmup) {
+    const long long warmup = config_.get_int("warmup_steps");
+    for (long long i = 0; i < warmup; ++i) env.sim->step();
+  }
   return env;
 }
 
@@ -407,7 +432,52 @@ void ExperimentRunner::run_one_dynamic(Rng& rng, MetricSet& out) const {
   }
 }
 
+void ExperimentRunner::run_one_traffic(Rng& rng, MetricSet& out) const {
+  // The workload owns the warmup (it injects during it), so build_dynamic
+  // must not pre-step the simulator.
+  DynamicEnv env = build_dynamic(rng, /*run_warmup=*/false);
+  const auto pattern =
+      make_traffic_pattern(config_.get_str("traffic"), *env.mesh, config_, rng);
+
+  TrafficWorkloadOptions topts;
+  topts.injection_rate = config_.get_double("injection_rate");
+  topts.warmup_steps = config_.get_int("warmup_steps");
+  topts.measure_steps = config_.get_int("measure_steps");
+  topts.drain_steps = config_.get_int("drain_steps");
+  topts.probes = static_cast<int>(config_.get_int("routes"));
+  topts.min_probe_distance = static_cast<int>(config_.get_int("min_pair_distance"));
+
+  TrafficWorkload workload(*env.sim, *pattern, topts, rng);
+  const TrafficResult r = workload.run();
+
+  out.add("offered_load", r.offered_load);
+  out.add("throughput", r.accepted_throughput);
+  out.add("injected", static_cast<double>(r.injected));
+  out.add("stall_steps", static_cast<double>(r.stall_steps));
+  out.add("drained", r.measured_unfinished == 0 ? 1.0 : 0.0);
+  if (r.measured > 0)
+    out.add("delivered_frac",
+            static_cast<double>(r.measured_delivered) / static_cast<double>(r.measured));
+  for (const auto& [value, count] : r.latency.buckets())
+    out.add_repeated("latency", static_cast<double>(value), count);
+  out.add("occurrences", static_cast<double>(env.sim->occurrences().size()));
+
+  // Probe messages: the historical single-message metrics, under load.
+  for (const int id : r.probe_ids) {
+    const MessageProgress& msg = env.sim->message(id);
+    out.add("delivered", msg.delivered ? 1.0 : 0.0);
+    if (msg.delivered) {
+      out.add("steps", static_cast<double>(msg.header.total_steps()));
+      out.add("detours", static_cast<double>(msg.detours()));
+      out.add("backtracks", static_cast<double>(msg.header.backtrack_steps()));
+      out.add("min_distance", msg.initial_distance);
+    }
+  }
+}
+
 ExperimentResult ExperimentRunner::run() const {
+  if (config_.get_str("traffic") != "none")
+    return run_each([this](Rng& rng, MetricSet& out) { run_one_traffic(rng, out); });
   const std::string& mode = config_.get_str("mode");
   if (mode == "static")
     return run_each([this](Rng& rng, MetricSet& out) { run_one_static(rng, out); });

@@ -95,13 +95,14 @@ class ExperimentRunner {
   [[nodiscard]] StaticEnv build_static(Rng& rng) const;
 
   /// A fully-built dynamic environment: schedule realized per config and
-  /// `warmup_steps` already stepped.
+  /// (with `run_warmup`) `warmup_steps` already stepped.  Traffic runs pass
+  /// run_warmup=false because the workload injects during its own warmup.
   struct DynamicEnv {
     std::unique_ptr<MeshTopology> mesh;
     FaultSchedule schedule;
     std::unique_ptr<DynamicSimulation> sim;
   };
-  [[nodiscard]] DynamicEnv build_dynamic(Rng& rng) const;
+  [[nodiscard]] DynamicEnv build_dynamic(Rng& rng, bool run_warmup = true) const;
 
   /// The configured router (from the registry) and its information mode.
   [[nodiscard]] std::unique_ptr<Router> make_router() const;
@@ -120,7 +121,10 @@ class ExperimentRunner {
   /// environment, route `routes` random pairs with the configured router,
   /// and record delivery / steps / detours / backtracks (+ environment
   /// metrics).  mode=static routes over the frozen field; mode=dynamic
-  /// launches the messages into the step loop.
+  /// launches the messages into the step loop.  With traffic != none the
+  /// TrafficWorkload engine runs instead: open-loop injection per the
+  /// pattern, with latency / throughput / stall metrics (README "Traffic
+  /// workloads").
   [[nodiscard]] ExperimentResult run() const;
 
   /// run() + report through the configured reporter.
@@ -129,6 +133,7 @@ class ExperimentRunner {
  private:
   void run_one_static(Rng& rng, MetricSet& out) const;
   void run_one_dynamic(Rng& rng, MetricSet& out) const;
+  void run_one_traffic(Rng& rng, MetricSet& out) const;
 
   Config config_;
 };

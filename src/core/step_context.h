@@ -1,0 +1,48 @@
+#pragma once
+// Shared state of one step of the phased pipeline (DESIGN.md §7).
+//
+// DynamicSimulation::step() builds one StepContext and threads it through
+// the three phases — apply_fault_events, run_information_rounds,
+// arbitrate_and_advance — so each phase reads what the previous ones
+// established and records what it did.  Callers that need to interleave
+// work between phases (the traffic engine injects before the advance phase;
+// tests inspect intermediate state) run the phases themselves between
+// begin_step() and end_step().
+//
+// The context is also the step's observability surface: per-step counters
+// (moved / stalled / delivered / finished) let the traffic engine attribute
+// contention to the measurement window without rescanning every message.
+
+#include <vector>
+
+#include "src/routing/router.h"
+#include "src/sim/fault_schedule.h"
+
+namespace lgfi {
+
+class LinkArbiter;
+
+struct StepContext {
+  long long step = 0;  ///< the step being executed (DynamicSimulation::now())
+
+  // Written by apply_fault_events:
+  std::vector<FaultEvent> events;  ///< fault/recovery events applied this step
+  bool occurrence_opened = false;  ///< the events formed a new occurrence record
+
+  // Written by run_information_rounds:
+  bool stabilized = false;  ///< the open occurrence quiesced during this step
+
+  // Written (routing) and read by arbitrate_and_advance:
+  RoutingContext routing;  ///< the step's node-local view
+  /// The simulation's arbiter, set by begin_step(); null when the run is
+  /// contention-free (the Figure 7 idealization).  The advance phase submits
+  /// its traversal requests through it — leave it as begin_step() set it
+  /// (the per-node FIFO bookkeeping assumes one consistent regime per run).
+  LinkArbiter* arbiter = nullptr;
+  int moved = 0;      ///< messages that traversed a channel this step
+  int stalled = 0;    ///< traversal requests denied by arbitration this step
+  int delivered = 0;  ///< messages delivered this step
+  int finished = 0;   ///< delivered + unreachable + budget_exhausted this step
+};
+
+}  // namespace lgfi

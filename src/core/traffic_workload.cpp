@@ -1,0 +1,98 @@
+#include "src/core/traffic_workload.h"
+
+#include "src/core/scenario.h"
+
+namespace lgfi {
+
+TrafficWorkload::TrafficWorkload(DynamicSimulation& sim, TrafficPattern& pattern,
+                                 TrafficWorkloadOptions options, Rng& rng)
+    : sim_(&sim), pattern_(&pattern), options_(options), rng_(&rng) {}
+
+void TrafficWorkload::inject(bool measured, TrafficResult& result) {
+  const MeshTopology& mesh = sim_->mesh();
+  const StatusField& field = sim_->model().field();
+  const NodeId nodes = static_cast<NodeId>(mesh.node_count());
+  for (NodeId node = 0; node < nodes; ++node) {
+    if (!rng_->bernoulli(options_.injection_rate)) continue;
+    if (measured) ++result.offered;
+    // Only enabled nodes inject; a source absorbed into a block has no
+    // functional injection port this step.
+    if (field.at(node) != NodeStatus::kEnabled) continue;
+    const Coord source = mesh.coord_of(node);
+    const Coord dest = pattern_->destination(source, *rng_);
+    // dest == source: the pattern's fixed points do not inject.  A block-
+    // member destination is retired at injection (standard practice: traffic
+    // to a dead endpoint cannot be delivered, and routing it to exhaustion
+    // would measure the budget, not the network).
+    if (dest == source) continue;
+    if (is_block_member(field.at(dest))) continue;
+    const int id = sim_->launch_message(source, dest);
+    ++result.injected;
+    if (measured) {
+      ++result.measured;
+      result.measured_ids.push_back(id);
+    }
+  }
+}
+
+TrafficResult TrafficWorkload::run() {
+  TrafficResult result;
+  const MeshTopology& mesh = sim_->mesh();
+
+  // Warmup: fill the network; nothing injected here is measured.
+  for (long long s = 0; s < options_.warmup_steps; ++s) {
+    inject(/*measured=*/false, result);
+    sim_->step();
+    ++result.steps_run;
+  }
+
+  // Probes: the historical single-message experiment, riding on whatever
+  // background load the injection process creates.
+  for (int p = 0; p < options_.probes; ++p) {
+    const Pair pair = random_enabled_pair(mesh, sim_->model().field(), *rng_,
+                                          options_.min_probe_distance);
+    result.probe_ids.push_back(sim_->launch_message(pair.source, pair.dest));
+  }
+
+  // Measurement window.
+  for (long long s = 0; s < options_.measure_steps; ++s) {
+    inject(/*measured=*/true, result);
+    sim_->step();
+    ++result.steps_run;
+  }
+
+  // Drain: no new injections; run until every message (tagged or not, probes
+  // included) finished, capped by drain_steps.
+  long long cap = options_.drain_steps > 0
+                      ? options_.drain_steps
+                      : 4ll * mesh.direction_count() * mesh.node_count();
+  while (!sim_->all_messages_done() && cap-- > 0) {
+    sim_->step();
+    ++result.steps_run;
+  }
+
+  for (const int id : result.measured_ids) {
+    const MessageProgress& msg = sim_->message(id);
+    result.stall_steps += msg.stall_steps;
+    if (msg.delivered) {
+      ++result.measured_delivered;
+      result.latency.add(msg.end_step - msg.start_step);
+    } else if (msg.unreachable) {
+      ++result.measured_unreachable;
+    } else if (msg.budget_exhausted) {
+      ++result.measured_exhausted;
+    } else {
+      ++result.measured_unfinished;
+    }
+  }
+
+  const double window =
+      static_cast<double>(options_.measure_steps) * static_cast<double>(mesh.node_count());
+  if (window > 0) {
+    result.offered_load = static_cast<double>(result.offered) / window;
+    result.accepted_throughput = static_cast<double>(result.measured_delivered) / window;
+  }
+  return result;
+}
+
+}  // namespace lgfi

@@ -1,0 +1,80 @@
+#pragma once
+// Open-loop traffic driver for the contention-aware step pipeline.
+//
+// The standard interconnect measurement methodology: every node injects
+// messages by an independent Bernoulli process of rate `injection_rate`
+// (messages per node per step), destinations drawn from a TrafficPattern,
+// and the run is split into three phases:
+//
+//   warmup   inject but do not measure (fills the network to steady state)
+//   measure  inject and tag; tagged messages are the statistics population
+//   drain    stop injecting; run until every message finished (capped)
+//
+// Per tagged message the workload records latency (end - start steps,
+// stalls included) into an exact histogram, plus stall counts; per run it
+// reports offered load and accepted throughput in messages/node/step.  The
+// whole process draws from one replication-private Rng, so results are
+// deterministic and thread-count independent (DESIGN.md §9).
+//
+// Optionally, `probes` single messages are launched at the start of the
+// measurement window and reported separately — with injection_rate=0 this
+// reduces exactly to the historical single-message dynamic experiment, which
+// is how the Theorem 3-5 regime stays reachable from the traffic surface.
+
+#include <vector>
+
+#include "src/core/dynamic_simulation.h"
+#include "src/sim/statistics.h"
+#include "src/sim/traffic_pattern.h"
+
+namespace lgfi {
+
+struct TrafficWorkloadOptions {
+  double injection_rate = 0.02;  ///< per-node per-step Bernoulli probability
+  long long warmup_steps = 0;
+  long long measure_steps = 1000;
+  /// Cap on the drain phase; 0 derives the per-message step-budget safety
+  /// net (4 * 2n * N).
+  long long drain_steps = 0;
+  int probes = 0;                ///< single messages launched at measure start
+  int min_probe_distance = 1;    ///< minimum D(s, d) of probe pairs
+};
+
+struct TrafficResult {
+  long long offered = 0;    ///< Bernoulli firings in the measurement window
+  long long injected = 0;   ///< messages actually launched (all phases)
+  long long measured = 0;   ///< tagged messages (measurement window)
+  long long measured_delivered = 0;
+  long long measured_unreachable = 0;
+  long long measured_exhausted = 0;   ///< hit the per-message step budget
+  long long measured_unfinished = 0;  ///< still in flight at the drain cap
+  long long stall_steps = 0;          ///< total stalls of tagged messages
+  IntHistogram latency;               ///< per delivered tagged message
+  double offered_load = 0.0;          ///< offered / (measure_steps * N)
+  double accepted_throughput = 0.0;   ///< delivered tagged / (measure_steps * N)
+  long long steps_run = 0;            ///< total steps across all three phases
+  std::vector<int> probe_ids;         ///< message ids of the probes
+  std::vector<int> measured_ids;      ///< message ids of the tagged population
+};
+
+class TrafficWorkload {
+ public:
+  /// Drives `sim` (typically built with link_arbitration on).  `pattern` and
+  /// `rng` must outlive run().
+  TrafficWorkload(DynamicSimulation& sim, TrafficPattern& pattern,
+                  TrafficWorkloadOptions options, Rng& rng);
+
+  TrafficResult run();
+
+ private:
+  /// One injection sweep over the nodes (ascending id, one Bernoulli draw
+  /// each — the rng stream layout is fixed, so runs are reproducible).
+  void inject(bool measured, TrafficResult& result);
+
+  DynamicSimulation* sim_;
+  TrafficPattern* pattern_;
+  TrafficWorkloadOptions options_;
+  Rng* rng_;
+};
+
+}  // namespace lgfi

@@ -1,0 +1,53 @@
+#include "src/sim/link_arbiter.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace lgfi {
+
+LinkArbiter::LinkArbiter(const MeshTopology& mesh)
+    : dirs_(mesh.direction_count()),
+      cursor_(static_cast<size_t>(mesh.node_count()) * static_cast<size_t>(dirs_), 0) {}
+
+void LinkArbiter::begin_step() {
+  request_channel_.clear();
+  granted_.clear();
+  stalled_this_step_ = 0;
+}
+
+int LinkArbiter::request(NodeId from, Direction dir) {
+  const int ticket = static_cast<int>(request_channel_.size());
+  request_channel_.push_back(static_cast<int32_t>(channel_of(from, dir)));
+  granted_.push_back(0);
+  return ticket;
+}
+
+void LinkArbiter::arbitrate() {
+  const size_t n = request_channel_.size();
+  if (n == 0) return;
+
+  // Tickets grouped by channel, submission order preserved inside a group.
+  std::vector<int> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [this](int a, int b) {
+    return request_channel_[static_cast<size_t>(a)] < request_channel_[static_cast<size_t>(b)];
+  });
+
+  size_t i = 0;
+  while (i < n) {
+    size_t j = i;
+    const int32_t channel = request_channel_[static_cast<size_t>(order[i])];
+    while (j < n && request_channel_[static_cast<size_t>(order[j])] == channel) ++j;
+    const size_t contenders = j - i;
+    const size_t winner = i + cursor_[static_cast<size_t>(channel)] % contenders;
+    granted_[static_cast<size_t>(order[winner])] = 1;
+    if (contenders > 1) {
+      ++cursor_[static_cast<size_t>(channel)];
+      stalled_this_step_ += static_cast<long long>(contenders - 1);
+    }
+    i = j;
+  }
+  total_stalled_ += stalled_this_step_;
+}
+
+}  // namespace lgfi

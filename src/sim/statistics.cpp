@@ -17,6 +17,17 @@ void RunningStats::add(double x) {
   max_ = std::max(max_, x);
 }
 
+void RunningStats::add_repeated(double x, long long count) {
+  if (count <= 0) return;
+  RunningStats bucket;
+  bucket.n_ = count;
+  bucket.mean_ = x;
+  bucket.sum_ = x * static_cast<double>(count);
+  bucket.min_ = x;
+  bucket.max_ = x;
+  merge(bucket);
+}
+
 double RunningStats::variance() const {
   return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
 }

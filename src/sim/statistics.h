@@ -13,6 +13,11 @@ class RunningStats {
  public:
   void add(double x);
 
+  /// Adds `count` identical samples of `x` in O(1) (the merge formula with a
+  /// degenerate accumulator); histogram buckets fold in without a per-sample
+  /// loop.
+  void add_repeated(double x, long long count);
+
   [[nodiscard]] long long count() const { return n_; }
   [[nodiscard]] double mean() const { return n_ > 0 ? mean_ : 0.0; }
   [[nodiscard]] double variance() const;  ///< sample variance (n-1 denominator)

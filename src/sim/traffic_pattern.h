@@ -1,0 +1,91 @@
+#pragma once
+// Synthetic traffic patterns behind a self-registering factory.
+//
+// Interconnect evaluation measures latency/throughput curves under synthetic
+// workloads; each pattern maps an injecting source to a destination (the
+// booksim traffic-pattern vocabulary, generalized to k-ary n-D meshes).
+// Patterns self-register by name — exactly the RouterRegistry scheme — so
+// the traffic engine, benches and the sweep CLI build them from a Config
+// string and never name a concrete type.
+//
+// Registered names:
+//   uniform         destination uniform over all nodes != source
+//   transpose       coordinates rotated one dimension (2-D: (x,y) -> (y,x))
+//   bit_complement  destination mirrored through the mesh center
+//   hotspot         fraction `hotspot_frac` targets the center node, rest uniform
+//   permutation     one fixed random node permutation per workload
+//
+// A pattern may return the source itself; that means "this node does not
+// inject under this pattern" (e.g. the diagonal of transpose, fixed points
+// of the permutation) and the workload skips the injection slot.
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/config.h"
+#include "src/mesh/topology.h"
+#include "src/sim/rng.h"
+
+namespace lgfi {
+
+/// Fraction of hotspot-pattern injections that target the center node when
+/// the config leaves `hotspot_frac` undefined; also the experiment-config
+/// default, so the two surfaces cannot drift apart.
+inline constexpr double kDefaultHotspotFrac = 0.1;
+
+class TrafficPattern {
+ public:
+  virtual ~TrafficPattern() = default;
+
+  /// Destination for a message injected at `source`.  May consult `rng` (the
+  /// replication's private stream), so sampling is deterministic per
+  /// replication and thread-count independent.
+  [[nodiscard]] virtual Coord destination(const Coord& source, Rng& rng) = 0;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+using TrafficPatternFactory = std::function<std::unique_ptr<TrafficPattern>(
+    const MeshTopology& mesh, const Config& config, Rng& rng)>;
+
+class TrafficPatternRegistry {
+ public:
+  /// The process-wide registry (populated during static initialization by
+  /// TrafficPatternRegistrar instances).
+  static TrafficPatternRegistry& instance();
+
+  /// Registers a factory under `name`; duplicate names throw.
+  void add(const std::string& name, TrafficPatternFactory factory);
+
+  [[nodiscard]] bool contains(const std::string& name) const;
+  [[nodiscard]] std::vector<std::string> names() const;  ///< sorted
+
+  /// Builds the named pattern; throws ConfigError with the known names on an
+  /// unknown `name`.  The config supplies pattern-level options
+  /// (hotspot_frac, ...); `rng` seeds construction-time randomness (the
+  /// permutation pattern's table).
+  [[nodiscard]] std::unique_ptr<TrafficPattern> make(const std::string& name,
+                                                     const MeshTopology& mesh,
+                                                     const Config& config, Rng& rng) const;
+
+ private:
+  [[nodiscard]] const TrafficPatternFactory& require(const std::string& name) const;
+  std::vector<std::pair<std::string, TrafficPatternFactory>> registrations_;
+};
+
+/// Self-registration helper: `static TrafficPatternRegistrar r("name", fn);`
+struct TrafficPatternRegistrar {
+  TrafficPatternRegistrar(const std::string& name, TrafficPatternFactory factory);
+};
+
+/// Convenience wrapper over TrafficPatternRegistry::instance().make().
+std::unique_ptr<TrafficPattern> make_traffic_pattern(const std::string& name,
+                                                     const MeshTopology& mesh,
+                                                     const Config& config, Rng& rng);
+
+/// The hotspot pattern's target: the center node of the mesh.
+Coord mesh_center(const MeshTopology& mesh);
+
+}  // namespace lgfi

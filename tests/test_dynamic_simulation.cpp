@@ -151,6 +151,98 @@ TEST(DynamicSimulation, InfoModesAllDeliver) {
   }
 }
 
+TEST(DynamicSimulation, StepBudgetExhaustionTerminatesTheMessage) {
+  // A fault-free route of distance 12 with a budget of 5: the message must
+  // stop as budget_exhausted (not delivered, not unreachable), and the run
+  // loop must terminate promptly via the active-message counter.
+  const MeshTopology mesh(2, 10);
+  DynamicSimulationOptions opts;
+  opts.step_budget_per_message = 5;
+  DynamicSimulation sim(mesh, FaultSchedule{}, opts);
+  const int id = sim.launch_message(Coord{0, 0}, Coord{7, 5});
+  EXPECT_EQ(sim.active_messages(), 1);
+  sim.run(1000);
+  const auto& msg = sim.message(id);
+  EXPECT_TRUE(msg.budget_exhausted);
+  EXPECT_FALSE(msg.delivered);
+  EXPECT_FALSE(msg.unreachable);
+  EXPECT_EQ(msg.header.total_steps(), 5);
+  EXPECT_EQ(msg.end_step, 4) << "the budget-exhausting hop happens at step 5 - 1";
+  EXPECT_TRUE(sim.all_messages_done());
+  EXPECT_EQ(sim.active_messages(), 0);
+  EXPECT_LE(sim.now(), 6) << "run() must stop at the counter, not the step cap";
+}
+
+TEST(DynamicSimulation, StepBudgetExhaustionUnderArbitration) {
+  // The arbitrated advance phase enforces the same budget.
+  const MeshTopology mesh(2, 10);
+  DynamicSimulationOptions opts;
+  opts.step_budget_per_message = 5;
+  opts.link_arbitration = true;
+  DynamicSimulation sim(mesh, FaultSchedule{}, opts);
+  const int id = sim.launch_message(Coord{0, 0}, Coord{7, 5});
+  sim.run(1000);
+  EXPECT_TRUE(sim.message(id).budget_exhausted);
+  EXPECT_EQ(sim.message(id).header.total_steps(), 5);
+  EXPECT_TRUE(sim.all_messages_done());
+}
+
+TEST(DynamicSimulation, ActiveMessageCounterTracksEveryOutcome) {
+  const MeshTopology mesh(2, 10);
+  FaultSchedule schedule;
+  // Wall off a destination so one message becomes unreachable.
+  for (int x = 3; x <= 5; ++x)
+    for (int y = 3; y <= 5; ++y)
+      if (!(x == 4 && y == 4)) schedule.add_fail(0, Coord{x, y});
+  DynamicSimulationOptions opts;
+  opts.persistent_marks = true;  // detects unreachability (DESIGN.md §6.7)
+  DynamicSimulation sim(mesh, schedule, opts);
+  for (int i = 0; i < 40; ++i) sim.step();
+
+  const int delivered = sim.launch_message(Coord{0, 0}, Coord{9, 9});
+  const int walled = sim.launch_message(Coord{0, 0}, Coord{4, 4});
+  EXPECT_EQ(sim.active_messages(), 2);
+  sim.run(100000);
+  EXPECT_TRUE(sim.message(delivered).delivered);
+  EXPECT_TRUE(sim.message(walled).unreachable);
+  EXPECT_EQ(sim.active_messages(), 0);
+}
+
+TEST(DynamicSimulation, DelayedGlobalPublishesFromTheFaultSite) {
+  // The routing-table baseline spreads the new snapshot from the site of
+  // the change, one hop per step.  On an asymmetric mesh, a node next to
+  // the fault must learn of it long before a node next to mesh origin 0 —
+  // the regression guards against broadcasting from coord_of(0) instead.
+  const MeshTopology mesh(std::vector<int>{17, 5});
+  FaultSchedule schedule;
+  schedule.add_fail(0, Coord{13, 2});
+  DynamicSimulationOptions opts;
+  opts.info_mode = InfoMode::kDelayedGlobal;
+  DynamicSimulation sim(mesh, schedule, opts);
+
+  // Step until the occurrence stabilizes and the snapshot is published.
+  for (int i = 0; i < 60 && !(sim.occurrences().size() == 1 &&
+                              sim.occurrences()[0].e_max_after > 0);
+       ++i)
+    sim.step();
+  ASSERT_EQ(sim.occurrences().size(), 1u);
+  EXPECT_EQ(sim.occurrences()[0].origin, (Coord{13, 2}));
+
+  const auto* provider = sim.delayed_provider();
+  ASSERT_NE(provider, nullptr);
+  // One more step: visibility radius >= 1 around the fault site.
+  sim.step();
+  EXPECT_FALSE(provider->info_at(mesh.index_of(Coord{12, 2})).empty())
+      << "a neighbour of the fault site must see the snapshot first";
+  EXPECT_TRUE(provider->info_at(mesh.index_of(Coord{1, 1})).empty())
+      << "a node near mesh origin 0 is ~12 hops from the change and cannot "
+         "know yet (the old bug broadcast from node 0)";
+
+  // After enough steps, the wave reaches everyone.
+  for (int i = 0; i < 25; ++i) sim.step();
+  EXPECT_FALSE(provider->info_at(mesh.index_of(Coord{1, 1})).empty());
+}
+
 TEST(Network, QuickstartFacade) {
   Network net(MeshTopology(3, 8));
   for (const auto& c : figure1_faults()) net.inject_fault(c);

@@ -91,6 +91,10 @@ TEST(ExperimentRunner, RejectsBadConfigurationEagerly) {
   bad_mode.set_str("mode", "quantum");
   EXPECT_THROW(ExperimentRunner(bad_mode).run(), ConfigError);
 
+  Config bad_traffic = experiment_config();
+  bad_traffic.set_str("traffic", "rush_hour");
+  EXPECT_THROW(ExperimentRunner{bad_traffic}, ConfigError);
+
   Config bad_model = experiment_config();
   bad_model.set_str("fault_model", "gremlins");
   Rng rng(1);

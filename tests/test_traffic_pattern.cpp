@@ -1,0 +1,134 @@
+// Tests for the traffic-pattern registry and the built-in patterns.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/sim/traffic_pattern.h"
+
+namespace lgfi {
+namespace {
+
+Config empty_config() { return Config{}; }
+
+TEST(TrafficPatternRegistry, BuiltInsAreRegistered) {
+  auto& reg = TrafficPatternRegistry::instance();
+  for (const char* name :
+       {"uniform", "transpose", "bit_complement", "hotspot", "permutation"})
+    EXPECT_TRUE(reg.contains(name)) << name;
+  EXPECT_EQ(reg.names().size(), 5u);
+}
+
+TEST(TrafficPatternRegistry, UnknownNameThrowsListingKnownOnes) {
+  const MeshTopology mesh(2, 4);
+  Rng rng(1);
+  const Config cfg = empty_config();
+  try {
+    (void)make_traffic_pattern("tornado", mesh, cfg, rng);
+    FAIL() << "expected ConfigError";
+  } catch (const ConfigError& e) {
+    EXPECT_NE(std::string(e.what()).find("uniform"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("tornado"), std::string::npos);
+  }
+}
+
+TEST(TrafficPattern, UniformNeverReturnsTheSource) {
+  const MeshTopology mesh(2, 4);
+  Rng rng(7);
+  const Config cfg = empty_config();
+  auto p = make_traffic_pattern("uniform", mesh, cfg, rng);
+  const Coord src{2, 2};
+  std::set<std::string> seen;
+  for (int i = 0; i < 200; ++i) {
+    const Coord d = p->destination(src, rng);
+    EXPECT_NE(d, src);
+    EXPECT_TRUE(mesh.in_bounds(d));
+    seen.insert(d.to_string());
+  }
+  EXPECT_GT(seen.size(), 5u) << "uniform should spread over many destinations";
+}
+
+TEST(TrafficPattern, TransposeRotatesCoordinates) {
+  const MeshTopology mesh(2, 8);
+  Rng rng(1);
+  const Config cfg = empty_config();
+  auto p = make_traffic_pattern("transpose", mesh, cfg, rng);
+  EXPECT_EQ(p->destination(Coord{3, 5}, rng), (Coord{5, 3}));
+  EXPECT_EQ(p->destination(Coord{2, 2}, rng), (Coord{2, 2}))
+      << "diagonal nodes are fixed points (they do not inject)";
+
+  const MeshTopology mesh3(3, 4);
+  auto p3 = make_traffic_pattern("transpose", mesh3, cfg, rng);
+  EXPECT_EQ(p3->destination(Coord{1, 2, 3}, rng), (Coord{2, 3, 1}));
+}
+
+TEST(TrafficPattern, TransposeRejectsUnequalExtents) {
+  const MeshTopology mesh(std::vector<int>{8, 4});
+  Rng rng(1);
+  const Config cfg = empty_config();
+  EXPECT_THROW((void)make_traffic_pattern("transpose", mesh, cfg, rng), ConfigError);
+}
+
+TEST(TrafficPattern, BitComplementMirrorsThroughTheCenter) {
+  const MeshTopology mesh(std::vector<int>{8, 5});
+  Rng rng(1);
+  const Config cfg = empty_config();
+  auto p = make_traffic_pattern("bit_complement", mesh, cfg, rng);
+  EXPECT_EQ(p->destination(Coord{0, 0}, rng), (Coord{7, 4}));
+  EXPECT_EQ(p->destination(Coord{7, 4}, rng), (Coord{0, 0}));
+  EXPECT_EQ(p->destination(Coord{3, 1}, rng), (Coord{4, 3}));
+}
+
+TEST(TrafficPattern, HotspotTargetsTheCenterAtFracOne) {
+  const MeshTopology mesh(2, 9);
+  Rng rng(3);
+  Config cfg;
+  cfg.define_double("hotspot_frac", 1.0);
+  auto p = make_traffic_pattern("hotspot", mesh, cfg, rng);
+  const Coord hotspot = mesh_center(mesh);
+  EXPECT_EQ(hotspot, (Coord{4, 4}));
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(p->destination(Coord{0, 0}, rng), hotspot);
+  // The hotspot node itself falls back to uniform (never itself).
+  for (int i = 0; i < 50; ++i) EXPECT_NE(p->destination(hotspot, rng), hotspot);
+}
+
+TEST(TrafficPattern, HotspotRejectsBadFraction) {
+  const MeshTopology mesh(2, 4);
+  Rng rng(1);
+  Config cfg;
+  cfg.define_double("hotspot_frac", 1.5);
+  EXPECT_THROW((void)make_traffic_pattern("hotspot", mesh, cfg, rng), ConfigError);
+}
+
+TEST(TrafficPattern, PermutationIsAFixedBijection) {
+  const MeshTopology mesh(2, 5);
+  Rng rng(11);
+  const Config cfg = empty_config();
+  auto p = make_traffic_pattern("permutation", mesh, cfg, rng);
+  std::set<std::string> images;
+  for (NodeId n = 0; n < mesh.node_count(); ++n) {
+    const Coord src = mesh.coord_of(n);
+    const Coord d1 = p->destination(src, rng);
+    const Coord d2 = p->destination(src, rng);
+    EXPECT_EQ(d1, d2) << "the permutation is fixed for the workload's lifetime";
+    images.insert(d1.to_string());
+  }
+  EXPECT_EQ(images.size(), static_cast<size_t>(mesh.node_count()));
+}
+
+TEST(TrafficPattern, PermutationDependsOnTheConstructionSeed) {
+  const MeshTopology mesh(2, 6);
+  const Config cfg = empty_config();
+  Rng rng_a(1), rng_b(2);
+  auto pa = make_traffic_pattern("permutation", mesh, cfg, rng_a);
+  auto pb = make_traffic_pattern("permutation", mesh, cfg, rng_b);
+  int differing = 0;
+  for (NodeId n = 0; n < mesh.node_count(); ++n) {
+    const Coord src = mesh.coord_of(n);
+    if (pa->destination(src, rng_a) != pb->destination(src, rng_b)) ++differing;
+  }
+  EXPECT_GT(differing, 0);
+}
+
+}  // namespace
+}  // namespace lgfi

@@ -1,0 +1,180 @@
+// Tests for the open-loop traffic engine: the zero-injection reduction to
+// the historical single-message experiment, warmup/measure/drain phasing,
+// and the determinism contract (same seed => identical latency histograms,
+// byte-identical reports for any thread count).
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "src/core/experiment_runner.h"
+#include "src/core/traffic_workload.h"
+
+namespace lgfi {
+namespace {
+
+TEST(TrafficWorkload, ZeroInjectionProbeReproducesSingleMessageDynamics) {
+  // A traffic run with injection_rate=0 and one probe is exactly the
+  // historical single-message dynamic experiment — and its detours obey the
+  // Theorem 3/4 machinery, so the theorem regime stays reachable from the
+  // traffic surface.
+  const MeshTopology mesh(2, 12);
+  FaultSchedule schedule;
+  for (const auto& c : box_fault_placement(mesh, Box(Coord{5, 5}, Coord{7, 6})))
+    schedule.add_fail(15, c);
+
+  DynamicSimulationOptions opts;
+  opts.link_arbitration = true;
+  DynamicSimulation sim(mesh, schedule, opts);
+  Rng rng(21);
+  TrafficWorkloadOptions topts;
+  topts.injection_rate = 0.0;
+  topts.warmup_steps = 10;
+  topts.measure_steps = 50;
+  topts.probes = 1;
+  topts.min_probe_distance = 8;
+  auto pattern = make_traffic_pattern("uniform", mesh, Config{}, rng);
+  TrafficWorkload workload(sim, *pattern, topts, rng);
+  const TrafficResult r = workload.run();
+
+  EXPECT_EQ(r.injected, 0);
+  EXPECT_EQ(r.measured, 0);
+  EXPECT_EQ(r.accepted_throughput, 0.0);
+  ASSERT_EQ(r.probe_ids.size(), 1u);
+  const MessageProgress& probe = sim.message(r.probe_ids[0]);
+  ASSERT_TRUE(probe.delivered);
+  EXPECT_EQ(probe.stall_steps, 0) << "an empty network has no contention";
+
+  // Replay the same pair on a plain contention-free simulation launched at
+  // the same step: byte-identical message outcome.
+  DynamicSimulation replay(mesh, schedule);
+  for (int s = 0; s < 10; ++s) replay.step();
+  const int id =
+      replay.launch_message(probe.header.source(), probe.header.destination());
+  replay.run(4000);
+  const MessageProgress& direct = replay.message(id);
+  EXPECT_EQ(direct.delivered, probe.delivered);
+  EXPECT_EQ(direct.end_step, probe.end_step);
+  EXPECT_EQ(direct.header.total_steps(), probe.header.total_steps());
+  EXPECT_EQ(direct.detours(), probe.detours());
+
+  // Theorem 4 bounds the probe's extra steps, exactly as in the historical
+  // experiment.
+  const auto bound = theorem4_bound(sim.timeline(probe.start_step), probe.initial_distance);
+  EXPECT_GE(bound.max_extra_steps, probe.detours());
+}
+
+TEST(TrafficWorkload, PhasesInjectAndDrain) {
+  const MeshTopology mesh(2, 8);
+  DynamicSimulationOptions opts;
+  opts.link_arbitration = true;
+  DynamicSimulation sim(mesh, FaultSchedule{}, opts);
+  Rng rng(5);
+  TrafficWorkloadOptions topts;
+  topts.injection_rate = 0.1;
+  topts.warmup_steps = 20;
+  topts.measure_steps = 60;
+  auto pattern = make_traffic_pattern("uniform", mesh, Config{}, rng);
+  TrafficWorkload workload(sim, *pattern, topts, rng);
+  const TrafficResult r = workload.run();
+
+  EXPECT_GT(r.measured, 0);
+  EXPECT_GT(r.injected, r.measured) << "warmup injections are not measured";
+  EXPECT_EQ(r.measured_unfinished, 0) << "the drain phase must finish the tagged traffic";
+  EXPECT_EQ(r.measured_delivered, r.measured) << "fault-free uniform traffic all delivers";
+  EXPECT_EQ(static_cast<long long>(r.latency.count()), r.measured_delivered);
+  EXPECT_TRUE(sim.all_messages_done());
+  EXPECT_GT(r.accepted_throughput, 0.0);
+  EXPECT_LE(r.accepted_throughput, r.offered_load + 1e-12);
+  // Minimum latency is at least one step; contention shows up as stalls.
+  EXPECT_GE(r.latency.min(), 1);
+}
+
+TEST(TrafficWorkload, SameSeedSameLatencyHistogram) {
+  const auto histogram = [] {
+    const MeshTopology mesh(2, 8);
+    DynamicSimulationOptions opts;
+    opts.link_arbitration = true;
+    DynamicSimulation sim(mesh, FaultSchedule{}, opts);
+    Rng rng(99);
+    TrafficWorkloadOptions topts;
+    topts.injection_rate = 0.2;
+    topts.warmup_steps = 10;
+    topts.measure_steps = 50;
+    auto pattern = make_traffic_pattern("uniform", mesh, Config{}, rng);
+    TrafficWorkload workload(sim, *pattern, topts, rng);
+    return workload.run().latency.buckets();
+  };
+  EXPECT_EQ(histogram(), histogram());
+}
+
+TEST(TrafficWorkload, ContentionProducesStallsUnderLoad) {
+  const MeshTopology mesh(2, 8);
+  DynamicSimulationOptions opts;
+  opts.link_arbitration = true;
+  DynamicSimulation sim(mesh, FaultSchedule{}, opts);
+  Rng rng(17);
+  TrafficWorkloadOptions topts;
+  topts.injection_rate = 0.4;
+  topts.warmup_steps = 20;
+  topts.measure_steps = 80;
+  auto pattern = make_traffic_pattern("bit_complement", mesh, Config{}, rng);
+  TrafficWorkload workload(sim, *pattern, topts, rng);
+  const TrafficResult r = workload.run();
+  EXPECT_GT(r.stall_steps, 0) << "bit_complement at 0.4 must contend on an 8x8 mesh";
+  EXPECT_GT(sim.total_stalls(), 0);
+}
+
+TEST(TrafficRunner, ReportByteIdenticalAcrossThreadCounts) {
+  // The determinism contract extends to the traffic engine: same seed =>
+  // byte-identical latency statistics whether the replications run on one
+  // thread or fan out over 8.
+  const auto report_with_threads = [](int threads) {
+    Config cfg = experiment_config();
+    cfg.parse_string(
+        "traffic=uniform injection_rate=0.15 warmup_steps=20 measure_steps=60 "
+        "mesh_dims=2 radix=8 faults=3 routes=2 replications=6 seed=13");
+    cfg.set_int("threads", threads);
+    const auto res = ExperimentRunner(cfg).run();
+    std::ostringstream os;
+    JsonReporter().report(res, os);
+    const std::string s = os.str();
+    return s.substr(s.find("\"metrics\""));
+  };
+  const std::string serial = report_with_threads(1);
+  EXPECT_EQ(serial, report_with_threads(8));
+  EXPECT_EQ(serial, report_with_threads(3));
+  EXPECT_NE(serial.find("\"latency\""), std::string::npos);
+  EXPECT_NE(serial.find("\"throughput\""), std::string::npos);
+  EXPECT_NE(serial.find("\"stall_steps\""), std::string::npos);
+}
+
+TEST(TrafficRunner, ZeroRateRecordsProbesButNoThroughput) {
+  Config cfg = experiment_config();
+  cfg.parse_string(
+      "traffic=uniform injection_rate=0 warmup_steps=5 measure_steps=40 "
+      "mesh_dims=2 radix=8 routes=3 faults=0 replications=2 seed=4");
+  const auto res = ExperimentRunner(cfg).run();
+  EXPECT_EQ(res.metrics.stats("delivered").count(), 6) << "routes * replications probes";
+  EXPECT_DOUBLE_EQ(res.metrics.mean("delivered"), 1.0);
+  EXPECT_DOUBLE_EQ(res.metrics.mean("throughput"), 0.0);
+  EXPECT_FALSE(res.metrics.has("latency")) << "no tagged traffic at rate 0";
+}
+
+TEST(TrafficRunner, UnknownPatternRejectedEagerly) {
+  Config cfg = experiment_config();
+  cfg.set_str("traffic", "tornado");
+  EXPECT_THROW(ExperimentRunner{cfg}, ConfigError);
+}
+
+TEST(TrafficRunner, TransposeOnMixedRadixFailsLoudly) {
+  Config cfg = experiment_config();
+  cfg.parse_string("traffic=transpose mesh_dims=2 radix=8 measure_steps=20");
+  // radix is uniform here, so transpose works; the mixed-radix rejection is
+  // covered at the pattern level.  This asserts the happy path end-to-end.
+  const auto res = ExperimentRunner(cfg).run();
+  EXPECT_GT(res.metrics.mean("throughput"), 0.0);
+}
+
+}  // namespace
+}  // namespace lgfi
