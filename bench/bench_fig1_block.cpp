@@ -54,12 +54,14 @@ int main() {
   const Box block = blocks.empty() ? Box() : blocks[0].box;
   TablePrinter e({"role", "count", "expected"});
   const MeshTopology& mesh = net.mesh();
-  e.add_row({"adjacent (faces)", TablePrinter::num((long long)envelope_positions(mesh, block, 1).size()),
+  e.add_row({"adjacent (faces)",
+             TablePrinter::num((long long)envelope_positions(mesh, block, 1).size()),
              "2(ab+bc+ca) = 2(6+6+4) = 32"});
   e.add_row({"2-level corners (edges)",
              TablePrinter::num((long long)envelope_positions(mesh, block, 2).size()),
              "4(a+b+c) = 4(3+2+2) = 28"});
-  e.add_row({"3-level corners", TablePrinter::num((long long)envelope_positions(mesh, block, 3).size()),
+  e.add_row({"3-level corners",
+             TablePrinter::num((long long)envelope_positions(mesh, block, 3).size()),
              "2^3 = 8"});
   e.print(std::cout);
 

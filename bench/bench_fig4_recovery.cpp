@@ -29,7 +29,8 @@ int main() {
 
   const auto blocks = net.blocks();
   TablePrinter t({"quantity", "measured", "paper says"});
-  t.add_row({"blocks after recovery", TablePrinter::num((long long)blocks.size()), "1 (Figure 4(b))"});
+  t.add_row({"blocks after recovery", TablePrinter::num((long long)blocks.size()),
+             "1 (Figure 4(b))"});
   if (!blocks.empty()) {
     t.add_row({"block box", blocks[0].box.to_string(),
                blocks[0].box == figure4_block_after_recovery() ? "[3:4, 5:6, 3:4]  MATCH"

@@ -68,7 +68,8 @@ int main() {
                "  far below the 2*k*(e_max+a_max) extra-step bound (one paper 'detour' = one\n"
                "  deviation pair = two extra steps; see detour_bounds.h).\n";
 
-  print_banner(std::cout, "E7: adversarial ambush — a wide block cuts ALL minimal paths mid-flight");
+  print_banner(std::cout,
+               "E7: adversarial ambush — a wide block cuts ALL minimal paths mid-flight");
   // A straight-line route up column x=8; a block spanning x in [8-w, 8+w]
   // materializes across it while the message is inside the future dangerous
   // prism, forcing a genuine detour of ~2(w+1) steps.  Wider blocks (larger
