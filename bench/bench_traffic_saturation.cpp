@@ -15,11 +15,12 @@
 //     is no lower than at the lowest rate (congestion cannot help).
 //
 // Any key=value argument overrides the base config (mesh size, steps,
-// replications, seed, ...); the swept keys — router, faults, injection_rate
-// — are overwritten by the sweep itself.  CI smoke-runs this with a tiny
-// mesh and short windows:
+// replications, seed, ...), and the special token rates=a,b,c overrides the
+// swept injection rates; the swept keys — router, faults, injection_rate —
+// are overwritten by the sweep itself.  CI smoke-runs this through
+// scripts/traffic_smoke.sh with a tiny mesh and short windows:
 //
-//   ./bench_traffic_saturation radix=6 warmup_steps=20 measure_steps=60 replications=1
+//   ./bench_traffic_saturation radix=6 warmup_steps=30 measure_steps=200 replications=4
 
 #include <iostream>
 #include <vector>
@@ -40,8 +41,16 @@ int main(int argc, char** argv) {
   base.set_int("faults", 0);
   base.set_int("replications", 4);
   base.set_int("seed", 14);
+  std::vector<double> rates = {0.02, 0.05, 0.1, 0.2};
   try {
-    base.parse_args(argc, argv);
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg.rfind("rates=", 0) == 0) {
+        rates = parse_double_list(arg.substr(6), "rates=");
+        continue;
+      }
+      base.parse_token(arg);
+    }
   } catch (const ConfigError& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 2;
@@ -51,7 +60,6 @@ int main(int argc, char** argv) {
   const std::vector<long long> fault_counts = {0, base.get_int("faults") > 0
                                                       ? base.get_int("faults")
                                                       : 6};
-  const std::vector<double> rates = {0.02, 0.05, 0.1, 0.2};
 
   TablePrinter t({"router", "faults", "inj rate", "offered", "throughput", "lat mean",
                   "lat max", "stalls", "delivered %"});

@@ -5,6 +5,7 @@
 //   ./saturation_sweep                                   # uniform on 8x8, defaults
 //   ./saturation_sweep traffic=hotspot hotspot_frac=0.2 router=global_table
 //   ./saturation_sweep mesh_dims=3 radix=6 faults=8 rates=0.02,0.05,0.1,0.3
+//   ./saturation_sweep switching=wormhole rates=0.005,0.01,0.02   # flit-level
 //   ./saturation_sweep --help
 //
 // Every key=value token overrides the experiment config; the special token
@@ -12,7 +13,6 @@
 // for any thread count (the ExperimentRunner determinism contract).
 
 #include <iostream>
-#include <sstream>
 #include <string>
 #include <vector>
 
@@ -45,11 +45,7 @@ int main(int argc, char** argv) {
         return 0;
       }
       if (arg.rfind("rates=", 0) == 0) {
-        rates.clear();
-        std::istringstream is(arg.substr(6));
-        std::string tok;
-        while (std::getline(is, tok, ',')) rates.push_back(std::stod(tok));
-        if (rates.empty()) throw ConfigError("rates= needs a comma-separated list");
+        rates = parse_double_list(arg.substr(6), "rates=");
         continue;
       }
       cfg.parse_token(arg);

@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""Compare a google-benchmark JSON run against the checked-in baseline.
+
+Usage:
+    scripts/check_perf_regression.py BENCH_baseline.json BENCH_pr.json [--threshold 25]
+
+Fails (exit 1) when any benchmark present in both files is more than
+--threshold percent slower than the baseline *after normalizing out the
+machine-speed factor*: the geometric mean of all per-benchmark time ratios
+is taken as "how much slower/faster this machine is overall" and each
+benchmark is compared against that, so a baseline recorded on different
+hardware (the checked-in one, or a stale one after a runner-image change)
+does not produce phantom regressions — only benchmarks that slowed down
+*relative to the rest of the suite* trip the gate.  Pass --absolute to
+compare raw times instead (meaningful only when baseline and current ran
+on identical hardware).
+
+The trade-off: a perfectly uniform slowdown of every benchmark is absorbed
+into the machine factor.  That is the cost of a cross-machine tripwire;
+refreshing the baseline from the BENCH_pr artifact of a green CI run keeps
+the factor near 1 so the window stays small.
+
+Benchmarks that exist on only one side are reported but do not fail the
+check — adding or retiring a benchmark is not a regression.
+"""
+
+import argparse
+import json
+import math
+import sys
+
+_TO_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+
+
+def load_times(path):
+    """benchmark name -> real_time in nanoseconds."""
+    with open(path, "r", encoding="utf-8") as fh:
+        doc = json.load(fh)
+    times = {}
+    for bench in doc.get("benchmarks", []):
+        # Skip aggregate rows (mean/median/stddev of --benchmark_repetitions).
+        if bench.get("run_type") == "aggregate":
+            continue
+        unit = bench.get("time_unit", "ns")
+        times[bench["name"]] = bench["real_time"] * _TO_NS.get(unit, 1.0)
+    return times
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument("--threshold", type=float, default=25.0,
+                        help="maximum tolerated slowdown in percent (default 25)")
+    parser.add_argument("--absolute", action="store_true",
+                        help="compare raw times (requires identical hardware)")
+    args = parser.parse_args()
+
+    baseline = load_times(args.baseline)
+    current = load_times(args.current)
+
+    for name in sorted(set(baseline) - set(current)):
+        print(f"NOTE: baseline-only benchmark (retired?): {name}")
+    for name in sorted(set(current) - set(baseline)):
+        print(f"NOTE: new benchmark without baseline: {name}")
+
+    shared = sorted(n for n in set(baseline) & set(current) if baseline[n] > 0)
+    if not shared:
+        print("ERROR: no benchmarks in common between baseline and current run")
+        return 1
+
+    ratios = {n: current[n] / baseline[n] for n in shared}
+    machine = 1.0
+    if not args.absolute:
+        machine = math.exp(sum(math.log(r) for r in ratios.values()) / len(ratios))
+        print(f"machine-speed factor (geomean of ratios): {machine:.3f}x "
+              f"— per-benchmark deltas below are relative to it\n")
+
+    regressions = []
+    width = max(len(n) for n in shared)
+    print(f"{'benchmark':<{width}}  {'baseline':>12}  {'current':>12}  {'rel delta':>9}")
+    for name in shared:
+        delta = (ratios[name] / machine - 1.0) * 100.0
+        flag = ""
+        if delta > args.threshold:
+            regressions.append((name, delta))
+            flag = "  << REGRESSION"
+        print(f"{name:<{width}}  {baseline[name]:>10.0f}ns  {current[name]:>10.0f}ns  "
+              f"{delta:>+8.1f}%{flag}")
+
+    if regressions:
+        print(f"\nFAIL: {len(regressions)} benchmark(s) regressed more than "
+              f"{args.threshold:.0f}% vs {args.baseline}:")
+        for name, delta in regressions:
+            print(f"  {name}: {delta:+.1f}%")
+        return 1
+    print(f"\nOK: no benchmark regressed more than {args.threshold:.0f}% "
+          f"({len(shared)} compared)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Shared CI smoke for the traffic engine: runs both saturation benches —
+# ideal (E14) and wormhole (E15) — on a tiny mesh with short windows.  Every
+# CI job that smokes the traffic engine calls this script, so the override
+# sets cannot drift apart between jobs (they used to be duplicated inline).
+#
+# Usage: scripts/traffic_smoke.sh [build-dir]   (default: build)
+set -euo pipefail
+
+build_dir="${1:-build}"
+
+# One override set shared by both benches: 6x6 mesh, short warmup/measure.
+smoke=(radix=6 warmup_steps=30 measure_steps=200 replications=4)
+# Smaller meshes saturate at higher per-node rates; push the wormhole sweep
+# far enough up the curve that the saturation self-check has a knee to find.
+wormhole_rates=rates=0.01,0.02,0.05,0.08
+
+echo "== traffic smoke: ideal switching (bench_traffic_saturation) =="
+"${build_dir}/bench_traffic_saturation" "${smoke[@]}"
+
+echo "== traffic smoke: wormhole switching (bench_wormhole_saturation) =="
+"${build_dir}/bench_wormhole_saturation" "${smoke[@]}" "${wormhole_rates}"

@@ -19,10 +19,14 @@ DynamicSimulation::DynamicSimulation(const MeshTopology& mesh, FaultSchedule sch
   assert(options_.lambda >= 1);
   if (options_.info_mode == InfoMode::kDelayedGlobal)
     delayed_provider_ = std::make_unique<DelayedGlobalInfoProvider>(mesh);
-  if (options_.link_arbitration) {
-    arbiter_ = std::make_unique<LinkArbiter>(mesh);
-    node_fifo_.resize(static_cast<size_t>(mesh.node_count()));
-  }
+
+  SwitchingOptions sopts;
+  sopts.link_arbitration = options_.link_arbitration;
+  sopts.num_vcs = options_.num_vcs;
+  sopts.vc_buffer_depth = options_.vc_buffer_depth;
+  sopts.flits_per_packet = options_.flits_per_packet;
+  switching_ = make_switching_model(options_.switching, mesh, sopts);
+  if (switching_->arbitrated()) arbiter_ = std::make_unique<LinkArbiter>(mesh);
 
   router_ = make_router(options_.router == "auto" ? router_name_for(options_.info_mode)
                                                   : options_.router,
@@ -50,15 +54,13 @@ int DynamicSimulation::launch_message(const Coord& source, const Coord& dest) {
   msg.distance_at_occurrence.assign(occurrences_.size(), msg.initial_distance);
   messages_.push_back(std::move(msg));
   ++active_messages_;
-  if (options_.link_arbitration)
-    node_fifo_[static_cast<size_t>(mesh_->index_of(source))].push_back(messages_.back().id);
+  switching_->add_packet(messages_.back().id, mesh_->index_of(source));
   return messages_.back().id;
 }
 
 StepContext DynamicSimulation::begin_step() {
   StepContext ctx;
   ctx.step = now_;
-  ctx.arbiter = arbiter_.get();
   return ctx;
 }
 
@@ -141,130 +143,87 @@ void DynamicSimulation::finish_message(MessageProgress& msg, StepContext& ctx) {
   ++ctx.finished;
 }
 
-void DynamicSimulation::move_between_fifos(int id, NodeId from, NodeId to) {
-  auto& q = node_fifo_[static_cast<size_t>(from)];
-  q.erase(std::find(q.begin(), q.end(), id));
-  if (to != kInvalidNode) node_fifo_[static_cast<size_t>(to)].push_back(id);
+// --- SwitchingHost --------------------------------------------------------
+// The model sequences these callbacks during arbitrate_and_advance; all
+// header mutation, budget enforcement and per-message accounting stays here.
+
+SwitchDecision DynamicSimulation::decide(int id) {
+  MessageProgress& msg = messages_[static_cast<size_t>(id)];
+  const RouteDecision d = router_->decide(step_ctx_->routing, msg.header);
+  SwitchDecision out;
+  switch (d.action) {
+    case RouteAction::kDelivered: out.action = SwitchAction::kDeliver; break;
+    case RouteAction::kUnreachable: out.action = SwitchAction::kUnreachable; break;
+    case RouteAction::kForward: out.action = SwitchAction::kForward; break;
+    case RouteAction::kBacktrack: out.action = SwitchAction::kBacktrack; break;
+  }
+  out.direction = d.direction;
+  out.detour_preferred = d.detour_preferred;
+  // The channel a backtrack would traverse — supplied on every decision so
+  // flit-level models can issue resource-releasing backtracks of their own.
+  if (!msg.header.at_source() && !msg.header.top().incoming.is_none())
+    out.back = msg.header.top().incoming.opposite();
+  return out;
 }
 
-void DynamicSimulation::advance_contention_free(StepContext& ctx, long long budget) {
-  // The historical Figure 7 loop: every message advances unconditionally,
-  // one hop per step, in launch order.
-  for (auto& msg : messages_) {
-    if (msg.done()) continue;
-    const RouteDecision d = router_->decide(ctx.routing, msg.header);
-    switch (d.action) {
-      case RouteAction::kDelivered:
-        msg.delivered = true;
-        ++ctx.delivered;
-        finish_message(msg, ctx);
-        break;
-      case RouteAction::kUnreachable:
-        msg.unreachable = true;
-        finish_message(msg, ctx);
-        break;
-      case RouteAction::kForward:
-        msg.header.forward(d.direction);
-        if (d.detour_preferred) ++msg.detour_preferred_taken;
-        ++ctx.moved;
-        break;
-      case RouteAction::kBacktrack:
-        msg.header.backtrack();
-        ++ctx.moved;
-        break;
-    }
-    if (msg.header.total_steps() >= budget && !msg.delivered && !msg.unreachable) {
-      msg.budget_exhausted = true;
-      finish_message(msg, ctx);
-    }
+MoveResult DynamicSimulation::commit_move(int id, const SwitchDecision& decision) {
+  MessageProgress& msg = messages_[static_cast<size_t>(id)];
+  if (decision.action == SwitchAction::kForward) {
+    msg.header.forward(decision.direction);
+    if (decision.detour_preferred) ++msg.detour_preferred_taken;
+  } else {
+    msg.header.backtrack();
+    if (decision.unmark_on_backtrack) msg.header.unmark(decision.back.opposite());
   }
+  ++step_ctx_->moved;
+  MoveResult r;
+  r.node = mesh_->index_of(msg.header.current());
+  if (msg.header.total_steps() >= step_budget_ && !msg.delivered && !msg.unreachable) {
+    msg.budget_exhausted = true;
+    finish_message(msg, *step_ctx_);
+    r.finished = true;
+  }
+  return r;
 }
 
-void DynamicSimulation::advance_arbitrated(StepContext& ctx, long long budget) {
-  LinkArbiter& arbiter = *ctx.arbiter;
-  // Decision sub-phase: every in-flight message decides at its current node,
-  // in per-node FIFO service order (nodes ascending, arrivals in order), and
-  // moves become channel requests.  Decisions are pure w.r.t. the header
-  // (marking happens on the granted traversal), so a stalled message simply
-  // re-decides next step under the then-current information.
-  struct Pending {
-    int id;
-    RouteDecision decision;
-    int ticket;
-  };
-  arbiter.begin_step();
-  std::vector<Pending> pending;
-  std::vector<std::pair<NodeId, int>> finished_in_place;
-  const NodeId nodes = static_cast<NodeId>(mesh_->node_count());
-  for (NodeId node = 0; node < nodes; ++node) {
-    for (const int id : node_fifo_[static_cast<size_t>(node)]) {
-      MessageProgress& msg = messages_[static_cast<size_t>(id)];
-      const RouteDecision d = router_->decide(ctx.routing, msg.header);
-      switch (d.action) {
-        case RouteAction::kDelivered:
-          msg.delivered = true;
-          ++ctx.delivered;
-          finish_message(msg, ctx);
-          finished_in_place.emplace_back(node, id);
-          break;
-        case RouteAction::kUnreachable:
-          msg.unreachable = true;
-          finish_message(msg, ctx);
-          finished_in_place.emplace_back(node, id);
-          break;
-        case RouteAction::kForward:
-          pending.push_back({id, d, arbiter.request(node, d.direction)});
-          break;
-        case RouteAction::kBacktrack: {
-          // Backtracking traverses the channel back to the previous node —
-          // it contends like any other traversal.
-          const Direction back = msg.header.top().incoming.opposite();
-          pending.push_back({id, d, arbiter.request(node, back)});
-          break;
-        }
-      }
-    }
+void DynamicSimulation::finish(int id, PacketOutcome outcome) {
+  MessageProgress& msg = messages_[static_cast<size_t>(id)];
+  switch (outcome) {
+    case PacketOutcome::kDelivered:
+      msg.delivered = true;
+      ++step_ctx_->delivered;
+      break;
+    case PacketOutcome::kUnreachable: msg.unreachable = true; break;
+    case PacketOutcome::kBudgetExhausted: msg.budget_exhausted = true; break;
   }
-  for (const auto& [node, id] : finished_in_place) move_between_fifos(id, node, kInvalidNode);
-
-  arbiter.arbitrate();
-
-  // Traversal sub-phase: winners move one hop; losers stall where they are.
-  for (const Pending& p : pending) {
-    MessageProgress& msg = messages_[static_cast<size_t>(p.id)];
-    if (!arbiter.granted(p.ticket)) {
-      ++msg.stall_steps;
-      ++ctx.stalled;
-      continue;
-    }
-    const NodeId from = mesh_->index_of(msg.header.current());
-    if (p.decision.action == RouteAction::kForward) {
-      msg.header.forward(p.decision.direction);
-      if (p.decision.detour_preferred) ++msg.detour_preferred_taken;
-    } else {
-      msg.header.backtrack();
-    }
-    ++ctx.moved;
-    const NodeId to = mesh_->index_of(msg.header.current());
-    move_between_fifos(p.id, from, to);
-    if (msg.header.total_steps() >= budget) {
-      msg.budget_exhausted = true;
-      finish_message(msg, ctx);
-      move_between_fifos(p.id, to, kInvalidNode);
-    }
-  }
+  finish_message(msg, *step_ctx_);
 }
+
+void DynamicSimulation::count_stall(int id) {
+  ++messages_[static_cast<size_t>(id)].stall_steps;
+  ++step_ctx_->stalled;
+}
+
+void DynamicSimulation::record_head_arrival(int id) {
+  messages_[static_cast<size_t>(id)].head_arrival_step = now_;
+}
+
+void DynamicSimulation::count_flit_moves(int n) { step_ctx_->flits_moved += n; }
+
+bool DynamicSimulation::node_faulty(NodeId node) const {
+  return model_.field().at(node) == NodeStatus::kFaulty;
+}
+
+uint64_t DynamicSimulation::field_version() const { return model_.field().version(); }
 
 void DynamicSimulation::arbitrate_and_advance(StepContext& ctx) {
   ctx.routing = context();
-  const long long budget = options_.step_budget_per_message > 0
-                               ? options_.step_budget_per_message
-                               : 4ll * mesh_->direction_count() * mesh_->node_count();
-  if (options_.link_arbitration) {
-    advance_arbitrated(ctx, budget);
-  } else {
-    advance_contention_free(ctx, budget);
-  }
+  step_ctx_ = &ctx;
+  step_budget_ = options_.step_budget_per_message > 0
+                     ? options_.step_budget_per_message
+                     : 4ll * mesh_->direction_count() * mesh_->node_count();
+  switching_->advance_step(*this, arbiter_.get());
+  step_ctx_ = nullptr;
 }
 
 void DynamicSimulation::step() {

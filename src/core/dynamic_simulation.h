@@ -16,12 +16,16 @@
 //   run_information_rounds  lambda rounds of the three constructions
 //   arbitrate_and_advance   routing decisions + channel traversal
 //
-// With options.link_arbitration, the advance phase is contention-aware: at
-// most one message traverses a directed channel per step (LinkArbiter,
-// DESIGN.md §8); losers stall in the holding node's FIFO and retry.  The
-// default is the paper's contention-free idealization, so single-message
-// experiments (the Theorem 3-5 benches) are byte-identical to the historical
-// loop.
+// The advance phase is delegated to a pluggable SwitchingModel (DESIGN.md
+// §10): `ideal` (the default) is the historical single-flit behavior — with
+// options.link_arbitration it is contention-aware (at most one message per
+// directed channel per step, LinkArbiter, DESIGN.md §8; losers stall in the
+// holding node's FIFO and retry), without it it is the paper's
+// contention-free idealization, byte-identical to the historical loop.
+// `wormhole` serializes packets into flits under virtual-channel flow
+// control (src/sim/wormhole_switching.h).  DynamicSimulation implements the
+// SwitchingHost callbacks, keeping headers, budgets and per-message
+// accounting here while the model owns channel occupancy.
 //
 // The simulation also records the quantities of Table 1: occurrence times
 // t_i, per-occurrence convergence rounds a_i (labeling), b_i
@@ -38,6 +42,7 @@
 #include "src/routing/router_registry.h"
 #include "src/sim/fault_schedule.h"
 #include "src/sim/link_arbiter.h"
+#include "src/sim/switching_model.h"
 
 namespace lgfi {
 
@@ -53,7 +58,13 @@ struct DynamicSimulationOptions {
   bool persistent_marks = false;      ///< header ablation (DESIGN.md §6.7)
   /// Contention-aware advance phase: at most one message per directed
   /// channel per step (DESIGN.md §8).  Off = the Figure 7 idealization.
+  /// Flit-level switching models arbitrate regardless.
   bool link_arbitration = false;
+  /// Registered switching model (DESIGN.md §10): ideal | wormhole.
+  std::string switching = "ideal";
+  int num_vcs = 2;           ///< wormhole: virtual channels per directed channel
+  int vc_buffer_depth = 4;   ///< wormhole: flit buffer depth per VC
+  int flits_per_packet = 4;  ///< wormhole: flits per packet (head + body + tail)
   DistributedModelOptions model;
   long long step_budget_per_message = 0;  ///< 0: 4 * 2n * N safety net
 };
@@ -71,8 +82,13 @@ struct MessageProgress {
   int detour_preferred_taken = 0;
   /// Steps spent waiting for a contended channel (link_arbitration only);
   /// latency = moves + stalls, so end_step - start_step ==
-  /// header.total_steps() + stall_steps for a delivered message.
+  /// header.total_steps() + stall_steps for a delivered message under the
+  /// ideal switching model (wormhole adds flit-serialization steps).
   int stall_steps = 0;
+  /// Wormhole switching: step at which the head flit reached the
+  /// destination (delivery happens when the tail ejects); -1 under ideal
+  /// switching, where head arrival *is* delivery.
+  long long head_arrival_step = -1;
   /// D(i) at each fault occurrence (Theorem 3's measured trajectory);
   /// parallel to occurrence_steps() of the simulation.
   std::vector<int> distance_at_occurrence;
@@ -99,7 +115,7 @@ struct OccurrenceRecord {
   bool stabilized_before_next = true;
 };
 
-class DynamicSimulation {
+class DynamicSimulation final : public SwitchingHost {
  public:
   DynamicSimulation(const MeshTopology& mesh, FaultSchedule schedule,
                     DynamicSimulationOptions options = {});
@@ -109,7 +125,7 @@ class DynamicSimulation {
   int launch_message(const Coord& source, const Coord& dest);
 
   // --- the phased pipeline (DESIGN.md §7) ---------------------------------
-  /// Opens a step: a StepContext carrying the step number and the arbiter.
+  /// Opens a step: a StepContext carrying the step number.
   [[nodiscard]] StepContext begin_step();
   /// Phase 1: fault detection — applies the schedule's events for this step
   /// and opens the occurrence record.
@@ -157,16 +173,27 @@ class DynamicSimulation {
     return arbiter_ ? arbiter_->total_stalled() : 0;
   }
 
+  /// The switching model executing the advance phase (DESIGN.md §10).
+  [[nodiscard]] const SwitchingModel& switching() const { return *switching_; }
+  [[nodiscard]] SwitchingModel& switching() { return *switching_; }
+
   /// Builds the Theorem 3/4/5 timeline from the recorded occurrences (a_i in
   /// steps, i.e. ceil(rounds / lambda)).
   [[nodiscard]] DynamicFaultTimeline timeline(long long route_start) const;
 
+  // --- SwitchingHost (called by the model during arbitrate_and_advance) ----
+  [[nodiscard]] SwitchDecision decide(int id) override;
+  MoveResult commit_move(int id, const SwitchDecision& decision) override;
+  void finish(int id, PacketOutcome outcome) override;
+  void count_stall(int id) override;
+  void record_head_arrival(int id) override;
+  void count_flit_moves(int n) override;
+  [[nodiscard]] bool node_faulty(NodeId node) const override;
+  [[nodiscard]] uint64_t field_version() const override;
+
  private:
   [[nodiscard]] RoutingContext context() const;
-  void advance_contention_free(StepContext& ctx, long long budget);
-  void advance_arbitrated(StepContext& ctx, long long budget);
   void finish_message(MessageProgress& msg, StepContext& ctx);
-  void move_between_fifos(int id, NodeId from, NodeId to);
 
   const MeshTopology* mesh_;
   FaultSchedule schedule_;
@@ -177,18 +204,18 @@ class DynamicSimulation {
   GlobalInfoProvider instant_provider_;
   std::unique_ptr<DelayedGlobalInfoProvider> delayed_provider_;
   std::unique_ptr<Router> router_;
-  std::unique_ptr<LinkArbiter> arbiter_;  ///< present iff link_arbitration
+  std::unique_ptr<SwitchingModel> switching_;
+  std::unique_ptr<LinkArbiter> arbiter_;  ///< present iff switching_->arbitrated()
 
   std::vector<MessageProgress> messages_;
-  /// Per-node FIFO of resident active message ids (link_arbitration only):
-  /// the service order of the advance phase, hence the submission order the
-  /// arbiter's round-robin rotates over.
-  std::vector<std::vector<int>> node_fifo_;
   std::vector<OccurrenceRecord> occurrences_;
   long long now_ = 0;
   long long active_messages_ = 0;
   /// Open occurrence currently converging (index into occurrences_), or -1.
   int converging_ = -1;
+  /// Host-callback context, valid only inside arbitrate_and_advance.
+  StepContext* step_ctx_ = nullptr;
+  long long step_budget_ = 0;
 };
 
 }  // namespace lgfi

@@ -121,6 +121,13 @@ Config experiment_config() {
       .define_bool("arbitration", true,
                    "dynamic/traffic: at most one message per directed channel "
                    "per step (losers stall in per-node FIFOs)")
+      .define_string("switching", "ideal",
+                     "switching model: ideal (single-flit packets) | wormhole "
+                     "(flit-level, virtual channels + credits; DESIGN.md 10)")
+      .define_int("num_vcs", 2, "wormhole: virtual channels per directed channel")
+      .define_int("vc_buffer_depth", 4, "wormhole: flit buffer depth per VC (credits)")
+      .define_int("flits_per_packet", 4,
+                  "wormhole: flits per packet (head + body + tail)")
       .define_int("warmup_steps", 0, "dynamic: steps before launching messages")
       .define_int("max_steps", 1 << 20, "dynamic: hard step cap per replication")
       .define_int("replications", 1, "independent replications (Rng fork per rep)")
@@ -215,6 +222,12 @@ ExperimentRunner::ExperimentRunner(Config config) : config_(std::move(config)) {
     for (const auto& n : TrafficPatternRegistry::instance().names()) known += ", " + n;
     throw ConfigError("unknown traffic pattern '" + traffic + "' (want " + known + ")");
   }
+  const std::string& switching = config_.get_str("switching");
+  (void)SwitchingModelRegistry::instance().require(switching);
+  if (switching != "ideal" && !config_.get_bool("arbitration"))
+    throw ConfigError("switching=" + switching +
+                      " is flit-level and always arbitrates its switch; "
+                      "arbitration=false only makes sense with switching=ideal");
 }
 
 std::unique_ptr<Router> ExperimentRunner::make_router() const {
@@ -315,6 +328,10 @@ ExperimentRunner::DynamicEnv ExperimentRunner::build_dynamic(Rng& rng, bool run_
   opts.router_config = config_;
   opts.persistent_marks = config_.get_bool("persistent_marks");
   opts.link_arbitration = config_.get_bool("arbitration");
+  opts.switching = config_.get_str("switching");
+  opts.num_vcs = static_cast<int>(config_.get_int("num_vcs"));
+  opts.vc_buffer_depth = static_cast<int>(config_.get_int("vc_buffer_depth"));
+  opts.flits_per_packet = static_cast<int>(config_.get_int("flits_per_packet"));
   opts.step_budget_per_message = config_.get_int("step_budget");
   env.sim = std::make_unique<DynamicSimulation>(*env.mesh, env.schedule, opts);
   if (run_warmup) {
@@ -460,6 +477,14 @@ void ExperimentRunner::run_one_traffic(Rng& rng, MetricSet& out) const {
             static_cast<double>(r.measured_delivered) / static_cast<double>(r.measured));
   for (const auto& [value, count] : r.latency.buckets())
     out.add_repeated("latency", static_cast<double>(value), count);
+  // Flit-level switching extras; all empty under ideal, so the default
+  // metric set is unchanged byte for byte.
+  for (const auto& [value, count] : r.head_latency.buckets())
+    out.add_repeated("head_latency", static_cast<double>(value), count);
+  for (const auto& [value, count] : r.serialization.buckets())
+    out.add_repeated("serialization_latency", static_cast<double>(value), count);
+  for (const auto& [name, value] : env.sim->switching().metrics())
+    out.add("sw_" + name, value);
   out.add("occurrences", static_cast<double>(env.sim->occurrences().size()));
 
   // Probe messages: the historical single-message metrics, under load.

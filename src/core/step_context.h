@@ -10,8 +10,10 @@
 // begin_step() and end_step().
 //
 // The context is also the step's observability surface: per-step counters
-// (moved / stalled / delivered / finished) let the traffic engine attribute
-// contention to the measurement window without rescanning every message.
+// (moved / stalled / delivered / finished / flits_moved) let phase-driving
+// callers — tests, bespoke experiment loops — observe what a step did
+// without rescanning every message (regression-pinned in
+// test_switching_model.cpp).
 
 #include <vector>
 
@@ -19,8 +21,6 @@
 #include "src/sim/fault_schedule.h"
 
 namespace lgfi {
-
-class LinkArbiter;
 
 struct StepContext {
   long long step = 0;  ///< the step being executed (DynamicSimulation::now())
@@ -32,17 +32,14 @@ struct StepContext {
   // Written by run_information_rounds:
   bool stabilized = false;  ///< the open occurrence quiesced during this step
 
-  // Written (routing) and read by arbitrate_and_advance:
+  // Written (routing) and read by arbitrate_and_advance (the phase hands
+  // the simulation's LinkArbiter straight to the switching model):
   RoutingContext routing;  ///< the step's node-local view
-  /// The simulation's arbiter, set by begin_step(); null when the run is
-  /// contention-free (the Figure 7 idealization).  The advance phase submits
-  /// its traversal requests through it — leave it as begin_step() set it
-  /// (the per-node FIFO bookkeeping assumes one consistent regime per run).
-  LinkArbiter* arbiter = nullptr;
-  int moved = 0;      ///< messages that traversed a channel this step
+  int moved = 0;      ///< messages whose head traversed a channel this step
   int stalled = 0;    ///< traversal requests denied by arbitration this step
   int delivered = 0;  ///< messages delivered this step
   int finished = 0;   ///< delivered + unreachable + budget_exhausted this step
+  int flits_moved = 0;  ///< data flits that traversed channels (wormhole only)
 };
 
 }  // namespace lgfi

@@ -77,6 +77,12 @@ TrafficResult TrafficWorkload::run() {
     if (msg.delivered) {
       ++result.measured_delivered;
       result.latency.add(msg.end_step - msg.start_step);
+      if (msg.head_arrival_step >= 0) {
+        // Flit-level switching: split the tail latency into path setup
+        // (head) and flit streaming (serialization).
+        result.head_latency.add(msg.head_arrival_step - msg.start_step);
+        result.serialization.add(msg.end_step - msg.head_arrival_step);
+      }
     } else if (msg.unreachable) {
       ++result.measured_unreachable;
     } else if (msg.budget_exhausted) {

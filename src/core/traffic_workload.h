@@ -49,7 +49,13 @@ struct TrafficResult {
   long long measured_exhausted = 0;   ///< hit the per-message step budget
   long long measured_unfinished = 0;  ///< still in flight at the drain cap
   long long stall_steps = 0;          ///< total stalls of tagged messages
-  IntHistogram latency;               ///< per delivered tagged message
+  IntHistogram latency;               ///< per delivered tagged message (tail)
+  /// Flit-level switching only (empty under ideal): head-flit arrival
+  /// latency and the serialization tail (delivery - head arrival), per
+  /// delivered tagged message.  `latency` above is the tail latency, so
+  /// latency == head_latency + serialization sample-by-sample.
+  IntHistogram head_latency;
+  IntHistogram serialization;
   double offered_load = 0.0;          ///< offered / (measure_steps * N)
   double accepted_throughput = 0.0;   ///< delivered tagged / (measure_steps * N)
   long long steps_run = 0;            ///< total steps across all three phases

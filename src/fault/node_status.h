@@ -41,8 +41,21 @@ class StatusField {
   [[nodiscard]] NodeStatus at(NodeId id) const { return status_[static_cast<size_t>(id)]; }
   [[nodiscard]] NodeStatus at(const Coord& c) const { return at(mesh_->index_of(c)); }
 
-  void set(NodeId id, NodeStatus s) { status_[static_cast<size_t>(id)] = s; }
+  void set(NodeId id, NodeStatus s) {
+    // No-op writes must not bump the version: the labeling rounds rewrite
+    // every node each round, and a spurious bump would invalidate
+    // version-keyed caches (the oracle's BFS) every single step.
+    if (status_[static_cast<size_t>(id)] == s) return;
+    status_[static_cast<size_t>(id)] = s;
+    ++version_;
+  }
   void set(const Coord& c, NodeStatus s) { set(mesh_->index_of(c), s); }
+
+  /// Monotone mutation counter: bumped on every status *change*.  Lets
+  /// consumers that cache derived structure (the oracle's BFS, the wormhole
+  /// model's fault scan) detect staleness in O(1) without observing
+  /// individual mutations.  Not part of field equality.
+  [[nodiscard]] uint64_t version() const { return version_; }
 
   /// Marks `c` faulty (a fault occurrence f_i).
   void inject_fault(const Coord& c) { set(c, NodeStatus::kFaulty); }
@@ -84,6 +97,7 @@ class StatusField {
  private:
   const MeshTopology* mesh_;
   std::vector<NodeStatus> status_;
+  uint64_t version_ = 0;
 };
 
 /// Builds a field with the given faults injected and everything else enabled.

@@ -51,24 +51,36 @@ std::string OracleRouter::name() const {
   return avoid_ == OracleAvoid::kFaultyOnly ? "oracle-faulty-only" : "oracle-blocks";
 }
 
-void OracleRouter::rebuild(const RoutingContext& ctx, const Coord& dest) {
-  dist_ = bfs_from(*ctx.mesh, *ctx.field, dest, avoid_);
-  cached_ = true;
-  cached_dest_ = dest;
-}
-
 RouteDecision OracleRouter::decide(const RoutingContext& ctx, RoutingHeader& header) {
   const Coord& u = header.current();
   if (u == header.destination()) return RouteDecision{RouteAction::kDelivered};
-  if (!cached_ || !(cached_dest_ == header.destination())) rebuild(ctx, header.destination());
 
-  const int du = dist_[static_cast<size_t>(ctx.mesh->index_of(u))];
+  // Every fault/recovery bumps the field version; a stale oracle would
+  // contradict its whole premise (it IS the instantly-informed baseline).
+  if (ctx.field->version() != cached_version_) {
+    dist_by_dest_.clear();
+    cached_version_ = ctx.field->version();
+  }
+  auto it = dist_by_dest_.find(header.destination());
+  if (it == dist_by_dest_.end()) {
+    // Bound the cache: many-destination traffic on a big mesh would
+    // otherwise hold one O(N) tree per destination (O(N^2) memory per
+    // replication).  Wholesale clearing keeps eviction deterministic.
+    if (dist_by_dest_.size() >= kMaxCachedTrees) dist_by_dest_.clear();
+    it = dist_by_dest_
+             .emplace(header.destination(),
+                      bfs_from(*ctx.mesh, *ctx.field, header.destination(), avoid_))
+             .first;
+  }
+  const std::vector<int>& dist = it->second;
+
+  const int du = dist[static_cast<size_t>(ctx.mesh->index_of(u))];
   if (du < 0) return RouteDecision{RouteAction::kUnreachable};
 
   RouteDecision best{RouteAction::kUnreachable};
   ctx.mesh->for_each_neighbor(u, [&](Direction d, const Coord& nb) {
     if (best.action == RouteAction::kForward) return;
-    const int dn = dist_[static_cast<size_t>(ctx.mesh->index_of(nb))];
+    const int dn = dist[static_cast<size_t>(ctx.mesh->index_of(nb))];
     if (dn >= 0 && dn == du - 1) best = RouteDecision{RouteAction::kForward, d};
   });
   return best;

@@ -9,6 +9,7 @@
 // price of the block model itself, reported in E9.
 
 #include <optional>
+#include <unordered_map>
 #include <vector>
 
 #include "src/routing/router.h"
@@ -33,16 +34,27 @@ class OracleRouter final : public Router {
                                      RoutingHeader& header) override;
   [[nodiscard]] std::string name() const override;
 
-  /// Invalidate the cached BFS (the environment changed).
-  void set_dirty() { cached_ = false; }
+  /// Invalidate the cached BFS trees (the environment changed).  decide()
+  /// also invalidates automatically via StatusField::version(), so this is
+  /// only needed when swapping in a different field object.
+  void set_dirty() {
+    dist_by_dest_.clear();
+    cached_version_ = kNoVersion;
+  }
 
  private:
-  void rebuild(const RoutingContext& ctx, const Coord& dest);
+  static constexpr uint64_t kNoVersion = ~0ull;
+  /// Cache-size bound: one tree is O(N) ints, so the cache tops out at
+  /// 64 * N rather than the N^2 of one tree per live destination.
+  static constexpr size_t kMaxCachedTrees = 64;
 
   OracleAvoid avoid_;
-  bool cached_ = false;
-  Coord cached_dest_;
-  std::vector<int> dist_;  ///< hops to destination, -1 if unreachable
+  /// BFS distance trees keyed by destination, valid for cached_version_ of
+  /// the field only — the dynamic traffic engine interleaves decisions for
+  /// many destinations per step, so one tree per destination (instead of
+  /// one slot) keeps each decision O(1) between fault events.
+  uint64_t cached_version_ = kNoVersion;
+  std::unordered_map<Coord, std::vector<int>, CoordHash> dist_by_dest_;
 };
 
 }  // namespace lgfi

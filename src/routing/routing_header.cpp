@@ -36,6 +36,15 @@ void RoutingHeader::backtrack() {
   ++backtrack_steps_;
 }
 
+void RoutingHeader::unmark(Direction d) {
+  assert(!d.is_none());
+  path_.back().used.erase(d);
+  if (persistent_marks_) {
+    const auto it = marks_.find(path_.back().node);
+    if (it != marks_.end()) it->second.erase(d);
+  }
+}
+
 void RoutingHeader::enable_persistent_marks() { persistent_marks_ = true; }
 
 }  // namespace lgfi

@@ -48,6 +48,13 @@ class RoutingHeader {
   /// Pops the current node (PCS backtrack).  Pre: !at_source().
   void backtrack();
 
+  /// Erases the used mark for `d` at the current node.  The wormhole
+  /// switching layer's congestion-escape backtrack (DESIGN.md §10) un-does a
+  /// forward without consuming the direction — the channel is healthy, just
+  /// momentarily VC-starved, and must stay retryable; only the step budget
+  /// bounds the retries.
+  void unmark(Direction d);
+
   // --- accounting (not part of the on-wire header; experiment bookkeeping)
   [[nodiscard]] int forward_steps() const { return forward_steps_; }
   [[nodiscard]] int backtrack_steps() const { return backtrack_steps_; }

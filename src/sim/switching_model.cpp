@@ -1,0 +1,210 @@
+#include "src/sim/switching_model.h"
+
+#include <algorithm>
+
+#include "src/sim/link_arbiter.h"
+#include "src/sim/wormhole_switching.h"
+
+namespace lgfi {
+
+// ---------------------------------------------------------------------------
+// Registry.
+// ---------------------------------------------------------------------------
+
+SwitchingModelRegistry& SwitchingModelRegistry::instance() {
+  static SwitchingModelRegistry registry;
+  return registry;
+}
+
+void SwitchingModelRegistry::add(const std::string& name, SwitchingModelFactory factory) {
+  for (const auto& [existing, unused] : registrations_)
+    if (existing == name)
+      throw ConfigError("switching model '" + name + "' registered twice");
+  registrations_.emplace_back(name, std::move(factory));
+}
+
+bool SwitchingModelRegistry::contains(const std::string& name) const {
+  for (const auto& [existing, unused] : registrations_)
+    if (existing == name) return true;
+  return false;
+}
+
+std::vector<std::string> SwitchingModelRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(registrations_.size());
+  for (const auto& [name, unused] : registrations_) out.push_back(name);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+const SwitchingModelFactory& SwitchingModelRegistry::require(const std::string& name) const {
+  for (const auto& [existing, factory] : registrations_)
+    if (existing == name) return factory;
+  std::string known;
+  for (const auto& n : names()) known += (known.empty() ? "" : ", ") + n;
+  throw ConfigError("unknown switching model '" + name + "' (want " + known + ")");
+}
+
+std::unique_ptr<SwitchingModel> SwitchingModelRegistry::make(
+    const std::string& name, const MeshTopology& mesh, const SwitchingOptions& options) const {
+  return require(name)(mesh, options);
+}
+
+SwitchingModelRegistrar::SwitchingModelRegistrar(const std::string& name,
+                                                 SwitchingModelFactory factory) {
+  SwitchingModelRegistry::instance().add(name, std::move(factory));
+}
+
+std::unique_ptr<SwitchingModel> make_switching_model(const std::string& name,
+                                                     const MeshTopology& mesh,
+                                                     const SwitchingOptions& options) {
+  return SwitchingModelRegistry::instance().make(name, mesh, options);
+}
+
+// ---------------------------------------------------------------------------
+// The ideal model: single-flit packets, one hop per step — the historical
+// advance phase, kept byte-identical in both arbitration regimes.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+class IdealSwitching final : public SwitchingModel {
+ public:
+  IdealSwitching(const MeshTopology& mesh, const SwitchingOptions& options)
+      : arbitration_(options.link_arbitration) {
+    if (arbitration_) fifo_.resize(static_cast<size_t>(mesh.node_count()));
+  }
+
+  [[nodiscard]] std::string name() const override { return "ideal"; }
+  [[nodiscard]] bool arbitrated() const override { return arbitration_; }
+
+  void add_packet(int id, NodeId source) override {
+    if (arbitration_) {
+      fifo_[static_cast<size_t>(source)].push_back(id);
+    } else {
+      order_.push_back(id);
+    }
+  }
+
+  void advance_step(SwitchingHost& host, LinkArbiter* arbiter) override {
+    if (arbitration_) {
+      advance_arbitrated(host, *arbiter);
+    } else {
+      advance_contention_free(host);
+    }
+  }
+
+ private:
+  void advance_contention_free(SwitchingHost& host) {
+    // The historical Figure 7 loop: every packet advances unconditionally,
+    // one hop per step, in launch order.
+    size_t keep = 0;
+    for (size_t i = 0; i < order_.size(); ++i) {
+      const int id = order_[i];
+      const SwitchDecision d = host.decide(id);
+      bool finished = false;
+      switch (d.action) {
+        case SwitchAction::kDeliver:
+          host.finish(id, PacketOutcome::kDelivered);
+          finished = true;
+          break;
+        case SwitchAction::kUnreachable:
+          host.finish(id, PacketOutcome::kUnreachable);
+          finished = true;
+          break;
+        case SwitchAction::kForward:
+        case SwitchAction::kBacktrack:
+          finished = host.commit_move(id, d).finished;
+          break;
+      }
+      if (!finished) order_[keep++] = id;
+    }
+    order_.resize(keep);
+  }
+
+  void advance_arbitrated(SwitchingHost& host, LinkArbiter& arbiter) {
+    // Decision sub-phase: every in-flight packet decides at its current
+    // node, in per-node FIFO service order (nodes ascending, arrivals in
+    // order), and moves become channel requests.  Decisions are pure w.r.t.
+    // the header (marking happens on the granted traversal), so a stalled
+    // packet simply re-decides next step under the then-current information.
+    struct Pending {
+      int id;
+      SwitchDecision decision;
+      int ticket;
+      NodeId node;
+    };
+    arbiter.begin_step();
+    std::vector<Pending> pending;
+    std::vector<std::pair<NodeId, int>> finished_in_place;
+    const NodeId nodes = static_cast<NodeId>(fifo_.size());
+    for (NodeId node = 0; node < nodes; ++node) {
+      for (const int id : fifo_[static_cast<size_t>(node)]) {
+        const SwitchDecision d = host.decide(id);
+        switch (d.action) {
+          case SwitchAction::kDeliver:
+            host.finish(id, PacketOutcome::kDelivered);
+            finished_in_place.emplace_back(node, id);
+            break;
+          case SwitchAction::kUnreachable:
+            host.finish(id, PacketOutcome::kUnreachable);
+            finished_in_place.emplace_back(node, id);
+            break;
+          case SwitchAction::kForward:
+            pending.push_back({id, d, arbiter.request(node, d.direction), node});
+            break;
+          case SwitchAction::kBacktrack:
+            // Backtracking traverses the channel back to the previous node —
+            // it contends like any other traversal.
+            pending.push_back({id, d, arbiter.request(node, d.back), node});
+            break;
+        }
+      }
+    }
+    for (const auto& [node, id] : finished_in_place) remove_from_fifo(node, id);
+
+    arbiter.arbitrate();
+
+    // Traversal sub-phase: winners move one hop; losers stall where they are.
+    for (const Pending& p : pending) {
+      if (!arbiter.granted(p.ticket)) {
+        host.count_stall(p.id);
+        continue;
+      }
+      const MoveResult r = host.commit_move(p.id, p.decision);
+      remove_from_fifo(p.node, p.id);
+      if (!r.finished) fifo_[static_cast<size_t>(r.node)].push_back(p.id);
+    }
+  }
+
+  void remove_from_fifo(NodeId node, int id) {
+    auto& q = fifo_[static_cast<size_t>(node)];
+    q.erase(std::find(q.begin(), q.end(), id));
+  }
+
+  bool arbitration_;
+  /// Contention-free: active packet ids in launch order.
+  std::vector<int> order_;
+  /// Arbitrated: per-node FIFO of resident active packet ids — the service
+  /// order of the advance phase, hence the submission order the arbiter's
+  /// round-robin rotates over.
+  std::vector<std::vector<int>> fifo_;
+};
+
+// Both registrations live here (not next to each implementation): this
+// translation unit is always linked — make_switching_model is referenced by
+// DynamicSimulation — so the static-library linker cannot dead-strip the
+// registrars the way it would an otherwise-unreferenced object file.
+const SwitchingModelRegistrar ideal_registrar(  // NOLINT(cert-err58-cpp)
+    "ideal", [](const MeshTopology& mesh, const SwitchingOptions& options) {
+      return std::make_unique<IdealSwitching>(mesh, options);
+    });
+
+const SwitchingModelRegistrar wormhole_registrar(  // NOLINT(cert-err58-cpp)
+    "wormhole", [](const MeshTopology& mesh, const SwitchingOptions& options) {
+      return std::make_unique<WormholeSwitching>(mesh, options);
+    });
+
+}  // namespace
+
+}  // namespace lgfi

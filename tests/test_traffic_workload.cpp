@@ -167,11 +167,12 @@ TEST(TrafficRunner, UnknownPatternRejectedEagerly) {
   EXPECT_THROW(ExperimentRunner{cfg}, ConfigError);
 }
 
-TEST(TrafficRunner, TransposeOnMixedRadixFailsLoudly) {
+TEST(TrafficRunner, TransposeUniformRadixRunsEndToEnd) {
+  // The config surface only builds uniform-radix meshes, so transpose always
+  // works here; the mixed-radix rejection is covered at the pattern level
+  // (test_traffic_pattern.cpp).  This asserts the happy path end-to-end.
   Config cfg = experiment_config();
   cfg.parse_string("traffic=transpose mesh_dims=2 radix=8 measure_steps=20");
-  // radix is uniform here, so transpose works; the mixed-radix rejection is
-  // covered at the pattern level.  This asserts the happy path end-to-end.
   const auto res = ExperimentRunner(cfg).run();
   EXPECT_GT(res.metrics.mean("throughput"), 0.0);
 }
