@@ -25,6 +25,7 @@
 #include <iostream>
 #include <vector>
 
+#include "src/core/component_catalog.h"
 #include "src/core/experiment_runner.h"
 #include "src/sim/table_printer.h"
 
@@ -45,6 +46,10 @@ int main(int argc, char** argv) {
   try {
     for (int i = 1; i < argc; ++i) {
       const std::string arg = argv[i];
+      if (arg == "--list") {
+        print_component_catalog(std::cout);
+        return 0;
+      }
       if (arg.rfind("rates=", 0) == 0) {
         rates = parse_double_list(arg.substr(6), "rates=");
         continue;

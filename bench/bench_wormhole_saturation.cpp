@@ -42,6 +42,7 @@
 #include <tuple>
 #include <vector>
 
+#include "src/core/component_catalog.h"
 #include "src/core/experiment_runner.h"
 #include "src/sim/table_printer.h"
 
@@ -79,6 +80,10 @@ int main(int argc, char** argv) {
   try {
     for (int i = 1; i < argc; ++i) {
       const std::string arg = argv[i];
+      if (arg == "--list") {
+        print_component_catalog(std::cout);
+        return 0;
+      }
       if (arg.rfind("rates=", 0) == 0) {
         rates = parse_double_list(arg.substr(6), "rates=");
         continue;

@@ -6,6 +6,7 @@
 //   ./sweep mesh_dims=4 radix=6 router=fault_info replications=200
 //   ./sweep mode=dynamic faults=10 batches=2 router=global_table report=json
 //   ./sweep --help          # prints the config grammar
+//   ./sweep --list          # prints the component catalog (all registries)
 //
 // Without arguments, it demonstrates the library's dimension-generality by
 // sweeping the same config from 2-D to 6-D meshes — the paper's model,
@@ -14,6 +15,7 @@
 
 #include <iostream>
 
+#include "src/core/component_catalog.h"
 #include "src/core/experiment_runner.h"
 #include "src/core/node_process.h"
 #include "src/core/scenario.h"
@@ -28,10 +30,14 @@ int run_cli(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--help" || arg == "-h" || arg == "help") {
-      std::cout << "usage: sweep [key=value ...]\n\nconfig keys:\n" << cfg.help();
+      std::cout << "usage: sweep [key=value ...] [--list]\n\nconfig keys:\n" << cfg.help();
       std::cout << "\nregistered routers:";
       for (const auto& name : RouterRegistry::instance().names()) std::cout << " " << name;
-      std::cout << "\n";
+      std::cout << "\n(--list prints the full component catalog)\n";
+      return 0;
+    }
+    if (arg == "--list") {
+      print_component_catalog(std::cout);
       return 0;
     }
   }

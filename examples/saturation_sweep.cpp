@@ -7,6 +7,7 @@
 //   ./saturation_sweep mesh_dims=3 radix=6 faults=8 rates=0.02,0.05,0.1,0.3
 //   ./saturation_sweep switching=wormhole rates=0.005,0.01,0.02   # flit-level
 //   ./saturation_sweep --help
+//   ./saturation_sweep --list     # the full component catalog
 //
 // Every key=value token overrides the experiment config; the special token
 // rates=a,b,c picks the injection rates to sweep.  Results are byte-identical
@@ -16,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "src/core/component_catalog.h"
 #include "src/core/experiment_runner.h"
 #include "src/sim/table_printer.h"
 #include "src/sim/traffic_pattern.h"
@@ -38,10 +40,14 @@ int main(int argc, char** argv) {
     for (int i = 1; i < argc; ++i) {
       const std::string arg = argv[i];
       if (arg == "--help" || arg == "-h") {
-        std::cout << "usage: saturation_sweep [key=value ...] [rates=a,b,c]\n\n"
+        std::cout << "usage: saturation_sweep [key=value ...] [rates=a,b,c] [--list]\n\n"
                      "traffic patterns:";
         for (const auto& n : TrafficPatternRegistry::instance().names()) std::cout << " " << n;
         std::cout << "\n\nconfig keys:\n" << cfg.help();
+        return 0;
+      }
+      if (arg == "--list") {
+        print_component_catalog(std::cout);
         return 0;
       }
       if (arg.rfind("rates=", 0) == 0) {

@@ -6,6 +6,7 @@
 //   ./wormhole_vs_ideal faults=8 fault_model=clustered injection_rate=0.02
 //   ./wormhole_vs_ideal flits_per_packet=8 num_vcs=4 vc_buffer_depth=2
 //   ./wormhole_vs_ideal --help
+//   ./wormhole_vs_ideal --list    # the full component catalog
 //
 // Every key=value token overrides the experiment config; the `switching` key
 // itself is the compared dimension and is overwritten.  Results are
@@ -15,6 +16,7 @@
 #include <iostream>
 #include <string>
 
+#include "src/core/component_catalog.h"
 #include "src/core/experiment_runner.h"
 #include "src/sim/switching_model.h"
 #include "src/sim/table_printer.h"
@@ -38,9 +40,13 @@ int main(int argc, char** argv) {
     for (int i = 1; i < argc; ++i) {
       const std::string arg = argv[i];
       if (arg == "--help" || arg == "-h") {
-        std::cout << "usage: wormhole_vs_ideal [key=value ...]\n\nswitching models:";
+        std::cout << "usage: wormhole_vs_ideal [key=value ...] [--list]\n\nswitching models:";
         for (const auto& n : SwitchingModelRegistry::instance().names()) std::cout << " " << n;
         std::cout << "\n\nconfig keys:\n" << cfg.help();
+        return 0;
+      }
+      if (arg == "--list") {
+        print_component_catalog(std::cout);
         return 0;
       }
       cfg.parse_token(arg);

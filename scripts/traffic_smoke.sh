@@ -15,6 +15,21 @@ smoke=(radix=6 warmup_steps=30 measure_steps=200 replications=4)
 # far enough up the curve that the saturation self-check has a knee to find.
 wormhole_rates=rates=0.01,0.02,0.05,0.08
 
+# Introspection smoke: --list must print the full component catalog (every
+# registry row), so the describe surface cannot rot unnoticed.  Asserts one
+# known name per registry, anchored to the row position ("  <name>  ...")
+# so a name merely mentioned in another row's help text cannot mask a
+# dropped registration.
+echo "== component catalog smoke (--list) =="
+catalog="$("${build_dir}/bench_traffic_saturation" --list)"
+echo "${catalog}"
+for component in fault_info uniform wormhole clustered json; do
+  if ! grep -Eq "^  ${component}  +" <<< "${catalog}"; then
+    echo "FAIL: --list catalog is missing the '${component}' row" >&2
+    exit 1
+  fi
+done
+
 echo "== traffic smoke: ideal switching (bench_traffic_saturation) =="
 "${build_dir}/bench_traffic_saturation" "${smoke[@]}"
 

@@ -1,0 +1,53 @@
+#include "src/core/component_catalog.h"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+
+#include "src/core/experiment_runner.h"
+#include "src/routing/router_registry.h"
+#include "src/sim/fault_schedule.h"
+#include "src/sim/switching_model.h"
+#include "src/sim/traffic_pattern.h"
+
+namespace lgfi {
+
+std::vector<ComponentCatalogSection> component_catalog() {
+  std::vector<ComponentCatalogSection> sections;
+  sections.push_back({"router", "router", "", RouterRegistry::instance().describe()});
+  sections.push_back({"traffic pattern", "traffic", "traffic=none disables the engine",
+                      TrafficPatternRegistry::instance().describe()});
+  sections.push_back(
+      {"switching model", "switching", "", SwitchingModelRegistry::instance().describe()});
+  sections.push_back({"fault model", "fault_model", "", fault_model_registry().describe()});
+  sections.push_back({"reporter", "report", "", reporter_registry().describe()});
+  return sections;
+}
+
+std::string describe_components() {
+  std::ostringstream os;
+  bool first_section = true;
+  for (const auto& section : component_catalog()) {
+    if (!first_section) os << "\n";
+    first_section = false;
+    os << section.kind << "s (" << section.config_key << "=)";
+    if (!section.note.empty()) os << "  [" << section.note << "]";
+    os << "\n";
+    size_t name_w = 0;
+    for (const auto& c : section.components) name_w = std::max(name_w, c.name.size());
+    for (const auto& c : section.components) {
+      os << "  " << c.name << std::string(name_w - c.name.size() + 2, ' ') << c.help;
+      if (!c.config_keys.empty()) {
+        os << "  [keys:";
+        for (const auto& key : c.config_keys) os << " " << key;
+        os << "]";
+      }
+      os << "\n";
+    }
+  }
+  return os.str();
+}
+
+void print_component_catalog(std::ostream& os) { os << describe_components(); }
+
+}  // namespace lgfi

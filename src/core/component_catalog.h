@@ -1,0 +1,40 @@
+#pragma once
+// The component-introspection surface: one call that gathers every
+// pluggable axis — routers, traffic patterns, switching models, fault
+// models, reporters — from its NamedRegistry and renders the catalog the
+// CLIs print under --list.  Because the rows come straight from the
+// registrations (name, help line, consumed config keys), the catalog can
+// never drift from what the `router=` / `traffic=` / `switching=` /
+// `fault_model=` / `report=` keys actually accept.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "src/core/named_registry.h"
+
+namespace lgfi {
+
+/// One pluggable axis: the config key that selects from it plus its rows.
+struct ComponentCatalogSection {
+  std::string kind;        ///< "router", "traffic pattern", ...
+  std::string config_key;  ///< the experiment-config key ("router", ...)
+  std::string note;        ///< section-level remark ("" when none)
+  std::vector<ComponentInfo> components;  ///< sorted by name
+};
+
+/// Every registered component, grouped by axis (routers first, then traffic
+/// patterns, switching models, fault models, reporters).
+std::vector<ComponentCatalogSection> component_catalog();
+
+/// The catalog rendered as aligned text — the --list output:
+///
+///   router (router=)
+///     dimension_order  e-cube baseline; ...         [ecube_strict]
+///     ...
+std::string describe_components();
+
+/// describe_components() streamed to `os` (the CLI convenience).
+void print_component_catalog(std::ostream& os);
+
+}  // namespace lgfi

@@ -19,36 +19,6 @@ namespace lgfi {
 
 namespace {
 
-/// "3:5,5:6,3:4" -> Box([3,5,3], [5,6,4]); one lo:hi range per dimension.
-Box parse_box(const std::string& spec) {
-  std::vector<std::pair<int, int>> ranges;
-  std::istringstream is(spec);
-  std::string range;
-  while (std::getline(is, range, ',')) {
-    const size_t colon = range.find(':');
-    try {
-      if (colon == std::string::npos) {
-        const int v = std::stoi(range);
-        ranges.emplace_back(v, v);
-      } else {
-        ranges.emplace_back(std::stoi(range.substr(0, colon)),
-                            std::stoi(range.substr(colon + 1)));
-      }
-    } catch (const std::exception&) {
-      throw ConfigError("bad fault_box '" + spec + "' (want lo:hi,lo:hi,... per dimension)");
-    }
-  }
-  if (ranges.empty() || ranges.size() > static_cast<size_t>(kMaxDims))
-    throw ConfigError("bad fault_box '" + spec + "' (want 1.." + std::to_string(kMaxDims) +
-                      " dimensions)");
-  Coord lo(static_cast<int>(ranges.size())), hi(static_cast<int>(ranges.size()));
-  for (size_t i = 0; i < ranges.size(); ++i) {
-    lo[static_cast<int>(i)] = ranges[i].first;
-    hi[static_cast<int>(i)] = ranges[i].second;
-  }
-  return Box(lo, hi);
-}
-
 std::string json_escape(const std::string& s) {
   std::string out;
   for (const char c : s) {
@@ -197,11 +167,25 @@ void JsonReporter::report(const ExperimentResult& result, std::ostream& os) cons
   os << "}}\n";
 }
 
+NamedRegistry<ReporterFactory>& reporter_registry() {
+  static NamedRegistry<ReporterFactory> registry = [] {
+    NamedRegistry<ReporterFactory> reg("reporter");
+    reg.add(
+        "table", [] { return std::unique_ptr<Reporter>(std::make_unique<TableReporter>()); },
+        {"aligned terminal table: metric, count, mean, stddev, min, max", {}});
+    reg.add(
+        "csv", [] { return std::unique_ptr<Reporter>(std::make_unique<CsvReporter>()); },
+        {"RFC-4180-ish CSV with a header row; first column is the config", {}});
+    reg.add(
+        "json", [] { return std::unique_ptr<Reporter>(std::make_unique<JsonReporter>()); },
+        {"one JSON object: config, replications, metrics (round-trip doubles)", {}});
+    return reg;
+  }();
+  return registry;
+}
+
 std::unique_ptr<Reporter> make_reporter(const std::string& name) {
-  if (name == "table") return std::make_unique<TableReporter>();
-  if (name == "csv") return std::make_unique<CsvReporter>();
-  if (name == "json") return std::make_unique<JsonReporter>();
-  throw ConfigError("unknown reporter '" + name + "' (want table, csv, json)");
+  return reporter_registry().require(name)();
 }
 
 // ---------------------------------------------------------------------------
@@ -209,7 +193,11 @@ std::unique_ptr<Reporter> make_reporter(const std::string& name) {
 // ---------------------------------------------------------------------------
 
 ExperimentRunner::ExperimentRunner(Config config) : config_(std::move(config)) {
-  // Fail fast on name typos instead of inside a worker thread.
+  // Fail fast on name typos instead of inside a worker thread: every
+  // pluggable axis — router, reporter, traffic pattern, switching model,
+  // fault model — is validated against its registry up front, so an unknown
+  // name reports the registered names plus a did-you-mean suggestion before
+  // any replication runs.
   (void)RouterRegistry::instance().default_info_mode(config_.get_str("router"));
   (void)make_reporter(config_.get_str("report"));
   if (config_.get_str("info_mode") != "auto") (void)parse_info_mode(config_.get_str("info_mode"));
@@ -218,9 +206,12 @@ ExperimentRunner::ExperimentRunner(Config config) : config_(std::move(config)) {
     throw ConfigError("unknown mode '" + mode + "' (want static or dynamic)");
   const std::string& traffic = config_.get_str("traffic");
   if (traffic != "none" && !TrafficPatternRegistry::instance().contains(traffic)) {
-    std::string known = "none";
-    for (const auto& n : TrafficPatternRegistry::instance().names()) known += ", " + n;
-    throw ConfigError("unknown traffic pattern '" + traffic + "' (want " + known + ")");
+    // "none" is the disable sentinel, not a registered pattern; splice it
+    // into the candidate list so the error (and suggestion) still offer it.
+    auto known = TrafficPatternRegistry::instance().names();
+    known.push_back("none");
+    std::sort(known.begin(), known.end());
+    throw ConfigError(unknown_name_message("traffic pattern", traffic, known));
   }
   const std::string& switching = config_.get_str("switching");
   (void)SwitchingModelRegistry::instance().require(switching);
@@ -228,6 +219,14 @@ ExperimentRunner::ExperimentRunner(Config config) : config_(std::move(config)) {
     throw ConfigError("switching=" + switching +
                       " is flit-level and always arbitrates its switch; "
                       "arbitration=false only makes sense with switching=ideal");
+  // Dependent keys fail eagerly too: router-level options via a throwaway
+  // construction, and the box model's extents spec via a throwaway parse
+  // (the mesh-dimension cross-check stays at build time — scenarios may
+  // override the mesh).
+  (void)make_router();
+  (void)fault_model_registry().require(config_.get_str("fault_model"));
+  if (config_.get_str("fault_model") == "box")
+    (void)parse_box_spec(config_.get_str("fault_box"));
 }
 
 std::unique_ptr<Router> ExperimentRunner::make_router() const {
@@ -235,24 +234,6 @@ std::unique_ptr<Router> ExperimentRunner::make_router() const {
 }
 
 InfoMode ExperimentRunner::info_mode() const { return resolve_info_mode(config_); }
-
-namespace {
-std::vector<Coord> placement_for(const Config& cfg, const MeshTopology& mesh, Rng& rng) {
-  const std::string& model = cfg.get_str("fault_model");
-  const int count = static_cast<int>(cfg.get_int("faults"));
-  if (model == "random") return random_fault_placement(mesh, count, rng);
-  if (model == "clustered") return clustered_fault_placement(mesh, count, rng);
-  if (model == "box") {
-    const Box box = parse_box(cfg.get_str("fault_box"));
-    if (box.lo().size() != mesh.dims())
-      throw ConfigError("fault_box '" + cfg.get_str("fault_box") + "' has " +
-                        std::to_string(box.lo().size()) + " dimensions but the mesh has " +
-                        std::to_string(mesh.dims()));
-    return box_fault_placement(mesh, box);
-  }
-  throw ConfigError("unknown fault_model '" + model + "' (want random, clustered, box)");
-}
-}  // namespace
 
 ExperimentRunner::StaticEnv ExperimentRunner::build_static(Rng& rng) const {
   StaticEnv env;
@@ -268,7 +249,7 @@ ExperimentRunner::StaticEnv ExperimentRunner::build_static(Rng& rng) const {
     const MeshTopology mesh(static_cast<int>(config_.get_int("mesh_dims")),
                             static_cast<int>(config_.get_int("radix")));
     env.net = std::make_unique<Network>(mesh);
-    env.faults = placement_for(config_, env.net->mesh(), rng);
+    env.faults = place_faults(env.net->mesh(), config_, rng);
   } else {
     throw ConfigError("unknown scenario '" + scenario +
                       "' (want random, figure1, stacked_blocks)");
@@ -309,7 +290,7 @@ ExperimentRunner::DynamicEnv ExperimentRunner::build_dynamic(Rng& rng, bool run_
                 ? random_fault_placement(*env.mesh,
                                          static_cast<int>(config_.get_int("faults")), rng,
                                          {}, placed)
-                : placement_for(config_, *env.mesh, rng);
+                : place_faults(*env.mesh, config_, rng);
         for (const auto& c : batch) {
           if (std::find(placed.begin(), placed.end(), c) != placed.end()) continue;
           env.schedule.add_fail(start + b * interval, c);

@@ -30,6 +30,7 @@
 #include "src/core/config.h"
 #include "src/core/dynamic_simulation.h"
 #include "src/core/experiment.h"
+#include "src/core/named_registry.h"
 #include "src/core/network.h"
 #include "src/sim/fault_schedule.h"
 
@@ -75,7 +76,15 @@ class JsonReporter final : public Reporter {
   [[nodiscard]] std::string name() const override { return "json"; }
 };
 
-/// table / csv / json; throws ConfigError on anything else.
+using ReporterFactory = std::function<std::unique_ptr<Reporter>()>;
+
+/// The process-wide reporter registry (the `report=` axis) — the same
+/// NamedRegistry scheme as every other pluggable component.  Built-ins:
+/// table, csv, json.
+NamedRegistry<ReporterFactory>& reporter_registry();
+
+/// table / csv / json; throws ConfigError with the registered names (and a
+/// did-you-mean suggestion) on anything else.
 std::unique_ptr<Reporter> make_reporter(const std::string& name);
 
 class ExperimentRunner {

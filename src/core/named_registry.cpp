@@ -1,0 +1,53 @@
+#include "src/core/named_registry.h"
+
+#include <limits>
+
+namespace lgfi {
+
+namespace {
+
+/// Classic two-row Levenshtein distance.
+size_t edit_distance(const std::string& a, const std::string& b) {
+  std::vector<size_t> prev(b.size() + 1), cur(b.size() + 1);
+  for (size_t j = 0; j <= b.size(); ++j) prev[j] = j;
+  for (size_t i = 1; i <= a.size(); ++i) {
+    cur[0] = i;
+    for (size_t j = 1; j <= b.size(); ++j) {
+      const size_t subst = prev[j - 1] + (a[i - 1] == b[j - 1] ? 0 : 1);
+      cur[j] = std::min({prev[j] + 1, cur[j - 1] + 1, subst});
+    }
+    std::swap(prev, cur);
+  }
+  return prev[b.size()];
+}
+
+}  // namespace
+
+std::string closest_name(const std::string& name, const std::vector<std::string>& names) {
+  std::string best;
+  size_t best_distance = std::numeric_limits<size_t>::max();
+  for (const auto& candidate : names) {
+    const size_t d = edit_distance(name, candidate);
+    if (d < best_distance || (d == best_distance && candidate < best)) {
+      best_distance = d;
+      best = candidate;
+    }
+  }
+  // A plausible typo mangles a minority of the characters; beyond that the
+  // suggestion would be noise ("warp_drive" is not a misspelled router).
+  const size_t threshold = std::max<size_t>(2, name.size() / 3);
+  return best_distance <= threshold ? best : std::string{};
+}
+
+std::string unknown_name_message(const std::string& kind, const std::string& name,
+                                 const std::vector<std::string>& names) {
+  std::string known;
+  for (const auto& n : names) known += (known.empty() ? "" : ", ") + n;
+  std::string msg = "unknown " + kind + " '" + name + "' (registered: " +
+                    (known.empty() ? "nothing" : known) + ")";
+  const std::string suggestion = closest_name(name, names);
+  if (!suggestion.empty()) msg += "; did you mean '" + suggestion + "'?";
+  return msg;
+}
+
+}  // namespace lgfi

@@ -1,7 +1,5 @@
 #include "src/routing/router_registry.h"
 
-#include <algorithm>
-
 #include "src/routing/dimension_order_router.h"
 #include "src/routing/fault_info_router.h"
 #include "src/routing/global_table_router.h"
@@ -34,47 +32,29 @@ RouterRegistry& RouterRegistry::instance() {
   return registry;
 }
 
-void RouterRegistry::add(const std::string& name, InfoMode default_mode,
-                         RouterFactory factory) {
-  for (const auto& [existing, _] : registrations_)
-    if (existing == name) throw ConfigError("router '" + name + "' registered twice");
-  registrations_.emplace_back(name, Registration{default_mode, std::move(factory)});
+void RouterRegistry::add(const std::string& name, InfoMode default_mode, RouterFactory factory,
+                         ComponentMeta meta) {
+  registry_.add(name, Registration{default_mode, std::move(factory)}, std::move(meta));
 }
 
 bool RouterRegistry::contains(const std::string& name) const {
-  for (const auto& [existing, _] : registrations_)
-    if (existing == name) return true;
-  return false;
+  return registry_.contains(name);
 }
 
-std::vector<std::string> RouterRegistry::names() const {
-  std::vector<std::string> out;
-  out.reserve(registrations_.size());
-  for (const auto& [name, _] : registrations_) out.push_back(name);
-  std::sort(out.begin(), out.end());
-  return out;
-}
-
-const RouterRegistry::Registration& RouterRegistry::require(const std::string& name) const {
-  for (const auto& [existing, reg] : registrations_)
-    if (existing == name) return reg;
-  std::string known;
-  for (const auto& n : names()) known += (known.empty() ? "" : ", ") + n;
-  throw ConfigError("unknown router '" + name + "' (registered: " + known + ")");
-}
+std::vector<std::string> RouterRegistry::names() const { return registry_.names(); }
 
 std::unique_ptr<Router> RouterRegistry::make(const std::string& name,
                                              const Config& config) const {
-  return require(name).factory(config);
+  return registry_.require(name).factory(config);
 }
 
 InfoMode RouterRegistry::default_info_mode(const std::string& name) const {
-  return require(name).default_mode;
+  return registry_.require(name).default_mode;
 }
 
 RouterRegistrar::RouterRegistrar(const std::string& name, InfoMode default_mode,
-                                 RouterFactory factory) {
-  RouterRegistry::instance().add(name, default_mode, std::move(factory));
+                                 RouterFactory factory, ComponentMeta meta) {
+  RouterRegistry::instance().add(name, default_mode, std::move(factory), std::move(meta));
 }
 
 std::unique_ptr<Router> make_router(const std::string& name) {
@@ -112,30 +92,38 @@ InfoMode resolve_info_mode(const Config& config) {
 namespace {
 
 const RouterRegistrar kDimensionOrder(
-    "dimension_order", InfoMode::kNone, [](const Config& cfg) -> std::unique_ptr<Router> {
+    "dimension_order", InfoMode::kNone,
+    [](const Config& cfg) -> std::unique_ptr<Router> {
       const bool strict =
           cfg.defined("ecube_strict") ? cfg.get_bool("ecube_strict") : true;
       return std::make_unique<DimensionOrderRouter>(strict);
-    });
+    },
+    {"e-cube baseline; consults no fault information", {"ecube_strict"}});
 
 const RouterRegistrar kNoInfo(
-    "no_info", InfoMode::kNone, [](const Config&) -> std::unique_ptr<Router> {
+    "no_info", InfoMode::kNone,
+    [](const Config&) -> std::unique_ptr<Router> {
       return std::make_unique<FaultInfoRouter>(make_no_info_router().options());
-    });
+    },
+    {"backtracking PCS; block information ignored", {}});
 
 const RouterRegistrar kFaultInfo(
-    "fault_info", InfoMode::kLimitedGlobal, [](const Config&) -> std::unique_ptr<Router> {
+    "fault_info", InfoMode::kLimitedGlobal,
+    [](const Config&) -> std::unique_ptr<Router> {
       return std::make_unique<FaultInfoRouter>();
-    });
+    },
+    {"Algorithm 3 over the limited-global placement (the paper)", {}});
 
 const RouterRegistrar kGlobalTable(
     "global_table", InfoMode::kInstantGlobal,
     [](const Config&) -> std::unique_ptr<Router> {
       return std::make_unique<FaultInfoRouter>(make_global_table_router().options());
-    });
+    },
+    {"Algorithm 3 with per-node global tables (baseline)", {}});
 
 const RouterRegistrar kOracle(
-    "oracle", InfoMode::kNone, [](const Config& cfg) -> std::unique_ptr<Router> {
+    "oracle", InfoMode::kNone,
+    [](const Config& cfg) -> std::unique_ptr<Router> {
       OracleAvoid avoid = OracleAvoid::kBlockMembers;
       if (cfg.defined("oracle_avoid")) {
         const std::string& a = cfg.get_str("oracle_avoid");
@@ -146,7 +134,8 @@ const RouterRegistrar kOracle(
                             "' (want faulty_only or block_members)");
       }
       return std::make_unique<OracleRouter>(avoid);
-    });
+    },
+    {"BFS shortest path over live nodes (lower bound)", {"oracle_avoid"}});
 
 }  // namespace
 

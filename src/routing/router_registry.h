@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "src/core/config.h"
+#include "src/core/named_registry.h"
 #include "src/routing/router.h"
 
 namespace lgfi {
@@ -45,32 +46,39 @@ class RouterRegistry {
   static RouterRegistry& instance();
 
   /// Registers a factory under `name`; `default_mode` is the information
-  /// placement the router is designed for.  Duplicate names throw.
-  void add(const std::string& name, InfoMode default_mode, RouterFactory factory);
+  /// placement the router is designed for.  `meta` carries the one-line
+  /// help text and consumed config keys for the --list catalog.  Duplicate
+  /// names throw.
+  void add(const std::string& name, InfoMode default_mode, RouterFactory factory,
+           ComponentMeta meta = {});
 
   [[nodiscard]] bool contains(const std::string& name) const;
   [[nodiscard]] std::vector<std::string> names() const;  ///< sorted
 
-  /// Builds the named router; throws ConfigError with the known names on an
-  /// unknown `name`.  The config is passed to the factory for router-level
-  /// options (e.g. oracle_avoid, ecube_strict).
+  /// Builds the named router; throws ConfigError with the known names (and
+  /// a did-you-mean suggestion) on an unknown `name`.  The config is passed
+  /// to the factory for router-level options (e.g. oracle_avoid,
+  /// ecube_strict).
   [[nodiscard]] std::unique_ptr<Router> make(const std::string& name,
                                              const Config& config) const;
 
   [[nodiscard]] InfoMode default_info_mode(const std::string& name) const;
+
+  /// The catalog rows for every registered router (sorted by name).
+  [[nodiscard]] std::vector<ComponentInfo> describe() const { return registry_.describe(); }
 
  private:
   struct Registration {
     InfoMode default_mode;
     RouterFactory factory;
   };
-  [[nodiscard]] const Registration& require(const std::string& name) const;
-  std::vector<std::pair<std::string, Registration>> registrations_;
+  NamedRegistry<Registration> registry_{"router"};
 };
 
 /// Self-registration helper: `static RouterRegistrar r("name", mode, fn);`
 struct RouterRegistrar {
-  RouterRegistrar(const std::string& name, InfoMode default_mode, RouterFactory factory);
+  RouterRegistrar(const std::string& name, InfoMode default_mode, RouterFactory factory,
+                  ComponentMeta meta = {});
 };
 
 /// Convenience: build by name with router defaults / with options from `config`.

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <set>
+#include <sstream>
 #include <unordered_set>
 
 namespace lgfi {
@@ -127,6 +128,86 @@ std::vector<Coord> box_fault_placement(const MeshTopology& mesh, const Box& box)
     if (!mesh.on_outer_surface(c)) out.push_back(c);
   });
   return out;
+}
+
+Box parse_box_spec(const std::string& spec) {
+  // Each bound must consume its whole token: std::stoi("5x") happily
+  // returns 5, so "5x:6,3:4" used to run silently as "5:6,3:4".
+  const auto parse_bound = [&spec](const std::string& token) {
+    size_t used = 0;
+    int v = 0;
+    try {
+      v = std::stoi(token, &used);
+    } catch (const std::exception&) {
+      used = 0;
+    }
+    if (used == 0 || used != token.size())
+      throw ConfigError("bad fault_box token '" + token + "' in '" + spec +
+                        "' (want lo:hi,lo:hi,... per dimension)");
+    return v;
+  };
+
+  std::vector<std::pair<int, int>> ranges;
+  // getline would silently drop a trailing empty token, so "5:6," would
+  // parse as a 1-D box instead of being rejected.
+  if (!spec.empty() && spec.back() == ',')
+    throw ConfigError("bad fault_box '" + spec + "' (trailing comma)");
+  std::istringstream is(spec);
+  std::string range;
+  while (std::getline(is, range, ',')) {
+    const size_t colon = range.find(':');
+    if (colon == std::string::npos) {
+      const int v = parse_bound(range);
+      ranges.emplace_back(v, v);
+    } else {
+      ranges.emplace_back(parse_bound(range.substr(0, colon)),
+                          parse_bound(range.substr(colon + 1)));
+    }
+  }
+  if (ranges.empty() || ranges.size() > static_cast<size_t>(kMaxDims))
+    throw ConfigError("bad fault_box '" + spec + "' (want 1.." + std::to_string(kMaxDims) +
+                      " dimensions)");
+  Coord lo(static_cast<int>(ranges.size())), hi(static_cast<int>(ranges.size()));
+  for (size_t i = 0; i < ranges.size(); ++i) {
+    lo[static_cast<int>(i)] = ranges[i].first;
+    hi[static_cast<int>(i)] = ranges[i].second;
+  }
+  return Box(lo, hi);
+}
+
+NamedRegistry<FaultModelFactory>& fault_model_registry() {
+  static NamedRegistry<FaultModelFactory> registry = [] {
+    NamedRegistry<FaultModelFactory> reg("fault model");
+    reg.add(
+        "random",
+        [](const MeshTopology& mesh, const Config& cfg, Rng& rng) {
+          return random_fault_placement(mesh, static_cast<int>(cfg.get_int("faults")), rng);
+        },
+        {"independent uniform placement over interior nodes", {"faults"}});
+    reg.add(
+        "clustered",
+        [](const MeshTopology& mesh, const Config& cfg, Rng& rng) {
+          return clustered_fault_placement(mesh, static_cast<int>(cfg.get_int("faults")), rng);
+        },
+        {"compact connected cluster grown from a random interior seed", {"faults"}});
+    reg.add(
+        "box",
+        [](const MeshTopology& mesh, const Config& cfg, Rng&) {
+          const Box box = parse_box_spec(cfg.get_str("fault_box"));
+          if (box.lo().size() != mesh.dims())
+            throw ConfigError("fault_box '" + cfg.get_str("fault_box") + "' has " +
+                              std::to_string(box.lo().size()) +
+                              " dimensions but the mesh has " + std::to_string(mesh.dims()));
+          return box_fault_placement(mesh, box);
+        },
+        {"fails every interior node of the fault_box extents (exact block)", {"fault_box"}});
+    return reg;
+  }();
+  return registry;
+}
+
+std::vector<Coord> place_faults(const MeshTopology& mesh, const Config& config, Rng& rng) {
+  return fault_model_registry().require(config.get_str("fault_model"))(mesh, config, rng);
 }
 
 FaultSchedule periodic_random_schedule(const MeshTopology& mesh, int batches,

@@ -9,8 +9,12 @@
 // benches sweep over: scattered faults, clustered faults (to control block
 // size e_max), and whole-box failures (to plant a block of exact shape).
 
+#include <functional>
+#include <string>
 #include <vector>
 
+#include "src/core/config.h"
+#include "src/core/named_registry.h"
 #include "src/mesh/topology.h"
 #include "src/sim/rng.h"
 
@@ -90,5 +94,26 @@ FaultSchedule periodic_random_schedule(const MeshTopology& mesh, int batches,
                                        long long interval, Rng& rng,
                                        bool recoveries = false,
                                        const std::vector<Coord>& forbidden = {});
+
+/// A fault-placement generator built from config: returns the coordinates
+/// one batch fails.  The config supplies model-level options (`faults`,
+/// `fault_box`); `rng` draws from the replication's private stream.
+using FaultModelFactory =
+    std::function<std::vector<Coord>(const MeshTopology& mesh, const Config& config, Rng& rng)>;
+
+/// The process-wide fault-model registry (the `fault_model=` axis) — the
+/// same NamedRegistry scheme as routers / traffic patterns / switching
+/// models.  Built-ins: random, clustered, box.
+NamedRegistry<FaultModelFactory>& fault_model_registry();
+
+/// Places one batch of faults via the registered `fault_model`; throws
+/// ConfigError with the known models (and a did-you-mean suggestion) on an
+/// unknown name.
+std::vector<Coord> place_faults(const MeshTopology& mesh, const Config& config, Rng& rng);
+
+/// Parses `fault_box` extents "lo:hi,lo:hi,..." (one range per dimension; a
+/// bare "v" means "v:v").  Every bound must be a fully-consumed integer —
+/// "5x:6" is rejected naming the bad token, not silently read as "5:6".
+Box parse_box_spec(const std::string& spec);
 
 }  // namespace lgfi

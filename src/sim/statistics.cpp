@@ -1,9 +1,9 @@
 #include "src/sim/statistics.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 #include <sstream>
+#include <stdexcept>
 
 namespace lgfi {
 
@@ -61,7 +61,11 @@ std::string RunningStats::summary() const {
 }
 
 void IntHistogram::add(long long value) {
-  assert(value >= 0);
+  // The buckets are value-indexed, so a negative value is unrepresentable;
+  // an assert would let NDEBUG builds index with a negative and corrupt the
+  // histogram silently.
+  if (value < 0)
+    throw std::invalid_argument("IntHistogram::add: negative value " + std::to_string(value));
   if (static_cast<size_t>(value) >= counts_.size())
     counts_.resize(static_cast<size_t>(value) + 1, 0);
   ++counts_[static_cast<size_t>(value)];
@@ -98,7 +102,11 @@ double IntHistogram::mean() const {
 }
 
 long long IntHistogram::percentile(double q) const {
-  assert(q > 0.0 && q <= 1.0);
+  // An assert here meant NDEBUG builds silently returned 0 for q <= 0 and
+  // max() for q > 1; the negated comparison also rejects NaN.
+  if (!(q > 0.0 && q <= 1.0))
+    throw std::invalid_argument("IntHistogram::percentile: q must be in (0, 1], got " +
+                                std::to_string(q));
   if (total_ == 0) return 0;
   const double target = q * static_cast<double>(total_);
   long long running = 0;

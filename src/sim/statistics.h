@@ -44,6 +44,8 @@ class RunningStats {
 /// round counts); also provides percentiles.
 class IntHistogram {
  public:
+  /// Throws std::invalid_argument on negative values (the value-indexed
+  /// buckets cannot represent them).
   void add(long long value);
   void merge(const IntHistogram& other);
 
@@ -53,7 +55,8 @@ class IntHistogram {
   [[nodiscard]] long long max() const;
   [[nodiscard]] double mean() const;
 
-  /// Smallest value v such that at least q of the mass is <= v (0 < q <= 1).
+  /// Smallest value v such that at least q of the mass is <= v; throws
+  /// std::invalid_argument unless 0 < q <= 1.
   [[nodiscard]] long long percentile(double q) const;
 
   /// (value, count) pairs in increasing value order.

@@ -16,33 +16,19 @@ SwitchingModelRegistry& SwitchingModelRegistry::instance() {
   return registry;
 }
 
-void SwitchingModelRegistry::add(const std::string& name, SwitchingModelFactory factory) {
-  for (const auto& [existing, unused] : registrations_)
-    if (existing == name)
-      throw ConfigError("switching model '" + name + "' registered twice");
-  registrations_.emplace_back(name, std::move(factory));
+void SwitchingModelRegistry::add(const std::string& name, SwitchingModelFactory factory,
+                                 ComponentMeta meta) {
+  registry_.add(name, std::move(factory), std::move(meta));
 }
 
 bool SwitchingModelRegistry::contains(const std::string& name) const {
-  for (const auto& [existing, unused] : registrations_)
-    if (existing == name) return true;
-  return false;
+  return registry_.contains(name);
 }
 
-std::vector<std::string> SwitchingModelRegistry::names() const {
-  std::vector<std::string> out;
-  out.reserve(registrations_.size());
-  for (const auto& [name, unused] : registrations_) out.push_back(name);
-  std::sort(out.begin(), out.end());
-  return out;
-}
+std::vector<std::string> SwitchingModelRegistry::names() const { return registry_.names(); }
 
 const SwitchingModelFactory& SwitchingModelRegistry::require(const std::string& name) const {
-  for (const auto& [existing, factory] : registrations_)
-    if (existing == name) return factory;
-  std::string known;
-  for (const auto& n : names()) known += (known.empty() ? "" : ", ") + n;
-  throw ConfigError("unknown switching model '" + name + "' (want " + known + ")");
+  return registry_.require(name);
 }
 
 std::unique_ptr<SwitchingModel> SwitchingModelRegistry::make(
@@ -51,8 +37,9 @@ std::unique_ptr<SwitchingModel> SwitchingModelRegistry::make(
 }
 
 SwitchingModelRegistrar::SwitchingModelRegistrar(const std::string& name,
-                                                 SwitchingModelFactory factory) {
-  SwitchingModelRegistry::instance().add(name, std::move(factory));
+                                                 SwitchingModelFactory factory,
+                                                 ComponentMeta meta) {
+  SwitchingModelRegistry::instance().add(name, std::move(factory), std::move(meta));
 }
 
 std::unique_ptr<SwitchingModel> make_switching_model(const std::string& name,
@@ -196,14 +183,19 @@ class IdealSwitching final : public SwitchingModel {
 // DynamicSimulation — so the static-library linker cannot dead-strip the
 // registrars the way it would an otherwise-unreferenced object file.
 const SwitchingModelRegistrar ideal_registrar(  // NOLINT(cert-err58-cpp)
-    "ideal", [](const MeshTopology& mesh, const SwitchingOptions& options) {
+    "ideal",
+    [](const MeshTopology& mesh, const SwitchingOptions& options) {
       return std::make_unique<IdealSwitching>(mesh, options);
-    });
+    },
+    {"single-flit packets, one hop per step (the historical behavior)", {"arbitration"}});
 
 const SwitchingModelRegistrar wormhole_registrar(  // NOLINT(cert-err58-cpp)
-    "wormhole", [](const MeshTopology& mesh, const SwitchingOptions& options) {
+    "wormhole",
+    [](const MeshTopology& mesh, const SwitchingOptions& options) {
       return std::make_unique<WormholeSwitching>(mesh, options);
-    });
+    },
+    {"flit-level switching: virtual channels + credit flow control",
+     {"num_vcs", "vc_buffer_depth", "flits_per_packet"}});
 
 }  // namespace
 

@@ -35,6 +35,7 @@
 #include <vector>
 
 #include "src/core/config.h"
+#include "src/core/named_registry.h"
 #include "src/mesh/direction.h"
 #include "src/mesh/topology.h"
 
@@ -162,14 +163,16 @@ class SwitchingModelRegistry {
   /// SwitchingModelRegistrar instances).
   static SwitchingModelRegistry& instance();
 
-  /// Registers a factory under `name`; duplicate names throw.
-  void add(const std::string& name, SwitchingModelFactory factory);
+  /// Registers a factory under `name`; `meta` carries the one-line help and
+  /// consumed config keys for the --list catalog.  Duplicate names throw.
+  void add(const std::string& name, SwitchingModelFactory factory, ComponentMeta meta = {});
 
   [[nodiscard]] bool contains(const std::string& name) const;
   [[nodiscard]] std::vector<std::string> names() const;  ///< sorted
 
-  /// Builds the named model; throws ConfigError with the known names on an
-  /// unknown `name` and on out-of-range options.
+  /// Builds the named model; throws ConfigError with the known names (and a
+  /// did-you-mean suggestion) on an unknown `name`, and on out-of-range
+  /// options.
   [[nodiscard]] std::unique_ptr<SwitchingModel> make(const std::string& name,
                                                      const MeshTopology& mesh,
                                                      const SwitchingOptions& options) const;
@@ -179,13 +182,17 @@ class SwitchingModelRegistry {
   /// result) to fail fast on typos with the same message make() would give.
   [[nodiscard]] const SwitchingModelFactory& require(const std::string& name) const;
 
+  /// The catalog rows for every registered model (sorted by name).
+  [[nodiscard]] std::vector<ComponentInfo> describe() const { return registry_.describe(); }
+
  private:
-  std::vector<std::pair<std::string, SwitchingModelFactory>> registrations_;
+  NamedRegistry<SwitchingModelFactory> registry_{"switching model"};
 };
 
 /// Self-registration helper: `static SwitchingModelRegistrar r("name", fn);`
 struct SwitchingModelRegistrar {
-  SwitchingModelRegistrar(const std::string& name, SwitchingModelFactory factory);
+  SwitchingModelRegistrar(const std::string& name, SwitchingModelFactory factory,
+                          ComponentMeta meta = {});
 };
 
 /// Convenience wrapper over SwitchingModelRegistry::instance().make().

@@ -16,44 +16,28 @@ TrafficPatternRegistry& TrafficPatternRegistry::instance() {
   return registry;
 }
 
-void TrafficPatternRegistry::add(const std::string& name, TrafficPatternFactory factory) {
-  for (const auto& [existing, _] : registrations_)
-    if (existing == name) throw ConfigError("traffic pattern '" + name + "' registered twice");
-  registrations_.emplace_back(name, std::move(factory));
+void TrafficPatternRegistry::add(const std::string& name, TrafficPatternFactory factory,
+                                 ComponentMeta meta) {
+  registry_.add(name, std::move(factory), std::move(meta));
 }
 
 bool TrafficPatternRegistry::contains(const std::string& name) const {
-  for (const auto& [existing, _] : registrations_)
-    if (existing == name) return true;
-  return false;
+  return registry_.contains(name);
 }
 
-std::vector<std::string> TrafficPatternRegistry::names() const {
-  std::vector<std::string> out;
-  out.reserve(registrations_.size());
-  for (const auto& [name, _] : registrations_) out.push_back(name);
-  std::sort(out.begin(), out.end());
-  return out;
-}
-
-const TrafficPatternFactory& TrafficPatternRegistry::require(const std::string& name) const {
-  for (const auto& [existing, factory] : registrations_)
-    if (existing == name) return factory;
-  std::string known;
-  for (const auto& n : names()) known += (known.empty() ? "" : ", ") + n;
-  throw ConfigError("unknown traffic pattern '" + name + "' (registered: " + known + ")");
-}
+std::vector<std::string> TrafficPatternRegistry::names() const { return registry_.names(); }
 
 std::unique_ptr<TrafficPattern> TrafficPatternRegistry::make(const std::string& name,
                                                              const MeshTopology& mesh,
                                                              const Config& config,
                                                              Rng& rng) const {
-  return require(name)(mesh, config, rng);
+  return registry_.require(name)(mesh, config, rng);
 }
 
 TrafficPatternRegistrar::TrafficPatternRegistrar(const std::string& name,
-                                                 TrafficPatternFactory factory) {
-  TrafficPatternRegistry::instance().add(name, std::move(factory));
+                                                 TrafficPatternFactory factory,
+                                                 ComponentMeta meta) {
+  TrafficPatternRegistry::instance().add(name, std::move(factory), std::move(meta));
 }
 
 std::unique_ptr<TrafficPattern> make_traffic_pattern(const std::string& name,
@@ -170,31 +154,41 @@ class PermutationPattern final : public TrafficPattern {
 };
 
 const TrafficPatternRegistrar kUniform(
-    "uniform", [](const MeshTopology& mesh, const Config&, Rng&) {
+    "uniform",
+    [](const MeshTopology& mesh, const Config&, Rng&) {
       return std::make_unique<UniformPattern>(mesh);
-    });
+    },
+    {"destination uniform over all nodes != source", {}});
 
 const TrafficPatternRegistrar kTranspose(
-    "transpose", [](const MeshTopology& mesh, const Config&, Rng&) {
+    "transpose",
+    [](const MeshTopology& mesh, const Config&, Rng&) {
       return std::make_unique<TransposePattern>(mesh);
-    });
+    },
+    {"coordinates rotated one dimension (2-D: (x,y) -> (y,x))", {}});
 
 const TrafficPatternRegistrar kBitComplement(
-    "bit_complement", [](const MeshTopology& mesh, const Config&, Rng&) {
+    "bit_complement",
+    [](const MeshTopology& mesh, const Config&, Rng&) {
       return std::make_unique<BitComplementPattern>(mesh);
-    });
+    },
+    {"destination mirrored through the mesh center", {}});
 
 const TrafficPatternRegistrar kHotspot(
-    "hotspot", [](const MeshTopology& mesh, const Config& cfg, Rng&) {
+    "hotspot",
+    [](const MeshTopology& mesh, const Config& cfg, Rng&) {
       const double frac =
           cfg.defined("hotspot_frac") ? cfg.get_double("hotspot_frac") : kDefaultHotspotFrac;
       return std::make_unique<HotspotPattern>(mesh, frac);
-    });
+    },
+    {"fraction hotspot_frac targets the center node, rest uniform", {"hotspot_frac"}});
 
 const TrafficPatternRegistrar kPermutation(
-    "permutation", [](const MeshTopology& mesh, const Config&, Rng& rng) {
+    "permutation",
+    [](const MeshTopology& mesh, const Config&, Rng& rng) {
       return std::make_unique<PermutationPattern>(mesh, rng);
-    });
+    },
+    {"one fixed random node permutation per workload", {}});
 
 }  // namespace
 

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "src/core/config.h"
+#include "src/core/named_registry.h"
 #include "src/mesh/topology.h"
 #include "src/sim/rng.h"
 
@@ -56,28 +57,32 @@ class TrafficPatternRegistry {
   /// TrafficPatternRegistrar instances).
   static TrafficPatternRegistry& instance();
 
-  /// Registers a factory under `name`; duplicate names throw.
-  void add(const std::string& name, TrafficPatternFactory factory);
+  /// Registers a factory under `name`; `meta` carries the one-line help and
+  /// consumed config keys for the --list catalog.  Duplicate names throw.
+  void add(const std::string& name, TrafficPatternFactory factory, ComponentMeta meta = {});
 
   [[nodiscard]] bool contains(const std::string& name) const;
   [[nodiscard]] std::vector<std::string> names() const;  ///< sorted
 
-  /// Builds the named pattern; throws ConfigError with the known names on an
-  /// unknown `name`.  The config supplies pattern-level options
-  /// (hotspot_frac, ...); `rng` seeds construction-time randomness (the
-  /// permutation pattern's table).
+  /// Builds the named pattern; throws ConfigError with the known names (and
+  /// a did-you-mean suggestion) on an unknown `name`.  The config supplies
+  /// pattern-level options (hotspot_frac, ...); `rng` seeds
+  /// construction-time randomness (the permutation pattern's table).
   [[nodiscard]] std::unique_ptr<TrafficPattern> make(const std::string& name,
                                                      const MeshTopology& mesh,
                                                      const Config& config, Rng& rng) const;
 
+  /// The catalog rows for every registered pattern (sorted by name).
+  [[nodiscard]] std::vector<ComponentInfo> describe() const { return registry_.describe(); }
+
  private:
-  [[nodiscard]] const TrafficPatternFactory& require(const std::string& name) const;
-  std::vector<std::pair<std::string, TrafficPatternFactory>> registrations_;
+  NamedRegistry<TrafficPatternFactory> registry_{"traffic pattern"};
 };
 
 /// Self-registration helper: `static TrafficPatternRegistrar r("name", fn);`
 struct TrafficPatternRegistrar {
-  TrafficPatternRegistrar(const std::string& name, TrafficPatternFactory factory);
+  TrafficPatternRegistrar(const std::string& name, TrafficPatternFactory factory,
+                          ComponentMeta meta = {});
 };
 
 /// Convenience wrapper over TrafficPatternRegistry::instance().make().

@@ -105,6 +105,56 @@ TEST(ExperimentRunner, RejectsBadConfigurationEagerly) {
   EXPECT_THROW(ExperimentRunner(bad_box).build_static(rng), ConfigError);
 }
 
+TEST(ExperimentRunner, FaultBoxWithTrailingGarbageRejectedNamingTheToken) {
+  // std::stoi("5x") returns 5, so "5x:6,3:4" used to silently run as
+  // "5:6,3:4"; every bound must now consume its whole token.
+  Config cfg = experiment_config();
+  cfg.parse_string("mesh_dims=2 radix=12 fault_model=box fault_box=5x:6,3:4");
+  try {
+    ExperimentRunner runner(cfg);
+    FAIL() << "partially-numeric fault_box bound must throw, not truncate";
+  } catch (const ConfigError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("'5x'"), std::string::npos) << "names the bad token: " << msg;
+    EXPECT_NE(msg.find("5x:6,3:4"), std::string::npos) << "names the full spec: " << msg;
+  }
+  for (const char* bad : {"x5:6,3:4", "5:6x,3:4", "5:,3:4", ":6,3:4", "5:6,", "nope"}) {
+    Config c = experiment_config();
+    c.set_str("fault_model", "box");
+    c.set_str("fault_box", bad);
+    EXPECT_THROW(ExperimentRunner{c}, ConfigError) << bad;
+  }
+  // The valid grammar still parses: full ranges and bare "v" (= v:v).
+  EXPECT_EQ(parse_box_spec("3:5,5:6,3:4"), Box(Coord{3, 5, 3}, Coord{5, 6, 4}));
+  EXPECT_EQ(parse_box_spec("4,2:3"), Box(Coord{4, 2}, Coord{4, 3}));
+  EXPECT_EQ(parse_box_spec("-2:-1"), Box(Coord{-2}, Coord{-1}));
+}
+
+TEST(ExperimentRunner, UnknownComponentNamesFailEagerlyWithSuggestion) {
+  // Every pluggable axis fails in the constructor — before any replication
+  // runs — listing the registered names plus a did-you-mean.
+  const auto expect_eager = [](const std::string& overrides, const std::string& suggestion) {
+    Config cfg = experiment_config();
+    cfg.parse_string(overrides);
+    try {
+      ExperimentRunner runner(cfg);
+      FAIL() << overrides << " must be rejected eagerly";
+    } catch (const ConfigError& e) {
+      const std::string msg = e.what();
+      EXPECT_NE(msg.find("registered:"), std::string::npos) << overrides << ": " << msg;
+      EXPECT_NE(msg.find("did you mean '" + suggestion + "'?"), std::string::npos)
+          << overrides << ": " << msg;
+    }
+  };
+  expect_eager("router=fault_inof", "fault_info");
+  expect_eager("traffic=unifrom", "uniform");
+  expect_eager("switching=wormhol", "wormhole");
+  expect_eager("fault_model=clusterd", "clustered");
+  expect_eager("report=jsn", "json");
+  // The traffic disable sentinel is offered alongside the patterns.
+  expect_eager("traffic=non", "none");
+}
+
 TEST(ExperimentRunner, FaultBoxDimensionMismatchRejected) {
   Config cfg = experiment_config();
   cfg.parse_string("mesh_dims=3 radix=8 fault_model=box fault_box=4:6,5:7");
@@ -124,9 +174,12 @@ TEST(ExperimentRunner, DynamicModeForwardsRouterOptionsToTheFactory) {
 
 TEST(ExperimentRunner, ReplicationBodyErrorsSurfaceInsteadOfTerminating) {
   // A ConfigError thrown inside a pool worker must reach the caller as an
-  // exception, not std::terminate the process.
+  // exception, not std::terminate the process.  The box/mesh dimension
+  // mismatch is checked at build time (inside the replication body), so —
+  // unlike a bad name or a malformed fault_box, which now fail eagerly in
+  // the constructor — it genuinely escapes from the workers.
   Config cfg = experiment_config();
-  cfg.parse_string("fault_model=box fault_box=oops replications=8 threads=4");
+  cfg.parse_string("mesh_dims=3 fault_model=box fault_box=4:5,4:5 replications=8 threads=4");
   EXPECT_THROW(ExperimentRunner(cfg).run(), ConfigError);
 }
 

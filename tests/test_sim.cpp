@@ -4,7 +4,9 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <limits>
 #include <numeric>
+#include <stdexcept>
 
 #include "src/sim/engine.h"
 #include "src/sim/fault_schedule.h"
@@ -220,6 +222,32 @@ TEST(Statistics, HistogramPercentiles) {
   EXPECT_EQ(h.min(), 1);
   EXPECT_EQ(h.max(), 100);
   EXPECT_DOUBLE_EQ(h.mean(), 50.5);
+}
+
+TEST(Statistics, HistogramPercentileRejectsOutOfRangeQ) {
+  // These used to be assert-only, so NDEBUG builds silently returned 0 for
+  // q <= 0 and max() for q > 1.
+  IntHistogram h;
+  h.add(3);
+  h.add(7);
+  EXPECT_THROW((void)h.percentile(0.0), std::invalid_argument);
+  EXPECT_THROW((void)h.percentile(-0.5), std::invalid_argument);
+  EXPECT_THROW((void)h.percentile(1.5), std::invalid_argument);
+  EXPECT_THROW((void)h.percentile(std::numeric_limits<double>::quiet_NaN()),
+               std::invalid_argument);
+  EXPECT_EQ(h.percentile(1.0), 7) << "q = 1 stays valid (the maximum)";
+  // The empty histogram still answers 0 for valid q.
+  EXPECT_EQ(IntHistogram{}.percentile(0.5), 0);
+}
+
+TEST(Statistics, HistogramAddRejectsNegativeValues) {
+  IntHistogram h;
+  EXPECT_THROW(h.add(-1), std::invalid_argument);
+  EXPECT_THROW(h.add(std::numeric_limits<long long>::min()), std::invalid_argument);
+  EXPECT_EQ(h.count(), 0) << "a rejected add must not corrupt the totals";
+  h.add(0);
+  EXPECT_EQ(h.count(), 1);
+  EXPECT_EQ(h.min(), 0);
 }
 
 TEST(ThreadPool, ParallelForCoversAllIndices) {
