@@ -1,12 +1,15 @@
 // E15: wormhole vs ideal switching — the flit-level saturation matrix.
 //
-// Sweeps the three information placements the paper compares — fault_info
-// (limited-global), global_table (instant global), no_info — across
-// injection rates and fault counts, under both switching models (DESIGN.md
-// §10): `ideal` single-flit packets and `wormhole` flit-level packets with
-// virtual channels and credit flow control.  This is the fidelity regime the
-// paper's Figure-7 step model cannot see: blocked worms hold VCs across many
-// hops, so fault detours cost channel *capacity*, not just path length.
+// One campaign over switching x router x fault count x injection rate: the
+// three information placements the paper compares — fault_info
+// (limited-global), global_table (instant global), no_info — under both
+// switching models (DESIGN.md §10): `ideal` single-flit packets and
+// `wormhole` flit-level packets with virtual channels and credit flow
+// control.  This is the fidelity regime the paper's Figure-7 step model
+// cannot see: blocked worms hold VCs across many hops, so fault detours
+// cost channel *capacity*, not just path length.  The whole grid fans out
+// over one thread pool (point x replication tasks, the CampaignRunner
+// contract).
 //
 // Self-checks (exit non-zero on violation):
 //   - every configuration delivers traffic, and accepted throughput never
@@ -26,24 +29,25 @@
 //     excluded rather than asserted on.
 //
 // Any key=value argument overrides the base config (mesh size, steps,
-// replications, seed, num_vcs, flits_per_packet, ...); the special token
-// rates=a,b,c overrides the swept injection rates (smaller meshes saturate
-// at higher per-node rates).  The swept keys — switching, router, faults,
-// injection_rate — are overwritten by the sweep itself.  CI smoke-runs this
-// through scripts/traffic_smoke.sh:
+// replications, seed, num_vcs, flits_per_packet, ...) and any sweep token
+// (rates=a,b,c, switching=[...], router=[...], faults=[...]) replaces the
+// corresponding default axis (smaller meshes saturate at higher per-node
+// rates); a scalar for a swept key pins that axis to the one value.  CI
+// smoke-runs this through scripts/traffic_smoke.sh:
 //
 //   ./bench_wormhole_saturation radix=6 warmup_steps=30 measure_steps=150 \
 //       replications=2 rates=0.01,0.02,0.05,0.08
 
+#include <algorithm>
 #include <cmath>
 #include <iostream>
 #include <limits>
 #include <map>
+#include <string>
 #include <tuple>
 #include <vector>
 
-#include "src/core/component_catalog.h"
-#include "src/core/experiment_runner.h"
+#include "examples/cli_common.h"
 #include "src/sim/table_printer.h"
 
 using namespace lgfi;
@@ -62,7 +66,8 @@ struct Cell {
 }  // namespace
 
 int main(int argc, char** argv) {
-  Config base = experiment_config();
+  SweepSpec spec(experiment_config());
+  Config& base = spec.base();
   base.set_str("traffic", "uniform");
   base.set_int("mesh_dims", 2);
   base.set_int("radix", 8);
@@ -76,94 +81,105 @@ int main(int argc, char** argv) {
   base.set_str("fault_model", "clustered");
   base.set_int("replications", 4);
   base.set_int("seed", 15);
-  std::vector<double> rates = {0.005, 0.01, 0.02, 0.05};
+
+  const int parsed = cli::parse_args(argc, argv, spec,
+                                     {"bench_wormhole_saturation",
+                                      "E15: switching x router x faults x injection-rate "
+                                      "flit-level saturation matrix (self-checking)",
+                                      "", ""});
+  if (parsed >= 0) return parsed;
+
+  spec.add_default_axis("switching", {"ideal", "wormhole"});
+  spec.add_default_axis("router", {"fault_info", "global_table", "no_info"});
+  spec.add_default_axis("faults", {"0", "8"});
+  spec.add_default_axis("injection_rate", {"0.005", "0.01", "0.02", "0.05"});
+
+  constexpr double kSaturatedBelow = 0.95;  // mean delivered fraction
+
+  using Key = std::tuple<std::string, std::string, long long, double>;
+  std::map<Key, Cell> cells;
+  std::vector<std::string> switchings, routers;
+  std::vector<long long> fault_counts;
+  std::vector<double> rates;
+
+  TablePrinter t({"switching", "router", "faults", "inj rate", "offered", "throughput",
+                  "lat mean", "head lat", "serial lat", "delivered %"});
+  bool ok = true;
   try {
-    for (int i = 1; i < argc; ++i) {
-      const std::string arg = argv[i];
-      if (arg == "--list") {
-        print_component_catalog(std::cout);
-        return 0;
+    const CampaignRunner runner(spec);
+    // The axis value lists (user-overridable) drive the cross-cell checks.
+    for (const auto& axis : runner.campaign().axes) {
+      if (axis.key == "switching") switchings = axis.values;
+      if (axis.key == "router") routers = axis.values;
+      if (axis.key == "faults")
+        for (const auto& value : axis.values) fault_counts.push_back(std::stoll(value));
+      if (axis.key == "injection_rate")
+        for (const auto& value : axis.values) rates.push_back(std::stod(value));
+    }
+
+    const auto results = runner.run();
+    for (const PointResult& point : results) {
+      const Config& cfg = point.result.config;
+      const std::string& switching = cfg.get_str("switching");
+      const std::string& router = cfg.get_str("router");
+      const long long faults = cfg.get_int("faults");
+      const double rate = cfg.get_double("injection_rate");
+      const MetricSet& m = point.result.metrics;
+      Cell c;
+      c.offered = m.mean("offered_load");
+      c.throughput = m.mean("throughput");
+      c.latency = m.mean("latency");
+      c.head_latency = m.has("head_latency") ? m.mean("head_latency") : 0.0;
+      c.serialization = m.has("serialization_latency") ? m.mean("serialization_latency") : 0.0;
+      c.delivered_frac = m.mean("delivered_frac");
+      cells[{switching, router, faults, rate}] = c;
+
+      t.add_row({switching, router, TablePrinter::num(faults), TablePrinter::num(rate, 3),
+                 TablePrinter::num(c.offered, 4), TablePrinter::num(c.throughput, 4),
+                 TablePrinter::num(c.latency, 2), TablePrinter::num(c.head_latency, 2),
+                 TablePrinter::num(c.serialization, 2),
+                 TablePrinter::num(100.0 * c.delivered_frac, 1)});
+
+      if (c.throughput <= 0.0) {
+        std::cerr << "FAIL: " << switching << "/" << router << " faults=" << faults
+                  << " rate=" << rate << " accepted no traffic\n";
+        ok = false;
       }
-      if (arg.rfind("rates=", 0) == 0) {
-        rates = parse_double_list(arg.substr(6), "rates=");
-        continue;
+      if (c.throughput > c.offered + 1e-9) {
+        std::cerr << "FAIL: " << switching << "/" << router << " faults=" << faults
+                  << " rate=" << rate << " accepted more than offered\n";
+        ok = false;
       }
-      base.parse_token(arg);
+      if (switching == "wormhole" &&
+          std::abs(c.latency - (c.head_latency + c.serialization)) > 1e-6) {
+        std::cerr << "FAIL: " << router << " faults=" << faults << " rate=" << rate
+                  << " latency " << c.latency << " != head " << c.head_latency
+                  << " + serialization " << c.serialization << "\n";
+        ok = false;
+      }
     }
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 2;
   }
-
-  const std::vector<std::string> switchings = {"ideal", "wormhole"};
-  const std::vector<std::string> routers = {"fault_info", "global_table", "no_info"};
-  const std::vector<long long> fault_counts = {0, base.get_int("faults") > 0
-                                                      ? base.get_int("faults")
-                                                      : 8};
-  constexpr double kSaturatedBelow = 0.95;  // mean delivered fraction
-
-  using Key = std::tuple<std::string, std::string, long long, double>;
-  std::map<Key, Cell> cells;
-
-  TablePrinter t({"switching", "router", "faults", "inj rate", "offered", "throughput",
-                  "lat mean", "head lat", "serial lat", "delivered %"});
-  bool ok = true;
-  for (const auto& switching : switchings) {
-    for (const auto& router : routers) {
-      for (const long long faults : fault_counts) {
-        for (const double rate : rates) {
-          Config cfg = base;
-          cfg.set_str("switching", switching);
-          cfg.set_str("router", router);
-          cfg.set_str("info_mode", "auto");
-          cfg.set_int("faults", faults);
-          cfg.set_double("injection_rate", rate);
-          const auto res = ExperimentRunner(cfg).run();
-          const MetricSet& m = res.metrics;
-          Cell c;
-          c.offered = m.mean("offered_load");
-          c.throughput = m.mean("throughput");
-          c.latency = m.mean("latency");
-          c.head_latency = m.has("head_latency") ? m.mean("head_latency") : 0.0;
-          c.serialization =
-              m.has("serialization_latency") ? m.mean("serialization_latency") : 0.0;
-          c.delivered_frac = m.mean("delivered_frac");
-          cells[{switching, router, faults, rate}] = c;
-
-          t.add_row({switching, router, TablePrinter::num(faults), TablePrinter::num(rate, 3),
-                     TablePrinter::num(c.offered, 4), TablePrinter::num(c.throughput, 4),
-                     TablePrinter::num(c.latency, 2), TablePrinter::num(c.head_latency, 2),
-                     TablePrinter::num(c.serialization, 2),
-                     TablePrinter::num(100.0 * c.delivered_frac, 1)});
-
-          if (c.throughput <= 0.0) {
-            std::cerr << "FAIL: " << switching << "/" << router << " faults=" << faults
-                      << " rate=" << rate << " accepted no traffic\n";
-            ok = false;
-          }
-          if (c.throughput > c.offered + 1e-9) {
-            std::cerr << "FAIL: " << switching << "/" << router << " faults=" << faults
-                      << " rate=" << rate << " accepted more than offered\n";
-            ok = false;
-          }
-          if (switching == "wormhole" &&
-              std::abs(c.latency - (c.head_latency + c.serialization)) > 1e-6) {
-            std::cerr << "FAIL: " << router << " faults=" << faults << " rate=" << rate
-                      << " latency " << c.latency << " != head " << c.head_latency
-                      << " + serialization " << c.serialization << "\n";
-            ok = false;
-          }
-        }
-      }
-    }
-  }
   t.print(std::cout);
+
+  // The cross-model checks compare specific axis values; a user override
+  // that drops one side of a comparison (switching=[wormhole],
+  // router=[fault_info]) skips that check rather than comparing against
+  // empty cells.
+  const auto has = [](const std::vector<std::string>& v, const char* name) {
+    return std::find(v.begin(), v.end(), name) != v.end();
+  };
+  const bool both_switchings = has(switchings, "ideal") && has(switchings, "wormhole");
+  const bool info_vs_blind = has(switchings, "wormhole") && has(routers, "fault_info") &&
+                             has(routers, "no_info");
 
   // Wormhole cannot beat the single-flit idealization on latency.  Skip
   // saturated wormhole points: past the knee the mean covers only the
   // short-path survivors and the censored mean can dip below ideal's
   // all-deliveries mean without anything being wrong.
-  for (const auto& router : routers) {
+  for (const auto& router : both_switchings ? routers : std::vector<std::string>{}) {
     for (const long long faults : fault_counts) {
       for (const double rate : rates) {
         const Cell& ideal = cells[{"ideal", router, faults, rate}];
@@ -184,7 +200,7 @@ int main(int argc, char** argv) {
   // delivered fraction drops below the threshold must come no later than
   // ideal's, and strictly earlier somewhere in the matrix.
   bool strictly_earlier = false;
-  for (const auto& router : routers) {
+  for (const auto& router : both_switchings ? routers : std::vector<std::string>{}) {
     for (const long long faults : fault_counts) {
       const auto saturation_rate = [&](const std::string& switching) {
         for (const double rate : rates)
@@ -203,7 +219,7 @@ int main(int argc, char** argv) {
       if (sat_worm < sat_ideal) strictly_earlier = true;
     }
   }
-  if (!strictly_earlier) {
+  if (both_switchings && !strictly_earlier) {
     std::cerr << "FAIL: no configuration where wormhole saturates strictly before ideal\n";
     ok = false;
   }
@@ -214,7 +230,7 @@ int main(int argc, char** argv) {
   // is over the surviving minority and survivorship censoring dominates).
   // The 2% slack absorbs sampling noise of the per-seed block placements
   // without letting a real inversion through.
-  for (const long long faults : fault_counts) {
+  for (const long long faults : info_vs_blind ? fault_counts : std::vector<long long>{}) {
     for (const double rate : rates) {
       const Cell& info = cells[{"wormhole", "fault_info", faults, rate}];
       const Cell& blind = cells[{"wormhole", "no_info", faults, rate}];

@@ -1,22 +1,24 @@
-// Config-driven experiment CLI (builds as `sweep`).
+// Dimension-generality demo (builds as `high_dimensional_sweep`).
 //
-// With arguments, every "key=value" token overrides the experiment config
-// and one run executes end-to-end — the full declarative surface:
+// Without arguments, it demonstrates the library's n-D generality by running
+// the same configuration from 2-D to 6-D meshes — a *zipped* campaign
+// (mesh_dims, radix and faults co-vary row by row, so the node count stays
+// comparable) built on CampaignRunner's explicit-grid constructor: all five
+// dimensionalities and their replications fan out over one thread pool
+// instead of running serially row by row.
 //
-//   ./sweep mesh_dims=4 radix=6 router=fault_info replications=200
-//   ./sweep mode=dynamic faults=10 batches=2 router=global_table report=json
-//   ./sweep --help          # prints the config grammar
-//   ./sweep --list          # prints the component catalog (all registries)
+// With arguments, every token goes through the full sweep grammar and the
+// campaign runs end-to-end — the same surface as the `sweep` binary:
 //
-// Without arguments, it demonstrates the library's dimension-generality by
-// sweeping the same config from 2-D to 6-D meshes — the paper's model,
-// identification process and routing algorithm run unchanged in every
-// dimensionality.
+//   ./high_dimensional_sweep mesh_dims=[2,3,4] radix=6 replications=50
+//   ./high_dimensional_sweep --help          # config + sweep grammar
+//   ./high_dimensional_sweep --list          # the component catalog
 
 #include <iostream>
+#include <string>
+#include <vector>
 
-#include "src/core/component_catalog.h"
-#include "src/core/experiment_runner.h"
+#include "examples/cli_common.h"
 #include "src/core/node_process.h"
 #include "src/core/scenario.h"
 #include "src/sim/table_printer.h"
@@ -25,77 +27,58 @@ using namespace lgfi;
 
 namespace {
 
-int run_cli(int argc, char** argv) {
-  Config cfg = experiment_config();
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    if (arg == "--help" || arg == "-h" || arg == "help") {
-      std::cout << "usage: sweep [key=value ...] [--list]\n\nconfig keys:\n" << cfg.help();
-      std::cout << "\nregistered routers:";
-      for (const auto& name : RouterRegistry::instance().names()) std::cout << " " << name;
-      std::cout << "\n(--list prints the full component catalog)\n";
-      return 0;
-    }
-    if (arg == "--list") {
-      print_component_catalog(std::cout);
-      return 0;
-    }
-  }
-  try {
-    cfg.parse_args(argc, argv);
-    ExperimentRunner(cfg).run_and_report(std::cout);
-  } catch (const ConfigError& e) {
-    std::cerr << "error: " << e.what() << "\n(run with --help for the config grammar)\n";
-    return 2;
-  }
-  return 0;
-}
-
 int run_default_sweep() {
-  TablePrinter t({"mesh", "nodes", "faults", "blocks", "converge rounds", "info nodes %",
-                  "routes", "delivered", "mean detours"});
+  Config base = experiment_config();
+  base.set_int("routes", 40);
+  base.set_int("max_rounds", 200000);
 
   struct Row {
     int dims, radix, faults;
   };
+  std::vector<Config> points;
   for (const Row row : {Row{2, 24, 20}, Row{3, 10, 16}, Row{4, 6, 12},
                         Row{5, 5, 10}, Row{6, 4, 8}}) {
-    Config cfg = experiment_config();
+    Config cfg = base;
     cfg.set_int("mesh_dims", row.dims);
     cfg.set_int("radix", row.radix);
     cfg.set_int("faults", row.faults);
-    cfg.set_int("routes", 40);
     cfg.set_int("min_pair_distance", row.radix);
-    cfg.set_int("max_rounds", 200000);
     cfg.set_int("seed", 42 + row.dims);
+    points.push_back(std::move(cfg));
+  }
 
-    // The standard run() records delivery metrics; the footprint and block
-    // census need the built environment, so use the per-replication hook.
-    ExperimentRunner runner(cfg);
-    const auto res = runner.run_each_static(
-        [&runner](ExperimentRunner::StaticEnv& env, Rng& rng, MetricSet& out) {
-          out.add("blocks", static_cast<double>(env.net->blocks().size()));
-          out.add("rounds", env.rounds.total);
-          out.add("info_frac", 100.0 * placement_footprint(env.net->model()).fraction_of_mesh());
-          const auto router = runner.make_router();
-          const int routes = static_cast<int>(runner.config().get_int("routes"));
-          for (int i = 0; i < routes; ++i) {
-            const auto pair = random_enabled_pair(env.mesh(), env.net->field(), rng,
-                                                  env.mesh().extent(0));
-            const auto r = run_static_route(env.net->context(), *router, pair.source, pair.dest);
-            out.add("delivered", r.delivered ? 1.0 : 0.0);
-            if (r.delivered) out.add("detours", static_cast<double>(r.detours()));
-          }
-        });
-    const MetricSet& m = res.metrics;
-    const long long nodes = [&] {
-      long long n = 1;
-      for (int i = 0; i < row.dims; ++i) n *= row.radix;
-      return n;
-    }();
-    t.add_row({std::to_string(row.radix) + "^" + std::to_string(row.dims),
-               TablePrinter::num(nodes), TablePrinter::num(row.faults),
-               TablePrinter::num(m.mean("blocks"), 0), TablePrinter::num(m.mean("rounds"), 0),
+  // The standard run() records delivery metrics; the footprint and block
+  // census need the built environment, so the campaign runs a custom body.
+  CampaignRunner runner(base, {"mesh_dims", "radix", "faults"}, std::move(points));
+  const auto results = runner.run_with(
+      [](const ExperimentRunner& r, Rng& rng, MetricSet& out) {
+        ExperimentRunner::StaticEnv env = r.build_static(rng);
+        out.add("blocks", static_cast<double>(env.net->blocks().size()));
+        out.add("rounds", env.rounds.total);
+        out.add("info_frac", 100.0 * placement_footprint(env.net->model()).fraction_of_mesh());
+        const auto router = r.make_router();
+        const int routes = static_cast<int>(r.config().get_int("routes"));
+        for (int i = 0; i < routes; ++i) {
+          const auto pair = random_enabled_pair(env.mesh(), env.net->field(), rng,
+                                                env.mesh().extent(0));
+          const auto res = run_static_route(env.net->context(), *router, pair.source, pair.dest);
+          out.add("delivered", res.delivered ? 1.0 : 0.0);
+          if (res.delivered) out.add("detours", static_cast<double>(res.detours()));
+        }
+      });
+
+  TablePrinter t({"mesh", "nodes", "faults", "blocks", "converge rounds", "info nodes %",
+                  "routes", "delivered", "mean detours"});
+  for (const PointResult& point : results) {
+    const Config& cfg = point.result.config;
+    const int dims = static_cast<int>(cfg.get_int("mesh_dims"));
+    const int radix = static_cast<int>(cfg.get_int("radix"));
+    const MetricSet& m = point.result.metrics;
+    long long nodes = 1;
+    for (int i = 0; i < dims; ++i) nodes *= radix;
+    t.add_row({std::to_string(radix) + "^" + std::to_string(dims), TablePrinter::num(nodes),
+               TablePrinter::num(cfg.get_int("faults")), TablePrinter::num(m.mean("blocks"), 0),
+               TablePrinter::num(m.mean("rounds"), 0),
                TablePrinter::num(m.mean("info_frac"), 1),
                TablePrinter::num((long long)m.stats("delivered").count()),
                TablePrinter::num((long long)m.stats("delivered").sum()),
@@ -104,13 +87,18 @@ int run_default_sweep() {
   t.print(std::cout);
   std::cout << "\nthe same fault model, identification process and routing algorithm run\n"
                "unchanged from 2-D to 6-D — the n-D generality the paper claims.\n"
-               "(run with key=value overrides or --help for the config-driven CLI)\n";
+               "(run with key=value / key=[...] overrides or --help for the campaign CLI)\n";
   return 0;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc > 1) return run_cli(argc, argv);
+  if (argc > 1)
+    return cli::campaign_main(
+        argc, argv, SweepSpec(experiment_config()),
+        {"high_dimensional_sweep",
+         "config-driven campaign CLI (no arguments: the 2-D..6-D generality demo)",
+         "", ""});
   return run_default_sweep();
 }

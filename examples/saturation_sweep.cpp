@@ -1,31 +1,30 @@
 // Saturation-curve CLI: sweeps the injection rate for one traffic
 // configuration and prints the latency/throughput curve — the standard
-// interconnect evaluation plot, from the declarative config surface.
+// interconnect evaluation plot, as a one-axis campaign over the declarative
+// config surface.
 //
 //   ./saturation_sweep                                   # uniform on 8x8, defaults
 //   ./saturation_sweep traffic=hotspot hotspot_frac=0.2 router=global_table
 //   ./saturation_sweep mesh_dims=3 radix=6 faults=8 rates=0.02,0.05,0.1,0.3
 //   ./saturation_sweep switching=wormhole rates=0.005,0.01,0.02   # flit-level
+//   ./saturation_sweep injection_rate=range(0.02,0.3,0.04) report=csv
+//   ./saturation_sweep rates=0.05,0.1 router=[no_info,fault_info]  # 2-axis grid
 //   ./saturation_sweep --help
 //   ./saturation_sweep --list     # the full component catalog
 //
-// Every key=value token overrides the experiment config; the special token
-// rates=a,b,c picks the injection rates to sweep.  Results are byte-identical
-// for any thread count (the ExperimentRunner determinism contract).
+// Every key=value token overrides the experiment config, and any key=[...] /
+// key=range(...) token adds a sweep axis; the default campaign sweeps
+// injection_rate.  Results are byte-identical for any thread count (the
+// campaign determinism contract).
 
-#include <iostream>
-#include <string>
-#include <vector>
-
-#include "src/core/component_catalog.h"
+#include "examples/cli_common.h"
 #include "src/core/experiment_runner.h"
-#include "src/sim/table_printer.h"
-#include "src/sim/traffic_pattern.h"
 
 using namespace lgfi;
 
 int main(int argc, char** argv) {
-  Config cfg = experiment_config();
+  SweepSpec spec(experiment_config());
+  Config& cfg = spec.base();
   cfg.set_str("traffic", "uniform");
   cfg.set_int("mesh_dims", 2);
   cfg.set_int("radix", 8);
@@ -34,55 +33,15 @@ int main(int argc, char** argv) {
   cfg.set_int("routes", 0);
   cfg.set_int("faults", 0);
   cfg.set_int("replications", 4);
+  spec.add_default_axis("injection_rate", {"0.02", "0.05", "0.1", "0.15", "0.2", "0.3"});
 
-  std::vector<double> rates = {0.02, 0.05, 0.1, 0.15, 0.2, 0.3};
-  try {
-    for (int i = 1; i < argc; ++i) {
-      const std::string arg = argv[i];
-      if (arg == "--help" || arg == "-h") {
-        std::cout << "usage: saturation_sweep [key=value ...] [rates=a,b,c] [--list]\n\n"
-                     "traffic patterns:";
-        for (const auto& n : TrafficPatternRegistry::instance().names()) std::cout << " " << n;
-        std::cout << "\n\nconfig keys:\n" << cfg.help();
-        return 0;
-      }
-      if (arg == "--list") {
-        print_component_catalog(std::cout);
-        return 0;
-      }
-      if (arg.rfind("rates=", 0) == 0) {
-        rates = parse_double_list(arg.substr(6), "rates=");
-        continue;
-      }
-      cfg.parse_token(arg);
-    }
-
-    std::cout << "pattern=" << cfg.get_str("traffic") << " router=" << cfg.get_str("router")
-              << " mesh=" << cfg.get_int("radix") << "^" << cfg.get_int("mesh_dims")
-              << " faults=" << cfg.get_int("faults")
-              << " measure_steps=" << cfg.get_int("measure_steps") << "\n\n";
-
-    TablePrinter t({"inj rate", "offered", "throughput", "lat mean", "lat p-max", "stalls",
-                    "delivered %", "drained"});
-    for (const double rate : rates) {
-      cfg.set_double("injection_rate", rate);
-      const auto res = ExperimentRunner(cfg).run();
-      const MetricSet& m = res.metrics;
-      t.add_row({TablePrinter::num(rate, 3), TablePrinter::num(m.mean("offered_load"), 4),
-                 TablePrinter::num(m.mean("throughput"), 4),
-                 TablePrinter::num(m.mean("latency"), 2),
-                 TablePrinter::num(m.has("latency") ? m.stats("latency").max() : 0.0, 0),
-                 TablePrinter::num(m.mean("stall_steps"), 0),
-                 TablePrinter::num(100.0 * m.mean("delivered_frac"), 1),
-                 TablePrinter::num(100.0 * m.mean("drained"), 0)});
-    }
-    t.print(std::cout);
-    std::cout << "\nthroughput tracks offered load until channels saturate; past the knee,\n"
-                 "latency climbs and stalls dominate — the curve Figure-7-style analysis\n"
-                 "cannot see without link contention.\n";
-  } catch (const std::exception& e) {
-    std::cerr << "error: " << e.what() << "\n(run with --help for the config grammar)\n";
-    return 2;
-  }
-  return 0;
+  return cli::campaign_main(
+      argc, argv, std::move(spec),
+      {"saturation_sweep",
+       "latency/throughput saturation curve: one campaign over the injection "
+       "rate (rates= or injection_rate=[...] picks the points)",
+       "",
+       "\nthroughput tracks offered load until channels saturate; past the knee,\n"
+       "latency climbs and stalls dominate — the curve Figure-7-style analysis\n"
+       "cannot see without link contention.\n"});
 }

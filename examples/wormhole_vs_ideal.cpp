@@ -1,30 +1,27 @@
 // Side-by-side switching comparison: one traffic configuration, both
-// switching models (DESIGN.md §10), one row each — the quickest way to see
-// what flit-level fidelity changes.
+// switching models (DESIGN.md §10), one campaign row each — the quickest way
+// to see what flit-level fidelity changes.
 //
 //   ./wormhole_vs_ideal                              # uniform on 8x8, defaults
 //   ./wormhole_vs_ideal faults=8 fault_model=clustered injection_rate=0.02
 //   ./wormhole_vs_ideal flits_per_packet=8 num_vcs=4 vc_buffer_depth=2
+//   ./wormhole_vs_ideal rates=0.005,0.01,0.02        # switching x rate grid
 //   ./wormhole_vs_ideal --help
 //   ./wormhole_vs_ideal --list    # the full component catalog
 //
-// Every key=value token overrides the experiment config; the `switching` key
-// itself is the compared dimension and is overwritten.  Results are
-// byte-identical for any thread count (the ExperimentRunner determinism
-// contract).
+// Every key=value token overrides the experiment config; `switching` is the
+// compared axis by default and any other key=[...] / key=range(...) token
+// adds a further axis to the grid.  Results are byte-identical for any
+// thread count (the campaign determinism contract).
 
-#include <iostream>
-#include <string>
-
-#include "src/core/component_catalog.h"
+#include "examples/cli_common.h"
 #include "src/core/experiment_runner.h"
-#include "src/sim/switching_model.h"
-#include "src/sim/table_printer.h"
 
 using namespace lgfi;
 
 int main(int argc, char** argv) {
-  Config cfg = experiment_config();
+  SweepSpec spec(experiment_config());
+  Config& cfg = spec.base();
   cfg.set_str("traffic", "uniform");
   cfg.set_int("mesh_dims", 2);
   cfg.set_int("radix", 8);
@@ -35,50 +32,14 @@ int main(int argc, char** argv) {
   cfg.set_str("fault_model", "clustered");
   cfg.set_double("injection_rate", 0.01);
   cfg.set_int("replications", 4);
+  spec.add_default_axis("switching", {"ideal", "wormhole"});
 
-  try {
-    for (int i = 1; i < argc; ++i) {
-      const std::string arg = argv[i];
-      if (arg == "--help" || arg == "-h") {
-        std::cout << "usage: wormhole_vs_ideal [key=value ...] [--list]\n\nswitching models:";
-        for (const auto& n : SwitchingModelRegistry::instance().names()) std::cout << " " << n;
-        std::cout << "\n\nconfig keys:\n" << cfg.help();
-        return 0;
-      }
-      if (arg == "--list") {
-        print_component_catalog(std::cout);
-        return 0;
-      }
-      cfg.parse_token(arg);
-    }
-
-    std::cout << "pattern=" << cfg.get_str("traffic") << " router=" << cfg.get_str("router")
-              << " mesh=" << cfg.get_int("radix") << "^" << cfg.get_int("mesh_dims")
-              << " faults=" << cfg.get_int("faults")
-              << " rate=" << cfg.get_double("injection_rate")
-              << " flits=" << cfg.get_int("flits_per_packet")
-              << " vcs=" << cfg.get_int("num_vcs") << "\n\n";
-
-    TablePrinter t({"switching", "throughput", "lat mean", "head lat", "serial lat",
-                    "delivered %", "flit moves"});
-    for (const std::string& switching : {std::string("ideal"), std::string("wormhole")}) {
-      cfg.set_str("switching", switching);
-      const auto res = ExperimentRunner(cfg).run();
-      const MetricSet& m = res.metrics;
-      t.add_row({switching, TablePrinter::num(m.mean("throughput"), 4),
-                 TablePrinter::num(m.mean("latency"), 2),
-                 TablePrinter::num(m.has("head_latency") ? m.mean("head_latency") : 0.0, 2),
-                 TablePrinter::num(
-                     m.has("serialization_latency") ? m.mean("serialization_latency") : 0.0, 2),
-                 TablePrinter::num(100.0 * m.mean("delivered_frac"), 1),
-                 TablePrinter::num(m.has("sw_flit_moves") ? m.mean("sw_flit_moves") : 0.0, 0)});
-    }
-    t.print(std::cout);
-    std::cout << "\nwormhole latency = head (path setup) + serialization (flit streaming);\n"
-                 "the throughput gap is the capacity multi-flit packets cost the mesh.\n";
-  } catch (const std::exception& e) {
-    std::cerr << "error: " << e.what() << "\n(run with --help for the config grammar)\n";
-    return 2;
-  }
-  return 0;
+  return cli::campaign_main(
+      argc, argv, std::move(spec),
+      {"wormhole_vs_ideal",
+       "switching-model comparison: the same traffic under ideal single-flit "
+       "and wormhole flit-level switching, one campaign row each",
+       "",
+       "\nwormhole latency = head (path setup) + serialization (flit streaming);\n"
+       "the throughput gap is the capacity multi-flit packets cost the mesh.\n"});
 }

@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # Shared CI smoke for the traffic engine: runs both saturation benches —
-# ideal (E14) and wormhole (E15) — on a tiny mesh with short windows.  Every
-# CI job that smokes the traffic engine calls this script, so the override
-# sets cannot drift apart between jobs (they used to be duplicated inline).
+# ideal (E14) and wormhole (E15) — on a tiny mesh with short windows, plus a
+# campaign smoke through the unified `sweep` CLI.  Every CI job that smokes
+# the traffic engine calls this script, so the override sets cannot drift
+# apart between jobs (they used to be duplicated inline).
 #
 # Usage: scripts/traffic_smoke.sh [build-dir]   (default: build)
 set -euo pipefail
@@ -19,16 +20,37 @@ wormhole_rates=rates=0.01,0.02,0.05,0.08
 # registry row), so the describe surface cannot rot unnoticed.  Asserts one
 # known name per registry, anchored to the row position ("  <name>  ...")
 # so a name merely mentioned in another row's help text cannot mask a
-# dropped registration.
-echo "== component catalog smoke (--list) =="
-catalog="$("${build_dir}/bench_traffic_saturation" --list)"
-echo "${catalog}"
-for component in fault_info uniform wormhole clustered json; do
-  if ! grep -Eq "^  ${component}  +" <<< "${catalog}"; then
-    echo "FAIL: --list catalog is missing the '${component}' row" >&2
-    exit 1
-  fi
-done
+# dropped registration.  Run for the bench *and* the unified sweep CLI —
+# they reach the catalog through different binaries.
+check_catalog() {
+  local binary="$1"
+  echo "== component catalog smoke (${binary} --list) =="
+  local catalog
+  catalog="$("${build_dir}/${binary}" --list)"
+  echo "${catalog}"
+  for component in fault_info uniform wormhole clustered json; do
+    if ! grep -Eq "^  ${component}  +" <<< "${catalog}"; then
+      echo "FAIL: ${binary} --list catalog is missing the '${component}' row" >&2
+      exit 1
+    fi
+  done
+}
+check_catalog bench_traffic_saturation
+check_catalog sweep
+
+# Campaign smoke: a 2-axis sweep from one `sweep` invocation must produce
+# exactly one CSV header (swept keys leading) and one row per grid point.
+echo "== campaign smoke (sweep, 2-axis grid -> csv) =="
+campaign_csv="$("${build_dir}/sweep" 'router=[no_info,fault_info]' \
+  'injection_rate=[0.02,0.05,0.1]' traffic=uniform radix=6 warmup_steps=20 \
+  measure_steps=100 replications=2 routes=0 faults=0 report=csv)"
+echo "${campaign_csv}"
+headers=$(grep -c '^router,injection_rate,' <<< "${campaign_csv}" || true)
+rows=$(grep -cE '^(no_info|fault_info),0\.' <<< "${campaign_csv}" || true)
+if [ "${headers}" -ne 1 ] || [ "${rows}" -ne 6 ]; then
+  echo "FAIL: campaign csv expected 1 header + 6 rows, got ${headers} + ${rows}" >&2
+  exit 1
+fi
 
 echo "== traffic smoke: ideal switching (bench_traffic_saturation) =="
 "${build_dir}/bench_traffic_saturation" "${smoke[@]}"

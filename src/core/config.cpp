@@ -277,23 +277,4 @@ bool operator==(const Config& a, const Config& b) {
   return true;
 }
 
-std::vector<double> parse_double_list(const std::string& csv, const std::string& what) {
-  std::vector<double> out;
-  std::istringstream is(csv);
-  std::string token;
-  while (std::getline(is, token, ',')) {
-    try {
-      size_t used = 0;
-      const double v = std::stod(token, &used);
-      if (used != token.size()) throw std::invalid_argument(token);
-      out.push_back(v);
-    } catch (const std::exception&) {
-      throw ConfigError("bad value '" + token + "' in " + what +
-                        " (want a comma-separated list of numbers)");
-    }
-  }
-  if (out.empty()) throw ConfigError(what + " needs a comma-separated list of numbers");
-  return out;
-}
-
 }  // namespace lgfi

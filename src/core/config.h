@@ -25,11 +25,6 @@ class ConfigError : public std::runtime_error {
   using std::runtime_error::runtime_error;
 };
 
-/// Parses a comma-separated list of doubles ("0.01,0.05,0.2"); throws
-/// ConfigError naming `what` on an empty list or a bad token.  Shared by the
-/// CLIs/benches that sweep a list-valued axis (the `rates=` token).
-std::vector<double> parse_double_list(const std::string& csv, const std::string& what);
-
 class Config {
  public:
   enum class Type : uint8_t { kInt, kDouble, kBool, kString };

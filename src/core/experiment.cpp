@@ -19,6 +19,19 @@ MetricSet& MetricSet::operator=(MetricSet&& other) noexcept {
   return *this;
 }
 
+MetricSet::MetricSet(const MetricSet& other) {
+  std::lock_guard<std::mutex> lock(other.mu_);
+  stats_ = other.stats_;
+}
+
+MetricSet& MetricSet::operator=(const MetricSet& other) {
+  if (this != &other) {
+    std::scoped_lock lock(mu_, other.mu_);
+    stats_ = other.stats_;
+  }
+  return *this;
+}
+
 void MetricSet::add(const std::string& name, double value) {
   std::lock_guard<std::mutex> lock(mu_);
   stats_[name].add(value);

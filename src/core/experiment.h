@@ -25,6 +25,8 @@ class MetricSet {
   MetricSet() = default;
   MetricSet(MetricSet&& other) noexcept;
   MetricSet& operator=(MetricSet&& other) noexcept;
+  MetricSet(const MetricSet& other);
+  MetricSet& operator=(const MetricSet& other);
 
   /// Records a sample (thread-safe).
   void add(const std::string& name, double value);

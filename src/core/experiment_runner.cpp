@@ -7,6 +7,7 @@
 #include <ostream>
 #include <sstream>
 
+#include "src/core/campaign.h"
 #include "src/core/scenario.h"
 #include "src/core/traffic_workload.h"
 #include "src/routing/global_table_router.h"
@@ -49,6 +50,20 @@ std::string csv_quote(const std::string& s) {
     out += c;
   }
   return out + "\"";
+}
+
+void write_metrics_json(std::ostream& os, const MetricSet& metrics) {
+  os << "\"metrics\":{";
+  bool first = true;
+  for (const auto& name : metrics.names()) {
+    const RunningStats& s = metrics.stats(name);
+    if (!first) os << ',';
+    first = false;
+    os << '"' << json_escape(name) << "\":{\"count\":" << s.count()
+       << ",\"mean\":" << json_number(s.mean()) << ",\"stddev\":" << json_number(s.stddev())
+       << ",\"min\":" << json_number(s.min()) << ",\"max\":" << json_number(s.max()) << '}';
+  }
+  os << '}';
 }
 
 }  // namespace
@@ -121,50 +136,160 @@ Config experiment_config() {
 // Reporters.
 // ---------------------------------------------------------------------------
 
-void TableReporter::report(const ExperimentResult& result, std::ostream& os) const {
-  os << "config: " << result.config.to_string() << "\n";
-  os << "replications: " << result.replications << "\n";
-  TablePrinter t({"metric", "count", "mean", "stddev", "min", "max"});
-  for (const auto& name : result.metrics.names()) {
-    const RunningStats& s = result.metrics.stats(name);
-    t.add_row({name, TablePrinter::num(s.count()), TablePrinter::num(s.mean(), 4),
-               TablePrinter::num(s.stddev(), 4), TablePrinter::num(s.min(), 4),
-               TablePrinter::num(s.max(), 4)});
-  }
-  t.print(os);
+void Reporter::report(const ExperimentResult& result, std::ostream& os) {
+  Campaign campaign;
+  campaign.base = result.config;
+  CampaignPoint point;
+  point.config = result.config;
+  campaign.points.push_back(std::move(point));
+  PointResult pr;
+  pr.result = result;
+  begin(campaign, os);
+  add(pr);
+  end();
 }
 
-void CsvReporter::report(const ExperimentResult& result, std::ostream& os) const {
-  os << "config,metric,count,mean,stddev,min,max\n";
-  const std::string cfg = csv_quote(result.config.to_string());
-  for (const auto& name : result.metrics.names()) {
-    const RunningStats& s = result.metrics.stats(name);
-    os << cfg << ',' << name << ',' << s.count() << ',' << json_number(s.mean()) << ','
-       << json_number(s.stddev()) << ',' << json_number(s.min()) << ','
-       << json_number(s.max()) << "\n";
+void BufferedCampaignRows::clear() {
+  axis_keys.clear();
+  metric_names.clear();
+  rows.clear();
+}
+
+void BufferedCampaignRows::add(const PointResult& point) {
+  Row row;
+  for (const auto& [key, value] : point.swept) row.swept.push_back(value);
+  for (const auto& name : point.result.metrics.names()) {
+    row.means[name] = point.result.metrics.mean(name);
+    // names() is sorted per point; keep the union sorted too.
+    const auto it = std::lower_bound(metric_names.begin(), metric_names.end(), name);
+    if (it == metric_names.end() || *it != name) metric_names.insert(it, name);
+  }
+  rows.push_back(std::move(row));
+}
+
+void TableReporter::begin(const Campaign& campaign, std::ostream& os) {
+  os_ = &os;
+  single_ = campaign.single_run();
+  buffer_.clear();
+  if (!single_)
+    for (const auto& axis : campaign.axes) buffer_.axis_keys.push_back(axis.key);
+}
+
+void TableReporter::add(const PointResult& point) {
+  if (single_) {
+    *os_ << "config: " << point.result.config.to_string() << "\n";
+    *os_ << "replications: " << point.result.replications << "\n";
+    TablePrinter t({"metric", "count", "mean", "stddev", "min", "max"});
+    for (const auto& name : point.result.metrics.names()) {
+      const RunningStats& s = point.result.metrics.stats(name);
+      t.add_row({name, TablePrinter::num(s.count()), TablePrinter::num(s.mean(), 4),
+                 TablePrinter::num(s.stddev(), 4), TablePrinter::num(s.min(), 4),
+                 TablePrinter::num(s.max(), 4)});
+    }
+    t.print(*os_);
+    return;
+  }
+  buffer_.add(point);
+}
+
+void TableReporter::end() {
+  if (single_) return;
+  std::vector<std::string> headers = buffer_.axis_keys;
+  headers.insert(headers.end(), buffer_.metric_names.begin(), buffer_.metric_names.end());
+  TablePrinter t(std::move(headers));
+  for (const auto& pending : buffer_.rows) {
+    std::vector<std::string> row = pending.swept;
+    for (const auto& name : buffer_.metric_names) {
+      const auto it = pending.means.find(name);
+      row.push_back(it != pending.means.end() ? TablePrinter::num(it->second, 4) : "");
+    }
+    t.add_row(std::move(row));
+  }
+  t.print(*os_);
+}
+
+void CsvReporter::begin(const Campaign& campaign, std::ostream& os) {
+  os_ = &os;
+  single_ = campaign.single_run();
+  buffer_.clear();
+  if (single_) {
+    os << "config,metric,count,mean,stddev,min,max\n";
+  } else {
+    os << "# config: " << campaign.base.to_string() << "\n";
+    for (const auto& axis : campaign.axes) buffer_.axis_keys.push_back(axis.key);
   }
 }
 
-void JsonReporter::report(const ExperimentResult& result, std::ostream& os) const {
-  os << "{\"config\":{";
+void CsvReporter::add(const PointResult& point) {
+  if (single_) {
+    const std::string cfg = csv_quote(point.result.config.to_string());
+    for (const auto& name : point.result.metrics.names()) {
+      const RunningStats& s = point.result.metrics.stats(name);
+      *os_ << cfg << ',' << name << ',' << s.count() << ',' << json_number(s.mean()) << ','
+           << json_number(s.stddev()) << ',' << json_number(s.min()) << ','
+           << json_number(s.max()) << "\n";
+    }
+    return;
+  }
+  buffer_.add(point);
+}
+
+void CsvReporter::end() {
+  if (single_) return;
+  for (size_t i = 0; i < buffer_.axis_keys.size(); ++i)
+    *os_ << (i > 0 ? "," : "") << csv_field(buffer_.axis_keys[i]);
+  for (const auto& metric : buffer_.metric_names) *os_ << ',' << csv_field(metric);
+  *os_ << "\n";
+  for (const auto& pending : buffer_.rows) {
+    for (size_t i = 0; i < pending.swept.size(); ++i)
+      *os_ << (i > 0 ? "," : "") << csv_field(pending.swept[i]);
+    for (const auto& metric : buffer_.metric_names) {
+      *os_ << ',';
+      const auto it = pending.means.find(metric);
+      if (it != pending.means.end()) *os_ << json_number(it->second);
+    }
+    *os_ << "\n";
+  }
+}
+
+void JsonReporter::begin(const Campaign& campaign, std::ostream& os) {
+  os_ = &os;
+  single_ = campaign.single_run();
+  first_ = true;
+  if (!single_) os << '[';
+}
+
+void JsonReporter::add(const PointResult& point) {
+  if (single_) {
+    *os_ << "{\"config\":{";
+    bool first = true;
+    for (const auto& key : point.result.config.keys()) {
+      if (!first) *os_ << ',';
+      first = false;
+      *os_ << '"' << json_escape(key) << "\":\""
+           << json_escape(point.result.config.value_as_string(key)) << '"';
+    }
+    *os_ << "},\"replications\":" << point.result.replications << ',';
+    write_metrics_json(*os_, point.result.metrics);
+    *os_ << "}\n";
+    return;
+  }
+  if (!first_) *os_ << ",\n";
+  first_ = false;
+  *os_ << "{\"swept\":{";
   bool first = true;
-  for (const auto& key : result.config.keys()) {
-    if (!first) os << ',';
+  for (const auto& [key, value] : point.swept) {
+    if (!first) *os_ << ',';
     first = false;
-    os << '"' << json_escape(key) << "\":\"" << json_escape(result.config.value_as_string(key))
-       << '"';
+    *os_ << '"' << json_escape(key) << "\":\"" << json_escape(value) << '"';
   }
-  os << "},\"replications\":" << result.replications << ",\"metrics\":{";
-  first = true;
-  for (const auto& name : result.metrics.names()) {
-    const RunningStats& s = result.metrics.stats(name);
-    if (!first) os << ',';
-    first = false;
-    os << '"' << json_escape(name) << "\":{\"count\":" << s.count()
-       << ",\"mean\":" << json_number(s.mean()) << ",\"stddev\":" << json_number(s.stddev())
-       << ",\"min\":" << json_number(s.min()) << ",\"max\":" << json_number(s.max()) << '}';
-  }
-  os << "}}\n";
+  *os_ << "},\"replications\":" << point.result.replications << ',';
+  write_metrics_json(*os_, point.result.metrics);
+  *os_ << '}';
+}
+
+void JsonReporter::end() {
+  if (!single_) *os_ << "]\n";
 }
 
 NamedRegistry<ReporterFactory>& reporter_registry() {
@@ -172,13 +297,13 @@ NamedRegistry<ReporterFactory>& reporter_registry() {
     NamedRegistry<ReporterFactory> reg("reporter");
     reg.add(
         "table", [] { return std::unique_ptr<Reporter>(std::make_unique<TableReporter>()); },
-        {"aligned terminal table: metric, count, mean, stddev, min, max", {}});
+        {"aligned terminal table; campaigns: one grid row per swept point", {}});
     reg.add(
         "csv", [] { return std::unique_ptr<Reporter>(std::make_unique<CsvReporter>()); },
-        {"RFC-4180-ish CSV with a header row; first column is the config", {}});
+        {"RFC-4180-ish CSV; campaigns: swept-key columns, one row per point", {}});
     reg.add(
         "json", [] { return std::unique_ptr<Reporter>(std::make_unique<JsonReporter>()); },
-        {"one JSON object: config, replications, metrics (round-trip doubles)", {}});
+        {"one JSON object (campaigns: one array; round-trip doubles)", {}});
     return reg;
   }();
   return registry;
@@ -481,15 +606,16 @@ void ExperimentRunner::run_one_traffic(Rng& rng, MetricSet& out) const {
   }
 }
 
-ExperimentResult ExperimentRunner::run() const {
-  if (config_.get_str("traffic") != "none")
-    return run_each([this](Rng& rng, MetricSet& out) { run_one_traffic(rng, out); });
+void ExperimentRunner::run_replication(Rng& rng, MetricSet& out) const {
+  if (config_.get_str("traffic") != "none") return run_one_traffic(rng, out);
   const std::string& mode = config_.get_str("mode");
-  if (mode == "static")
-    return run_each([this](Rng& rng, MetricSet& out) { run_one_static(rng, out); });
-  if (mode == "dynamic")
-    return run_each([this](Rng& rng, MetricSet& out) { run_one_dynamic(rng, out); });
+  if (mode == "static") return run_one_static(rng, out);
+  if (mode == "dynamic") return run_one_dynamic(rng, out);
   throw ConfigError("unknown mode '" + mode + "' (want static or dynamic)");
+}
+
+ExperimentResult ExperimentRunner::run() const {
+  return run_each([this](Rng& rng, MetricSet& out) { run_replication(rng, out); });
 }
 
 ExperimentResult ExperimentRunner::run_and_report(std::ostream& os) const {

@@ -23,6 +23,7 @@
 
 #include <functional>
 #include <iosfwd>
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -46,34 +47,100 @@ struct ExperimentResult {
   int replications = 0;
 };
 
-/// Pluggable result sink.
+struct Campaign;     // campaign.h: the sweep description a sink is begun with
+struct PointResult;  // campaign.h: one grid point's swept labels + result
+
+/// Pluggable result sink with a streaming lifecycle: begin(campaign) once,
+/// add(point) once per grid point *in grid order*, end() once — so csv can
+/// emit one header plus one row per point, json one array, and table one
+/// grid keyed by the swept axes.  For a single run (a campaign with no swept
+/// axis) every built-in reporter reproduces the historical per-result output
+/// byte for byte.
 class Reporter {
  public:
   virtual ~Reporter() = default;
-  virtual void report(const ExperimentResult& result, std::ostream& os) const = 0;
+  virtual void begin(const Campaign& campaign, std::ostream& os) = 0;
+  virtual void add(const PointResult& point) = 0;
+  virtual void end() = 0;
   [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Single-result convenience: begin/add/end over the 1-point no-axis
+  /// campaign (the historical `report(result, os)` surface).
+  void report(const ExperimentResult& result, std::ostream& os);
 };
 
-/// Aligned terminal table (TablePrinter): metric, count, mean, sd, min, max.
+/// Buffered campaign state shared by the table/csv reporters: one row of
+/// swept values + per-metric means per point, rendered in end() against the
+/// sorted union of metric names over all points (so a heterogeneous grid —
+/// e.g. switching=[ideal,wormhole] — keeps every column; absent metrics
+/// render as empty cells).
+struct BufferedCampaignRows {
+  struct Row {
+    std::vector<std::string> swept;
+    std::map<std::string, double> means;
+  };
+
+  void clear();
+  void add(const PointResult& point);
+
+  std::vector<std::string> axis_keys;
+  std::vector<std::string> metric_names;  ///< sorted union over added points
+  std::vector<Row> rows;
+};
+
+/// Aligned terminal table.  Single run: metric, count, mean, sd, min, max.
+/// Campaign: one aligned grid — swept keys as leading columns, then the
+/// mean of every metric, one row per point, rendered in end().
 class TableReporter final : public Reporter {
  public:
-  void report(const ExperimentResult& result, std::ostream& os) const override;
+  void begin(const Campaign& campaign, std::ostream& os) override;
+  void add(const PointResult& point) override;
+  void end() override;
   [[nodiscard]] std::string name() const override { return "table"; }
+
+ private:
+  std::ostream* os_ = nullptr;
+  bool single_ = true;
+  BufferedCampaignRows buffer_;
 };
 
-/// RFC-4180-ish CSV with a header row; first column is the config string.
+/// RFC-4180-ish CSV.  Single run: one row per metric, first column the
+/// config string.  Campaign: the full base config once in a "# config:"
+/// comment, then one header and one row per point — swept keys as leading
+/// columns, then the mean of every metric.  The metric columns are the
+/// sorted union over all points (a switching=[ideal,wormhole] sweep keeps
+/// the wormhole-only columns), so the header and rows are written in end();
+/// round-trip doubles, so equal campaigns emit equal bytes.
 class CsvReporter final : public Reporter {
  public:
-  void report(const ExperimentResult& result, std::ostream& os) const override;
+  void begin(const Campaign& campaign, std::ostream& os) override;
+  void add(const PointResult& point) override;
+  void end() override;
   [[nodiscard]] std::string name() const override { return "csv"; }
+
+ private:
+  std::ostream* os_ = nullptr;
+  bool single_ = true;
+  BufferedCampaignRows buffer_;
 };
 
-/// One JSON object: {"config": {...}, "replications": N, "metrics": {...}}.
-/// Doubles print with round-trip precision, so equal runs emit equal bytes.
+/// JSON.  Single run: one object {"config": {...}, "replications": N,
+/// "metrics": {...}}.  Campaign: one array with one
+/// {"swept": {...}, "replications": N, "metrics": {...}} object per point
+/// (the point config is base + swept; campaign-level keys like `threads`
+/// are deliberately absent, so equal campaigns emit equal bytes whatever
+/// the thread count).  Doubles print with round-trip precision.
 class JsonReporter final : public Reporter {
  public:
-  void report(const ExperimentResult& result, std::ostream& os) const override;
+  void begin(const Campaign& campaign, std::ostream& os) override;
+  void add(const PointResult& point) override;
+  void end() override;
   [[nodiscard]] std::string name() const override { return "json"; }
+
+ private:
+  std::ostream* os_ = nullptr;
+  bool single_ = true;
+  bool first_ = true;
 };
 
 using ReporterFactory = std::function<std::unique_ptr<Reporter>()>;
@@ -125,6 +192,11 @@ class ExperimentRunner {
   /// run_each with the static environment already built per replication.
   ExperimentResult run_each_static(
       const std::function<void(StaticEnv&, Rng&, MetricSet&)>& body) const;
+
+  /// One replication of the standard scenario (the traffic / static /
+  /// dynamic dispatch run() fans out).  CampaignRunner schedules these as
+  /// point x replication tasks on one pool.
+  void run_replication(Rng& rng, MetricSet& out) const;
 
   /// The standard scenario: per replication, build the configured
   /// environment, route `routes` random pairs with the configured router,

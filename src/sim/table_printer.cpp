@@ -48,20 +48,20 @@ CsvWriter::CsvWriter(const std::string& path) : out_(path) {
   if (!out_) throw std::runtime_error("cannot open CSV output: " + path);
 }
 
+std::string csv_field(const std::string& s) {
+  if (s.find_first_of(",\"\n") == std::string::npos) return s;
+  std::string out = "\"";
+  for (const char c : s) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  return out + "\"";
+}
+
 void CsvWriter::write_row(const std::vector<std::string>& cells) {
   for (size_t i = 0; i < cells.size(); ++i) {
     if (i > 0) out_ << ',';
-    const bool quote = cells[i].find_first_of(",\"\n") != std::string::npos;
-    if (!quote) {
-      out_ << cells[i];
-    } else {
-      out_ << '"';
-      for (char c : cells[i]) {
-        if (c == '"') out_ << '"';
-        out_ << c;
-      }
-      out_ << '"';
-    }
+    out_ << csv_field(cells[i]);
   }
   out_ << '\n';
 }

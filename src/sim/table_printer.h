@@ -34,6 +34,11 @@ class TablePrinter {
   std::vector<std::vector<std::string>> rows_;
 };
 
+/// `s` escaped as one RFC-4180 CSV field: quoted (with doubled quotes) only
+/// when it contains a comma, quote, or newline.  Shared by CsvWriter and the
+/// campaign CSV reporter.
+std::string csv_field(const std::string& s);
+
 /// Writes the same tabular data as RFC-4180-ish CSV.
 class CsvWriter {
  public:
