@@ -53,7 +53,7 @@ int main() {
   print_banner(std::cout, "E1: envelope census (Definition 2 positions, measured)");
   const Box block = blocks.empty() ? Box() : blocks[0].box;
   TablePrinter e({"role", "count", "expected"});
-  const MeshTopology& mesh = net.mesh();
+  const Topology& mesh = net.mesh();
   e.add_row({"adjacent (faces)",
              TablePrinter::num((long long)envelope_positions(mesh, block, 1).size()),
              "2(ab+bc+ca) = 2(6+6+4) = 32"});

@@ -22,7 +22,7 @@ int main() {
   auto env = ExperimentRunner(cfg).build_static(rng);
   Network& net = *env.net;
   const Box block = figure1_block();
-  const MeshTopology& mesh = net.mesh();
+  const Topology& mesh = net.mesh();
 
   TablePrinter s({"surface", "plane", "nodes", "edge ring nodes", "wall nodes (measured)"});
   for (int dim = 0; dim < 3; ++dim) {

@@ -51,7 +51,7 @@ int main() {
     cfg.set_int("seed", 0x10B + radix);
     const auto res = ExperimentRunner(cfg).run_each_static(
         [](ExperimentRunner::StaticEnv& env, Rng& rng, MetricSet& out) {
-          const MeshTopology& mesh = env.mesh();
+          const Topology& mesh = env.mesh();
           Network& net = *env.net;
           long long prev = 0;
           const int events = 4;

@@ -27,7 +27,7 @@ int main() {
       c.set_int("seed", 0xE11 + cfg.dims * 100 + faults);
       const auto res = ExperimentRunner(c).run_each_static(
           [](ExperimentRunner::StaticEnv& env, Rng& rng, MetricSet& out) {
-            const MeshTopology& mesh = env.mesh();
+            const Topology& mesh = env.mesh();
             Network& net = *env.net;
             const auto blocks = block_boxes(net.field());
             out.add("blocks", static_cast<double>(blocks.size()));

@@ -36,7 +36,7 @@ int main() {
     const auto res = runner.run_each([&runner, &row](Rng& rng, MetricSet& out) {
       auto env = runner.build_dynamic(rng);
       DynamicSimulation& sim = *env.sim;
-      const MeshTopology& mesh = *env.mesh;
+      const Topology& mesh = *env.mesh;
 
       // Hunt for an UNSAFE pair.
       Pair pair{};

@@ -20,7 +20,7 @@ int main() {
   Rng rng(static_cast<uint64_t>(cfg.get_int("seed")));
   auto env = ExperimentRunner(cfg).build_static(rng);
   Network& net = *env.net;
-  const MeshTopology& mesh = net.mesh();
+  const Topology& mesh = net.mesh();
 
   TablePrinter t({"wave", "event", "faulty", "disabled", "blocks", "e_max",
                   "nodes w/ info", "settle rounds"});

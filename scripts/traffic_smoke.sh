@@ -28,12 +28,16 @@ check_catalog() {
   local catalog
   catalog="$("${build_dir}/${binary}" --list)"
   echo "${catalog}"
-  for component in fault_info uniform wormhole clustered json; do
+  for component in torus fault_info uniform wormhole clustered json; do
     if ! grep -Eq "^  ${component}  +" <<< "${catalog}"; then
       echo "FAIL: ${binary} --list catalog is missing the '${component}' row" >&2
       exit 1
     fi
   done
+  if ! grep -q '^topologies (topology=)' <<< "${catalog}"; then
+    echo "FAIL: ${binary} --list catalog is missing the topology axis section" >&2
+    exit 1
+  fi
 }
 check_catalog bench_traffic_saturation
 check_catalog sweep
@@ -49,6 +53,20 @@ headers=$(grep -c '^router,injection_rate,' <<< "${campaign_csv}" || true)
 rows=$(grep -cE '^(no_info|fault_info),0\.' <<< "${campaign_csv}" || true)
 if [ "${headers}" -ne 1 ] || [ "${rows}" -ne 6 ]; then
   echo "FAIL: campaign csv expected 1 header + 6 rows, got ${headers} + ${rows}" >&2
+  exit 1
+fi
+
+# Topology-axis smoke: the same traffic experiment swept across the mesh and
+# torus substrates from one invocation — exercises wraparound routing, the
+# vacuous-outer-surface fault placement, and the campaign grammar's sixth axis.
+echo "== topology smoke (sweep, topology=[mesh,torus] -> csv) =="
+topology_csv="$("${build_dir}/sweep" 'topology=[mesh,torus]' traffic=uniform \
+  radix=6 warmup_steps=20 measure_steps=100 replications=2 routes=0 faults=4 \
+  report=csv)"
+echo "${topology_csv}"
+topo_rows=$(grep -cE '^(mesh|torus),' <<< "${topology_csv}" || true)
+if [ "${topo_rows}" -ne 2 ]; then
+  echo "FAIL: topology campaign csv expected 2 rows, got ${topo_rows}" >&2
   exit 1
 fi
 

@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "src/core/experiment_runner.h"
+#include "src/core/topology_registry.h"
 #include "src/routing/router_registry.h"
 #include "src/sim/fault_schedule.h"
 #include "src/sim/switching_model.h"
@@ -14,6 +15,7 @@ namespace lgfi {
 
 std::vector<ComponentCatalogSection> component_catalog() {
   std::vector<ComponentCatalogSection> sections;
+  sections.push_back({"topology", "topology", "", topology_registry().describe()});
   sections.push_back({"router", "router", "", RouterRegistry::instance().describe()});
   sections.push_back({"traffic pattern", "traffic", "traffic=none disables the engine",
                       TrafficPatternRegistry::instance().describe()});
@@ -30,7 +32,11 @@ std::string describe_components() {
   for (const auto& section : component_catalog()) {
     if (!first_section) os << "\n";
     first_section = false;
-    os << section.kind << "s (" << section.config_key << "=)";
+    // "router" -> "routers" but "topology" -> "topologies".
+    const bool ies = !section.kind.empty() && section.kind.back() == 'y';
+    os << (ies ? section.kind.substr(0, section.kind.size() - 1) + "ies"
+               : section.kind + "s")
+       << " (" << section.config_key << "=)";
     if (!section.note.empty()) os << "  [" << section.note << "]";
     os << "\n";
     size_t name_w = 0;

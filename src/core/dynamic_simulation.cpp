@@ -9,7 +9,7 @@
 
 namespace lgfi {
 
-DynamicSimulation::DynamicSimulation(const MeshTopology& mesh, FaultSchedule schedule,
+DynamicSimulation::DynamicSimulation(const Topology& mesh, FaultSchedule schedule,
                                      DynamicSimulationOptions options)
     : mesh_(&mesh),
       schedule_(std::move(schedule)),
@@ -47,7 +47,8 @@ RoutingContext DynamicSimulation::context() const {
 }
 
 int DynamicSimulation::launch_message(const Coord& source, const Coord& dest) {
-  MessageProgress msg(static_cast<int>(messages_.size()), source, dest);
+  MessageProgress msg(static_cast<int>(messages_.size()), source, dest,
+                      mesh_->min_hops(source, dest));
   msg.start_step = now_;
   if (options_.persistent_marks) msg.header.enable_persistent_marks();
   // Occurrences that already happened have D(i) = D (message at source).
@@ -93,7 +94,7 @@ void DynamicSimulation::apply_fault_events(StepContext& ctx) {
   for (auto& msg : messages_) {
     const int d = (msg.delivered || msg.unreachable)
                       ? 0
-                      : manhattan_distance(msg.header.current(), msg.header.destination());
+                      : mesh_->min_hops(msg.header.current(), msg.header.destination());
     msg.distance_at_occurrence.push_back(d);
   }
 
@@ -169,7 +170,8 @@ SwitchDecision DynamicSimulation::decide(int id) {
 MoveResult DynamicSimulation::commit_move(int id, const SwitchDecision& decision) {
   MessageProgress& msg = messages_[static_cast<size_t>(id)];
   if (decision.action == SwitchAction::kForward) {
-    msg.header.forward(decision.direction);
+    msg.header.forward(decision.direction,
+                       mesh_->step(msg.header.current(), decision.direction));
     if (decision.detour_preferred) ++msg.detour_preferred_taken;
   } else {
     msg.header.backtrack();

@@ -93,8 +93,10 @@ struct MessageProgress {
   /// parallel to occurrence_steps() of the simulation.
   std::vector<int> distance_at_occurrence;
 
-  MessageProgress(int id_, const Coord& s, const Coord& d)
-      : id(id_), header(s, d), initial_distance(manhattan_distance(s, d)) {}
+  /// `min_distance` is the topology's fault-free min_hops(s, d) — the
+  /// baseline detours() measures against.
+  MessageProgress(int id_, const Coord& s, const Coord& d, int min_distance)
+      : id(id_), header(s, d), initial_distance(min_distance) {}
 
   [[nodiscard]] bool done() const { return delivered || unreachable || budget_exhausted; }
 
@@ -117,7 +119,7 @@ struct OccurrenceRecord {
 
 class DynamicSimulation final : public SwitchingHost {
  public:
-  DynamicSimulation(const MeshTopology& mesh, FaultSchedule schedule,
+  DynamicSimulation(const Topology& mesh, FaultSchedule schedule,
                     DynamicSimulationOptions options = {});
 
   /// Injects a routing message at `source` toward `dest`; it advances one
@@ -156,7 +158,7 @@ class DynamicSimulation final : public SwitchingHost {
     return occurrences_;
   }
   [[nodiscard]] const DistributedFaultModel& model() const { return model_; }
-  [[nodiscard]] const MeshTopology& mesh() const { return *mesh_; }
+  [[nodiscard]] const Topology& mesh() const { return *mesh_; }
   /// The delayed-global provider, or null unless info_mode=kDelayedGlobal.
   [[nodiscard]] const DelayedGlobalInfoProvider* delayed_provider() const {
     return delayed_provider_.get();
@@ -195,7 +197,7 @@ class DynamicSimulation final : public SwitchingHost {
   [[nodiscard]] RoutingContext context() const;
   void finish_message(MessageProgress& msg, StepContext& ctx);
 
-  const MeshTopology* mesh_;
+  const Topology* mesh_;
   FaultSchedule schedule_;
   DynamicSimulationOptions options_;
   DistributedFaultModel model_;

@@ -9,6 +9,7 @@
 
 #include "src/core/campaign.h"
 #include "src/core/scenario.h"
+#include "src/core/topology_registry.h"
 #include "src/core/traffic_workload.h"
 #include "src/routing/global_table_router.h"
 #include "src/routing/route_walker.h"
@@ -72,6 +73,13 @@ Config experiment_config() {
   Config cfg;
   cfg.define_int("mesh_dims", 2, "mesh dimensionality n")
       .define_int("radix", 16, "nodes per dimension k (the mesh is k-ary n-D)")
+      .define_string("topology", "mesh",
+                     "registered topology (mesh | torus | cmesh); the sixth "
+                     "component axis")
+      .define_string("extents", "",
+                     "mixed-radix extents e0,e1,... (overrides mesh_dims/radix)")
+      .define_int("concentration", 1,
+                  "cmesh: terminals per router (loads normalize per terminal)")
       .define_string("router", "fault_info",
                      "registered routing function (see RouterRegistry)")
       .define_string("info_mode", "auto",
@@ -344,14 +352,32 @@ ExperimentRunner::ExperimentRunner(Config config) : config_(std::move(config)) {
     throw ConfigError("switching=" + switching +
                       " is flit-level and always arbitrates its switch; "
                       "arbitration=false only makes sense with switching=ideal");
-  // Dependent keys fail eagerly too: router-level options via a throwaway
-  // construction, and the box model's extents spec via a throwaway parse
-  // (the mesh-dimension cross-check stays at build time — scenarios may
-  // override the mesh).
+  // Dependent keys fail eagerly too: router-level options and the topology
+  // geometry via throwaway constructions, and the box model's extents spec
+  // via a throwaway parse.
   (void)make_router();
+  const auto topo = make_topology(config_);
   (void)fault_model_registry().require(config_.get_str("fault_model"));
-  if (config_.get_str("fault_model") == "box")
-    (void)parse_box_spec(config_.get_str("fault_box"));
+  if (config_.get_str("fault_model") == "box") {
+    const Box box = parse_box_spec(config_.get_str("fault_box"));
+    // Cross-checks against the topology only hold for scenario=random (the
+    // worked-example scenarios override the mesh keys).
+    if (config_.get_str("scenario") == "random") {
+      if (box.lo().size() != topo->dims())
+        throw ConfigError("fault_box has " + std::to_string(box.lo().size()) +
+                          " dimensions but topology has " + std::to_string(topo->dims()));
+      if (topo->clip(box) != box)
+        throw ConfigError("fault_box '" + config_.get_str("fault_box") +
+                          "' reaches outside the topology bounds " +
+                          topo->bounds().to_string());
+    }
+  }
+  if (traffic != "none" && config_.get_str("scenario") == "random") {
+    // A throwaway construction validates pattern-level geometry (transpose
+    // on unequal extents, hotspot_frac range) before any replication runs.
+    Rng probe(0);
+    (void)make_traffic_pattern(traffic, *topo, config_, probe);
+  }
 }
 
 std::unique_ptr<Router> ExperimentRunner::make_router() const {
@@ -371,9 +397,8 @@ ExperimentRunner::StaticEnv ExperimentRunner::build_static(Rng& rng) const {
     env.net = std::make_unique<Network>(s.mesh);
     env.faults = s.faults;
   } else if (scenario == "random") {
-    const MeshTopology mesh(static_cast<int>(config_.get_int("mesh_dims")),
-                            static_cast<int>(config_.get_int("radix")));
-    env.net = std::make_unique<Network>(mesh);
+    const auto mesh = make_topology(config_);
+    env.net = std::make_unique<Network>(*mesh);
     env.faults = place_faults(env.net->mesh(), config_, rng);
   } else {
     throw ConfigError("unknown scenario '" + scenario +
@@ -395,8 +420,7 @@ ExperimentRunner::DynamicEnv ExperimentRunner::build_dynamic(Rng& rng, bool run_
     env.mesh = std::make_unique<MeshTopology>(3, 8);
     for (const auto& c : figure1_faults()) env.schedule.add_fail(start, c);
   } else if (scenario == "random") {
-    env.mesh = std::make_unique<MeshTopology>(static_cast<int>(config_.get_int("mesh_dims")),
-                                              static_cast<int>(config_.get_int("radix")));
+    env.mesh = make_topology(config_);
     if (config_.get_bool("recoveries")) {
       env.schedule = periodic_random_schedule(*env.mesh, batches,
                                               static_cast<int>(config_.get_int("faults")),

@@ -166,7 +166,7 @@ class ExperimentRunner {
     std::unique_ptr<Network> net;
     std::vector<Coord> faults;
     ConstructionRounds rounds;
-    [[nodiscard]] const MeshTopology& mesh() const { return net->mesh(); }
+    [[nodiscard]] const Topology& mesh() const { return net->mesh(); }
   };
   [[nodiscard]] StaticEnv build_static(Rng& rng) const;
 
@@ -174,7 +174,7 @@ class ExperimentRunner {
   /// (with `run_warmup`) `warmup_steps` already stepped.  Traffic runs pass
   /// run_warmup=false because the workload injects during its own warmup.
   struct DynamicEnv {
-    std::unique_ptr<MeshTopology> mesh;
+    std::unique_ptr<Topology> mesh;
     FaultSchedule schedule;
     std::unique_ptr<DynamicSimulation> sim;
   };

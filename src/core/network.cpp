@@ -4,15 +4,15 @@
 
 namespace lgfi {
 
-Network::Network(MeshTopology mesh, DistributedModelOptions options)
-    : mesh_(std::move(mesh)),
-      model_(mesh_, options),
+Network::Network(const Topology& mesh, DistributedModelOptions options)
+    : mesh_(mesh.clone()),
+      model_(*mesh_, options),
       provider_(model_.info()),
       router_(make_router("fault_info")) {}
 
 RoutingContext Network::context() const {
   RoutingContext ctx;
-  ctx.mesh = &mesh_;
+  ctx.mesh = mesh_.get();
   ctx.field = &model_.field();
   ctx.info = &provider_;
   return ctx;

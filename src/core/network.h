@@ -1,6 +1,6 @@
 #pragma once
-// User-facing facade: a k-ary n-D mesh with the limited-global fault
-// information machinery attached.
+// User-facing facade: a topology (k-ary n-D mesh by default) with the
+// limited-global fault information machinery attached.
 //
 // Network bundles the topology, the distributed fault model and the routing
 // context plumbing, so a user can inject faults, let the information
@@ -18,9 +18,9 @@ namespace lgfi {
 
 class Network {
  public:
-  explicit Network(MeshTopology mesh, DistributedModelOptions options = {});
+  explicit Network(const Topology& mesh, DistributedModelOptions options = {});
 
-  [[nodiscard]] const MeshTopology& mesh() const { return mesh_; }
+  [[nodiscard]] const Topology& mesh() const { return *mesh_; }
   [[nodiscard]] const StatusField& field() const { return model_.field(); }
   [[nodiscard]] DistributedFaultModel& model() { return model_; }
   [[nodiscard]] const DistributedFaultModel& model() const { return model_; }
@@ -48,7 +48,7 @@ class Network {
   RouteResult route(const Coord& source, const Coord& dest, long long step_budget = 0);
 
  private:
-  MeshTopology mesh_;
+  std::unique_ptr<Topology> mesh_;  ///< owned clone; stable address for model_/context()
   DistributedFaultModel model_;
   StoreInfoProvider provider_;
   std::unique_ptr<Router> router_;  ///< registry-built Algorithm 3 (route())

@@ -7,7 +7,7 @@
 namespace lgfi {
 
 NodeReport inspect_node(const DistributedFaultModel& model, const Coord& c) {
-  const MeshTopology& mesh = model.mesh();
+  const Topology& mesh = model.mesh();
   NodeReport r;
   r.coord = c;
   const NodeId id = mesh.index_of(c);
@@ -35,7 +35,7 @@ std::string NodeReport::describe() const {
 }
 
 PlacementFootprint placement_footprint(const DistributedFaultModel& model) {
-  const MeshTopology& mesh = model.mesh();
+  const Topology& mesh = model.mesh();
   PlacementFootprint f;
   f.node_count = mesh.node_count();
   for (NodeId id = 0; id < mesh.node_count(); ++id) {

@@ -24,7 +24,7 @@ StackedBlocksScenario stacked_blocks_scenario() {
   return s;
 }
 
-Pair random_enabled_pair(const MeshTopology& mesh, const StatusField& field, Rng& rng,
+Pair random_enabled_pair(const Topology& mesh, const StatusField& field, Rng& rng,
                          int min_distance) {
   for (int attempt = 0; attempt < 100000; ++attempt) {
     const NodeId a =
@@ -34,7 +34,7 @@ Pair random_enabled_pair(const MeshTopology& mesh, const StatusField& field, Rng
     if (field.at(a) != NodeStatus::kEnabled || field.at(b) != NodeStatus::kEnabled) continue;
     const Coord s = mesh.coord_of(a);
     const Coord d = mesh.coord_of(b);
-    if (manhattan_distance(s, d) < min_distance) continue;
+    if (mesh.min_hops(s, d) < min_distance) continue;
     return Pair{s, d};
   }
   return Pair{mesh.coord_of(0), mesh.coord_of(0)};

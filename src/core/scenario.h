@@ -37,7 +37,7 @@ struct Pair {
   Coord source;
   Coord dest;
 };
-Pair random_enabled_pair(const MeshTopology& mesh, const class StatusField& field, Rng& rng,
+Pair random_enabled_pair(const Topology& mesh, const class StatusField& field, Rng& rng,
                          int min_distance = 1);
 
 }  // namespace lgfi

@@ -1,0 +1,42 @@
+#pragma once
+// The topology axis: the sixth pluggable component registry.
+//
+// Topologies join routers, traffic patterns, switching models, fault models
+// and reporters as a `NamedRegistry` axis — the `topology=` config key names
+// the substrate every experiment runs on.  Built-ins: mesh (default, the
+// paper's), torus, cmesh.  Factories read the shared geometry keys:
+//
+//   mesh_dims, radix   k-ary n-D grid (the seed interface)
+//   extents            mixed-radix override, e.g. extents=16,4,4
+//   concentration      terminals per router (cmesh only; others require 1)
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/config.h"
+#include "src/core/named_registry.h"
+#include "src/mesh/topology.h"
+
+namespace lgfi {
+
+/// Builds a topology from config geometry keys.
+using TopologyFactory = std::function<std::unique_ptr<Topology>(const Config& config)>;
+
+/// The process-wide topology registry (the `topology=` axis).
+NamedRegistry<TopologyFactory>& topology_registry();
+
+/// Builds the topology named by `topology` (default "mesh"); throws
+/// ConfigError with the known names (and a did-you-mean suggestion) on an
+/// unknown name, and on invalid geometry (bad extents, concentration on a
+/// non-concentrated topology, ...).
+std::unique_ptr<Topology> make_topology(const Config& config);
+
+/// Parses an `extents` spec "e0,e1,..." into per-dimension extents; an empty
+/// spec falls back to `mesh_dims` dimensions of `radix` each.  Every token
+/// must be a fully-consumed positive integer — "16x,4" is rejected naming
+/// the bad token.
+std::vector<int> parse_extents_spec(const std::string& spec, int mesh_dims, int radix);
+
+}  // namespace lgfi

@@ -9,35 +9,39 @@ TrafficWorkload::TrafficWorkload(DynamicSimulation& sim, TrafficPattern& pattern
     : sim_(&sim), pattern_(&pattern), options_(options), rng_(&rng) {}
 
 void TrafficWorkload::inject(bool measured, TrafficResult& result) {
-  const MeshTopology& mesh = sim_->mesh();
+  const Topology& mesh = sim_->mesh();
   const StatusField& field = sim_->model().field();
   const NodeId nodes = static_cast<NodeId>(mesh.node_count());
   for (NodeId node = 0; node < nodes; ++node) {
-    if (!rng_->bernoulli(options_.injection_rate)) continue;
-    if (measured) ++result.offered;
-    // Only enabled nodes inject; a source absorbed into a block has no
-    // functional injection port this step.
-    if (field.at(node) != NodeStatus::kEnabled) continue;
-    const Coord source = mesh.coord_of(node);
-    const Coord dest = pattern_->destination(source, *rng_);
-    // dest == source: the pattern's fixed points do not inject.  A block-
-    // member destination is retired at injection (standard practice: traffic
-    // to a dead endpoint cannot be delivered, and routing it to exhaustion
-    // would measure the budget, not the network).
-    if (dest == source) continue;
-    if (is_block_member(field.at(dest))) continue;
-    const int id = sim_->launch_message(source, dest);
-    ++result.injected;
-    if (measured) {
-      ++result.measured;
-      result.measured_ids.push_back(id);
+    // Every terminal on the router draws its own injection Bernoulli; with
+    // concentration 1 (mesh/torus) the RNG stream is the historical one.
+    for (int t = 0; t < mesh.concentration(); ++t) {
+      if (!rng_->bernoulli(options_.injection_rate)) continue;
+      if (measured) ++result.offered;
+      // Only enabled nodes inject; a source absorbed into a block has no
+      // functional injection port this step.
+      if (field.at(node) != NodeStatus::kEnabled) continue;
+      const Coord source = mesh.coord_of(node);
+      const Coord dest = pattern_->destination(source, *rng_);
+      // dest == source: the pattern's fixed points do not inject.  A block-
+      // member destination is retired at injection (standard practice:
+      // traffic to a dead endpoint cannot be delivered, and routing it to
+      // exhaustion would measure the budget, not the network).
+      if (dest == source) continue;
+      if (is_block_member(field.at(dest))) continue;
+      const int id = sim_->launch_message(source, dest);
+      ++result.injected;
+      if (measured) {
+        ++result.measured;
+        result.measured_ids.push_back(id);
+      }
     }
   }
 }
 
 TrafficResult TrafficWorkload::run() {
   TrafficResult result;
-  const MeshTopology& mesh = sim_->mesh();
+  const Topology& mesh = sim_->mesh();
 
   // Warmup: fill the network; nothing injected here is measured.
   for (long long s = 0; s < options_.warmup_steps; ++s) {
@@ -92,8 +96,10 @@ TrafficResult TrafficWorkload::run() {
     }
   }
 
+  // Loads normalize per injection endpoint: terminal_count() terminals, not
+  // routers (they coincide except on the concentrated mesh).
   const double window =
-      static_cast<double>(options_.measure_steps) * static_cast<double>(mesh.node_count());
+      static_cast<double>(options_.measure_steps) * static_cast<double>(mesh.terminal_count());
   if (window > 0) {
     result.offered_load = static_cast<double>(result.offered) / window;
     result.accepted_throughput = static_cast<double>(result.measured_delivered) / window;

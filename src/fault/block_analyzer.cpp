@@ -6,7 +6,7 @@
 namespace lgfi {
 
 std::vector<BlockSummary> extract_blocks(const StatusField& field) {
-  const MeshTopology& mesh = field.mesh();
+  const Topology& mesh = field.mesh();
   const long long n = field.node_count();
   std::vector<uint8_t> seen(static_cast<size_t>(n), 0);
   std::vector<BlockSummary> out;
@@ -27,7 +27,7 @@ std::vector<BlockSummary> extract_blocks(const StatusField& field) {
       box = box.hull(c);
       ++block.member_count;
       if (field.at(cur) == NodeStatus::kFaulty) ++block.faulty_count;
-      mesh.for_each_neighbor(c, [&](Direction, const Coord& nb) {
+      mesh.for_each_grid_neighbor(c, [&](Direction, const Coord& nb) {
         const NodeId nid = mesh.index_of(nb);
         if (seen[static_cast<size_t>(nid)] || !is_block_member(field.at(nid))) return;
         seen[static_cast<size_t>(nid)] = 1;
@@ -91,7 +91,7 @@ bool blocks_chebyshev_separated(const std::vector<BlockSummary>& blocks) {
 }
 
 bool enabled_region_connected(const StatusField& field) {
-  const MeshTopology& mesh = field.mesh();
+  const Topology& mesh = field.mesh();
   const long long n = field.node_count();
   auto alive = [&](NodeId id) {
     const NodeStatus s = field.at(id);
@@ -117,7 +117,7 @@ bool enabled_region_connected(const StatusField& field) {
     const NodeId cur = q.front();
     q.pop();
     ++reached;
-    mesh.for_each_neighbor(mesh.coord_of(cur), [&](Direction, const Coord& nb) {
+    mesh.for_each_grid_neighbor(mesh.coord_of(cur), [&](Direction, const Coord& nb) {
       const NodeId nid = mesh.index_of(nb);
       if (seen[static_cast<size_t>(nid)] || !alive(nid)) return;
       seen[static_cast<size_t>(nid)] = 1;

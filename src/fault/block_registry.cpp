@@ -4,7 +4,7 @@
 
 namespace lgfi {
 
-InfoStore::InfoStore(const MeshTopology& mesh)
+InfoStore::InfoStore(const Topology& mesh)
     : infos_(static_cast<size_t>(mesh.node_count())),
       provs_(static_cast<size_t>(mesh.node_count())) {}
 

@@ -53,7 +53,7 @@ struct Provenance {
 /// Per-node replicated block information for a whole mesh.
 class InfoStore {
  public:
-  explicit InfoStore(const MeshTopology& mesh);
+  explicit InfoStore(const Topology& mesh);
 
   /// Adds (or refreshes) `info` at `node`.  Returns true if the store
   /// changed (new box, or newer epoch for an existing box).  A repeated

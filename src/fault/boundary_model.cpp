@@ -22,7 +22,7 @@ int containing_block(const std::vector<Box>& blocks, const Coord& c) {
 /// other block (a faulty/disabled node) — such positions cannot store
 /// information and are skipped, matching the enabled-node requirement of
 /// Definition 2.
-void deposit_envelope(const MeshTopology& mesh, const std::vector<Box>& blocks,
+void deposit_envelope(const Topology& mesh, const std::vector<Box>& blocks,
                       const Box& carrier, const BlockInfo& info, InformationPlacement& out) {
   for (const Coord& c : envelope_positions(mesh, carrier)) {
     if (containing_block(blocks, c) >= 0) continue;
@@ -32,7 +32,7 @@ void deposit_envelope(const MeshTopology& mesh, const std::vector<Box>& blocks,
 
 }  // namespace
 
-Box dangerous_region(const MeshTopology& mesh, const Box& block, Surface s) {
+Box dangerous_region(const Topology& mesh, const Box& block, Surface s) {
   // The prism sits on the side OPPOSITE the guarded crossing direction: the
   // boundary for S_{j,+} encloses the area below the block.
   Coord lo = block.lo();
@@ -66,7 +66,7 @@ bool block_cuts_all_minimal_paths(const Box& block, const Coord& u, const Coord&
   return false;
 }
 
-std::vector<Coord> wall_positions_ignoring_merges(const MeshTopology& mesh, const Box& block,
+std::vector<Coord> wall_positions_ignoring_merges(const Topology& mesh, const Box& block,
                                                   Surface s) {
   std::vector<Coord> out;
   // Walls extend from the edges of the opposite surface, away from the
@@ -85,7 +85,7 @@ std::vector<Coord> wall_positions_ignoring_merges(const MeshTopology& mesh, cons
   return out;
 }
 
-InformationPlacement compute_information_placement(const MeshTopology& mesh,
+InformationPlacement compute_information_placement(const Topology& mesh,
                                                    const std::vector<Box>& blocks,
                                                    uint32_t epoch) {
   InformationPlacement out(mesh);

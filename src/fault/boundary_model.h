@@ -32,12 +32,12 @@ struct InformationPlacement {
   long long merge_events = 0;      ///< times a wall ran into another block
   int max_wall_length = 0;         ///< longest wall walk (relates to c_i)
 
-  explicit InformationPlacement(const MeshTopology& mesh) : store(mesh) {}
+  explicit InformationPlacement(const Topology& mesh) : store(mesh) {}
 };
 
 /// Computes the full information placement for `blocks` (their boxes must be
 /// pairwise Chebyshev-separated, i.e. come from a stabilized field).
-InformationPlacement compute_information_placement(const MeshTopology& mesh,
+InformationPlacement compute_information_placement(const Topology& mesh,
                                                     const std::vector<Box>& blocks,
                                                     uint32_t epoch = 0);
 
@@ -46,7 +46,7 @@ InformationPlacement compute_information_placement(const MeshTopology& mesh,
 /// A message inside this prism whose destination lies strictly beyond B on
 /// the s side has no minimal path (clipped to the mesh; empty if B touches
 /// the mesh edge on that side).
-Box dangerous_region(const MeshTopology& mesh, const Box& block, Surface s);
+Box dangerous_region(const Topology& mesh, const Box& block, Surface s);
 
 /// True iff every minimal path from u to d is cut by `block` (the paper's
 /// critical condition "enters the area right below S1 and its destination is
@@ -57,7 +57,7 @@ bool block_cuts_all_minimal_paths(const Box& block, const Coord& u, const Coord&
 
 /// Expected wall node set for one (block, surface) pair ignoring merges —
 /// used by unit tests to pin down wall geometry.
-std::vector<Coord> wall_positions_ignoring_merges(const MeshTopology& mesh, const Box& block,
+std::vector<Coord> wall_positions_ignoring_merges(const Topology& mesh, const Box& block,
                                                   Surface s);
 
 }  // namespace lgfi

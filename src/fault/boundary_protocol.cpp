@@ -197,7 +197,7 @@ void DistributedFaultModel::handle_cancel_message(NodeId node, const CancelMessa
   if (m.carrier.empty()) sweep_carried_info(node, m.box, m.ttl);
 
   CancelMessage fwd = m;
-  mesh_->for_each_neighbor(c, [&](Direction, const Coord& nb) {
+  mesh_->for_each_grid_neighbor(c, [&](Direction, const Coord& nb) {
     if (corner_level(nb, shell) == 0) return;
     cancel_mail_->send(mesh_->index_of(nb), fwd);
   });

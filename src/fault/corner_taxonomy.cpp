@@ -36,7 +36,7 @@ int corner_level(const Coord& c, const Box& box) {
   return e.out_dims;
 }
 
-std::vector<Coord> envelope_positions(const MeshTopology& mesh, const Box& box, int m) {
+std::vector<Coord> envelope_positions(const Topology& mesh, const Box& box, int m) {
   std::vector<Coord> out;
   const Box shell = mesh.clip(box.inflated(1));
   shell.for_each([&](const Coord& c) {
@@ -47,11 +47,11 @@ std::vector<Coord> envelope_positions(const MeshTopology& mesh, const Box& box, 
   return out;
 }
 
-std::vector<Coord> block_corners(const MeshTopology& mesh, const Box& box) {
+std::vector<Coord> block_corners(const Topology& mesh, const Box& box) {
   return envelope_positions(mesh, box, box.dims());
 }
 
-std::vector<Coord> surface_positions(const MeshTopology& mesh, const Box& box, Surface s) {
+std::vector<Coord> surface_positions(const Topology& mesh, const Box& box, Surface s) {
   std::vector<Coord> out;
   const int coord = s.positive ? box.hi(s.dim) + 1 : box.lo(s.dim) - 1;
   if (coord < 0 || coord >= mesh.extent(s.dim)) return out;
@@ -67,7 +67,7 @@ std::vector<Coord> surface_positions(const MeshTopology& mesh, const Box& box, S
   return out;
 }
 
-std::vector<Coord> surface_edge_positions(const MeshTopology& mesh, const Box& box, Surface s) {
+std::vector<Coord> surface_edge_positions(const Topology& mesh, const Box& box, Surface s) {
   std::vector<Coord> out;
   const int coord = s.positive ? box.hi(s.dim) + 1 : box.lo(s.dim) - 1;
   if (coord < 0 || coord >= mesh.extent(s.dim)) return out;
@@ -88,7 +88,7 @@ std::vector<Coord> surface_edge_positions(const MeshTopology& mesh, const Box& b
 }
 
 std::vector<int> definition2_levels(const StatusField& field, const Box& box) {
-  const MeshTopology& mesh = field.mesh();
+  const Topology& mesh = field.mesh();
   const long long n = field.node_count();
   std::vector<int> level(static_cast<size_t>(n), 0);
 
@@ -97,7 +97,7 @@ std::vector<int> definition2_levels(const StatusField& field, const Box& box) {
     if (field.at(id) != NodeStatus::kEnabled) continue;
     const Coord c = mesh.coord_of(id);
     bool adjacent = false;
-    mesh.for_each_neighbor(c, [&](Direction, const Coord& nb) {
+    mesh.for_each_grid_neighbor(c, [&](Direction, const Coord& nb) {
       if (is_block_member(field.at(nb)) && box.contains(nb)) adjacent = true;
     });
     if (adjacent) level[static_cast<size_t>(id)] = 1;

@@ -59,20 +59,20 @@ int corner_level(const Coord& c, const Box& box);
 
 /// All envelope positions of `box` clipped to the mesh, optionally filtered
 /// to a given out-dimension count m (m = 0 means all envelope nodes).
-std::vector<Coord> envelope_positions(const MeshTopology& mesh, const Box& box, int m = 0);
+std::vector<Coord> envelope_positions(const Topology& mesh, const Box& box, int m = 0);
 
 /// The 2^n n-level corner positions (unclipped count may be smaller at mesh
 /// edges).
-std::vector<Coord> block_corners(const MeshTopology& mesh, const Box& box);
+std::vector<Coord> block_corners(const Topology& mesh, const Box& box);
 
 /// Nodes of adjacent surface S(dim,positive): out exactly in `dim` on that
 /// side (m == 1 positions of that face), clipped to the mesh.
-std::vector<Coord> surface_positions(const MeshTopology& mesh, const Box& box, Surface s);
+std::vector<Coord> surface_positions(const Topology& mesh, const Box& box, Surface s);
 
 /// The "edges of surface S" (Definition 3) *excluding corners*: positions at
 /// the surface's coordinate in `s.dim` whose remaining coordinates are out by
 /// one in exactly one other dimension.  These seed boundary propagation.
-std::vector<Coord> surface_edge_positions(const MeshTopology& mesh, const Box& box, Surface s);
+std::vector<Coord> surface_edge_positions(const Topology& mesh, const Box& box, Surface s);
 
 /// Recursive Definition-2 evaluation over a status field: computes each
 /// enabled node's corner level for the block containing `box` by iterating

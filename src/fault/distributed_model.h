@@ -88,7 +88,7 @@ struct ConstructionRounds {
 
 class DistributedFaultModel final : public SynchronousProtocol {
  public:
-  explicit DistributedFaultModel(const MeshTopology& mesh,
+  explicit DistributedFaultModel(const Topology& mesh,
                                  DistributedModelOptions options = {});
   // Out-of-line: the mailbox unique_ptrs hold types completed only in the
   // implementation files.
@@ -107,7 +107,7 @@ class DistributedFaultModel final : public SynchronousProtocol {
   ConstructionRounds stabilize(int max_rounds = 1 << 20);
 
   // --- observable state ---
-  [[nodiscard]] const MeshTopology& mesh() const { return *mesh_; }
+  [[nodiscard]] const Topology& mesh() const { return *mesh_; }
   [[nodiscard]] const StatusField& field() const { return field_; }
   [[nodiscard]] const InfoStore& info() const { return info_; }
   [[nodiscard]] const std::vector<LevelEntry>& levels_at(NodeId id) const {
@@ -190,7 +190,7 @@ class DistributedFaultModel final : public SynchronousProtocol {
 
  private:
 
-  const MeshTopology* mesh_;
+  const Topology* mesh_;
   DistributedModelOptions options_;
   StatusField field_;
   std::vector<uint8_t> freshly_clean_;

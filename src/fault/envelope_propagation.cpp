@@ -24,7 +24,7 @@ void DistributedFaultModel::start_info_flood(NodeId origin, const BlockInfo& inf
   InfoMessage m;
   m.info = info;
   m.ttl = static_cast<int16_t>(default_ttl());
-  mesh_->for_each_neighbor(c, [&](Direction, const Coord& nb) {
+  mesh_->for_each_grid_neighbor(c, [&](Direction, const Coord& nb) {
     if (corner_level(nb, info.box) == 0) return;  // not on the envelope
     info_mail_->send(mesh_->index_of(nb), m);
   });
@@ -60,7 +60,7 @@ void DistributedFaultModel::handle_info_message(NodeId node, const InfoMessage& 
   if (m.ttl <= 1) return;
   InfoMessage fwd = m;
   fwd.ttl = static_cast<int16_t>(m.ttl - 1);
-  mesh_->for_each_neighbor(c, [&](Direction, const Coord& nb) {
+  mesh_->for_each_grid_neighbor(c, [&](Direction, const Coord& nb) {
     if (corner_level(nb, shell) == 0) return;
     if (field_.at(nb) == NodeStatus::kFaulty) return;
     info_mail_->send(mesh_->index_of(nb), fwd);

@@ -101,7 +101,7 @@ LabelingResult stabilize_labeling(StatusField& field, int max_rounds,
   return r;
 }
 
-StatusField stabilized_field(const MeshTopology& mesh, const std::vector<Coord>& faults,
+StatusField stabilized_field(const Topology& mesh, const std::vector<Coord>& faults,
                              LabelingResult* result) {
   StatusField field = make_field_with_faults(mesh, faults);
   LabelingResult r = stabilize_labeling(field);

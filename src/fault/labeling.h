@@ -51,7 +51,7 @@ LabelingResult stabilize_labeling(StatusField& field, int max_rounds = 1 << 20,
 
 /// Convenience: build a field from scratch with `faults` injected and
 /// stabilize it (the static-fault case every block starts from).
-StatusField stabilized_field(const MeshTopology& mesh, const std::vector<Coord>& faults,
+StatusField stabilized_field(const Topology& mesh, const std::vector<Coord>& faults,
                              LabelingResult* result = nullptr);
 
 /// Rule predicates, exposed for unit tests and for the distributed protocol

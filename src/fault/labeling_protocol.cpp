@@ -9,7 +9,7 @@
 
 namespace lgfi {
 
-DistributedFaultModel::DistributedFaultModel(const MeshTopology& mesh,
+DistributedFaultModel::DistributedFaultModel(const Topology& mesh,
                                              DistributedModelOptions options)
     : mesh_(&mesh),
       options_(options),
@@ -142,14 +142,14 @@ bool DistributedFaultModel::round_levels() {
     const Coord c = mesh_->coord_of(id);
 
     // Level 1: a member neighbour's coordinate is the anchor.
-    mesh_->for_each_neighbor(c, [&](Direction, const Coord& nb) {
+    mesh_->for_each_grid_neighbor(c, [&](Direction, const Coord& nb) {
       if (is_member(nb)) out.push_back(LevelEntry{nb, 1});
     });
 
     // Level m >= 2: an anchor w seen at level m-1 by the inward neighbour in
     // every dimension where w differs from c (all offsets +-1).
     std::vector<Coord> candidates;
-    mesh_->for_each_neighbor(c, [&](Direction, const Coord& nb) {
+    mesh_->for_each_grid_neighbor(c, [&](Direction, const Coord& nb) {
       for (const auto& e : levels_prev_[static_cast<size_t>(mesh_->index_of(nb))]) {
         if (std::find(candidates.begin(), candidates.end(), e.anchor) == candidates.end())
           candidates.push_back(e.anchor);

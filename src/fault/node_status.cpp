@@ -14,7 +14,7 @@ const char* to_string(NodeStatus s) {
   return "?";
 }
 
-StatusField::StatusField(const MeshTopology& mesh)
+StatusField::StatusField(const Topology& mesh)
     : mesh_(&mesh),
       status_(static_cast<size_t>(mesh.node_count()), NodeStatus::kEnabled) {}
 
@@ -33,13 +33,13 @@ long long StatusField::count(NodeStatus s) const {
 bool StatusField::has_neighbor_with_status(NodeId id, NodeStatus s) const {
   const Coord c = mesh_->coord_of(id);
   bool found = false;
-  mesh_->for_each_neighbor(c, [&](Direction, const Coord& nb) {
+  mesh_->for_each_grid_neighbor(c, [&](Direction, const Coord& nb) {
     if (at(nb) == s) found = true;
   });
   return found;
 }
 
-StatusField make_field_with_faults(const MeshTopology& mesh, const std::vector<Coord>& faults) {
+StatusField make_field_with_faults(const Topology& mesh, const std::vector<Coord>& faults) {
   StatusField f(mesh);
   for (const auto& c : faults) f.inject_fault(c);
   return f;

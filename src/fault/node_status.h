@@ -34,9 +34,9 @@ enum class NodeStatus : uint8_t {
 /// Dense status array over a mesh.
 class StatusField {
  public:
-  explicit StatusField(const MeshTopology& mesh);
+  explicit StatusField(const Topology& mesh);
 
-  [[nodiscard]] const MeshTopology& mesh() const { return *mesh_; }
+  [[nodiscard]] const Topology& mesh() const { return *mesh_; }
 
   [[nodiscard]] NodeStatus at(NodeId id) const { return status_[static_cast<size_t>(id)]; }
   [[nodiscard]] NodeStatus at(const Coord& c) const { return at(mesh_->index_of(c)); }
@@ -95,12 +95,12 @@ class StatusField {
   }
 
  private:
-  const MeshTopology* mesh_;
+  const Topology* mesh_;
   std::vector<NodeStatus> status_;
   uint64_t version_ = 0;
 };
 
 /// Builds a field with the given faults injected and everything else enabled.
-StatusField make_field_with_faults(const MeshTopology& mesh, const std::vector<Coord>& faults);
+StatusField make_field_with_faults(const Topology& mesh, const std::vector<Coord>& faults);
 
 }  // namespace lgfi

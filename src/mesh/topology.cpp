@@ -6,14 +6,13 @@
 
 namespace lgfi {
 
-MeshTopology::MeshTopology(int dims, int radix)
-    : MeshTopology(std::vector<int>(static_cast<size_t>(dims), radix)) {}
-
-MeshTopology::MeshTopology(std::vector<int> extents) : extents_(std::move(extents)) {
+Topology::Topology(std::vector<int> extents, uint32_t wrap_mask, int concentration)
+    : extents_(std::move(extents)), wrap_mask_(wrap_mask), concentration_(concentration) {
   if (extents_.empty() || extents_.size() > static_cast<size_t>(kMaxDims))
-    throw std::invalid_argument("mesh dimensionality must be in [1, kMaxDims]");
+    throw std::invalid_argument("topology dimensionality must be in [1, kMaxDims]");
   for (int e : extents_)
-    if (e < 1) throw std::invalid_argument("mesh extent must be positive");
+    if (e < 1) throw std::invalid_argument("topology extent must be positive");
+  if (concentration_ < 1) throw std::invalid_argument("concentration must be >= 1");
   strides_.assign(extents_.size(), 1);
   node_count_ = 1;
   for (int i = dims() - 1; i >= 0; --i) {
@@ -22,34 +21,34 @@ MeshTopology::MeshTopology(std::vector<int> extents) : extents_(std::move(extent
   }
 }
 
-int MeshTopology::diameter() const {
+int Topology::diameter() const {
   int d = 0;
-  for (int e : extents_) d += e - 1;
+  for (int i = 0; i < dims(); ++i) d += wraps(i) ? extent(i) / 2 : extent(i) - 1;
   return d;
 }
 
-Box MeshTopology::bounds() const {
+Box Topology::bounds() const {
   Coord lo(dims());
   Coord hi(dims());
   for (int i = 0; i < dims(); ++i) hi[i] = extent(i) - 1;
   return Box(lo, hi);
 }
 
-bool MeshTopology::in_bounds(const Coord& c) const {
+bool Topology::in_bounds(const Coord& c) const {
   if (c.size() != dims()) return false;
   for (int i = 0; i < dims(); ++i)
     if (c[i] < 0 || c[i] >= extent(i)) return false;
   return true;
 }
 
-NodeId MeshTopology::index_of(const Coord& c) const {
+NodeId Topology::index_of(const Coord& c) const {
   assert(in_bounds(c));
   long long idx = 0;
   for (int i = 0; i < dims(); ++i) idx += c[i] * strides_[static_cast<size_t>(i)];
   return static_cast<NodeId>(idx);
 }
 
-Coord MeshTopology::coord_of(NodeId id) const {
+Coord Topology::coord_of(NodeId id) const {
   assert(id >= 0 && id < node_count_);
   Coord c(dims());
   long long rest = id;
@@ -60,45 +59,113 @@ Coord MeshTopology::coord_of(NodeId id) const {
   return c;
 }
 
-NodeId MeshTopology::neighbor(NodeId id, Direction dir) const {
+NodeId Topology::neighbor(NodeId id, Direction dir) const {
   const Coord c = coord_of(id);
+  const int e = extent(dir.dim());
   const int v = c[dir.dim()] + dir.sign();
-  if (v < 0 || v >= extent(dir.dim())) return kInvalidNode;
-  return static_cast<NodeId>(id + dir.sign() * strides_[static_cast<size_t>(dir.dim())]);
+  const long long stride = strides_[static_cast<size_t>(dir.dim())];
+  if (v >= 0 && v < e) return static_cast<NodeId>(id + dir.sign() * stride);
+  if (!wraps(dir.dim()) || e < 2) return kInvalidNode;
+  // Wrapping jumps the coordinate to the far end of the dimension: e-1 steps
+  // the opposite way in index space.
+  return static_cast<NodeId>(id - dir.sign() * (e - 1) * stride);
 }
 
-bool MeshTopology::has_neighbor(const Coord& c, Direction dir) const {
+bool Topology::has_neighbor(const Coord& c, Direction dir) const {
+  const int e = extent(dir.dim());
   const int v = c[dir.dim()] + dir.sign();
-  return v >= 0 && v < extent(dir.dim());
+  if (v >= 0 && v < e) return true;
+  return wraps(dir.dim()) && e >= 2;
 }
 
-std::vector<Coord> MeshTopology::neighbors(const Coord& c) const {
+Coord Topology::step(const Coord& c, Direction dir) const {
+  const int e = extent(dir.dim());
+  int v = c[dir.dim()] + dir.sign();
+  if (v < 0) v += e;
+  else if (v >= e) v -= e;
+  return c.with(dir.dim(), v);
+}
+
+std::vector<Coord> Topology::neighbors(const Coord& c) const {
   std::vector<Coord> out;
   out.reserve(static_cast<size_t>(direction_count()));
   for_each_neighbor(c, [&out](Direction, const Coord& n) { out.push_back(n); });
   return out;
 }
 
-bool MeshTopology::on_outer_surface(const Coord& c) const {
-  for (int i = 0; i < dims(); ++i)
-    if (c[i] == 0 || c[i] == extent(i) - 1) return true;
-  return false;
+bool Topology::has_grid_neighbor(const Coord& c, Direction dir) const {
+  const int v = c[dir.dim()] + dir.sign();
+  return v >= 0 && v < extent(dir.dim());
 }
 
-std::vector<Direction> MeshTopology::preferred_directions(const Coord& u,
-                                                          const Coord& d) const {
+int Topology::axis_step_sign(int dim, int from, int to) const {
+  if (from == to) return 0;
+  if (!wraps(dim)) return to > from ? 1 : -1;
+  const int e = extent(dim);
+  const int fwd = ((to - from) % e + e) % e;  // hops going +1 per step
+  const int bwd = e - fwd;                    // hops going -1 per step
+  return fwd <= bwd ? 1 : -1;
+}
+
+int Topology::min_hops(const Coord& a, const Coord& b) const {
+  int total = 0;
+  for (int i = 0; i < dims(); ++i) total += axis_distance(i, a[i], b[i]);
+  return total;
+}
+
+std::vector<Direction> Topology::preferred_directions(const Coord& u, const Coord& d) const {
   std::vector<Direction> out;
   for (int i = 0; i < dims(); ++i) {
-    if (u[i] < d[i]) out.emplace_back(i, true);
-    else if (u[i] > d[i]) out.emplace_back(i, false);
+    if (u[i] == d[i]) continue;
+    if (!wraps(i)) {
+      out.emplace_back(i, u[i] < d[i]);
+      continue;
+    }
+    const int e = extent(i);
+    const int fwd = ((d[i] - u[i]) % e + e) % e;
+    const int bwd = e - fwd;
+    // On a wraparound tie both ways are minimal; the negative direction comes
+    // first to match dense direction-index order.
+    if (fwd == bwd) {
+      out.emplace_back(i, false);
+      out.emplace_back(i, true);
+    } else {
+      out.emplace_back(i, fwd < bwd);
+    }
   }
   return out;
 }
 
-Box MeshTopology::clip(const Box& b) const {
+bool Topology::on_outer_surface(const Coord& c) const {
+  for (int i = 0; i < dims(); ++i) {
+    if (wraps(i)) continue;
+    if (c[i] == 0 || c[i] == extent(i) - 1) return true;
+  }
+  return false;
+}
+
+Box Topology::clip(const Box& b) const {
   if (b.empty()) return b;
   auto r = bounds().intersection(b);
   return r ? *r : Box();
 }
+
+MeshTopology::MeshTopology(int dims, int radix)
+    : MeshTopology(std::vector<int>(static_cast<size_t>(dims), radix)) {}
+
+MeshTopology::MeshTopology(std::vector<int> extents)
+    : Topology(std::move(extents), /*wrap_mask=*/0, /*concentration=*/1) {}
+
+TorusTopology::TorusTopology(int dims, int radix)
+    : TorusTopology(std::vector<int>(static_cast<size_t>(dims), radix)) {}
+
+TorusTopology::TorusTopology(std::vector<int> extents)
+    : Topology(std::move(extents), /*wrap_mask=*/0xffffffffu, /*concentration=*/1) {}
+
+CMeshTopology::CMeshTopology(int dims, int radix, int concentration)
+    : CMeshTopology(std::vector<int>(static_cast<size_t>(dims), radix), concentration) {}
+
+CMeshTopology::CMeshTopology(std::vector<int> extents, int concentration)
+    : Topology(std::move(extents), /*wrap_mask=*/0, concentration) {}
 
 }  // namespace lgfi

@@ -1,17 +1,42 @@
 #pragma once
-// k-ary n-dimensional mesh topology (Section 2.1).
+// Pluggable network topologies over a k-ary n-D coordinate grid.
 //
-// A k-ary n-D mesh has N = k^n nodes; two nodes are connected iff their
-// addresses differ by exactly one in exactly one dimension, so nodes along
-// each dimension form a linear array (no wraparound — this is a mesh, not a
-// torus).  `MeshTopology` provides the address <-> dense-index mapping,
-// neighbour enumeration, and the geometric predicates the rest of the
-// library builds on.  Per-dimension radices may differ (a generalization the
-// paper's analysis never relies against), so both 8x8x8 and 16x4x4 meshes
-// are expressible.
+// `Topology` is the substrate the whole library builds on: the address <->
+// dense-index mapping, neighbour/channel enumeration, the minimal-hop
+// metric, and the geometric predicates of the paper's fault machinery.  All
+// shipped topologies share one coordinate grid (per-dimension extents,
+// row-major dense indices) and differ in which dimensions *wrap* and how
+// many terminals share a router:
+//
+//   mesh   the paper's substrate (Section 2.1): a k-ary n-D mesh, no
+//          wraparound; nodes along each dimension form a linear array
+//   torus  wraparound channels in every dimension; there is no outer
+//          surface, so Section 5's no-fault-on-the-outmost-surface
+//          assumption becomes vacuous
+//   cmesh  concentrated mesh: `concentration` terminals share each router;
+//          the router grid itself is a plain mesh
+//
+// Two neighbour graphs coexist (DESIGN.md 13):
+//
+//   - the *channel graph* (`neighbor`, `for_each_neighbor`, `step`,
+//     `min_hops`): what routing, switching, arbitration and traffic see —
+//     wraparound links included;
+//   - the *coordinate grid* (`for_each_grid_neighbor`, `in_bounds`, `clip`):
+//     what the fault-information constructions operate on — blocks are
+//     axis-aligned boxes in coordinate space and envelope/boundary walks
+//     never cross a wraparound seam (a conservative, always-terminating
+//     port of the paper's machinery; see DESIGN.md 13).
+//
+// Per-dimension radices may differ (both 8x8x8 and 16x4x4 are expressible);
+// mixed-radix metrics account for each extent individually.
+//
+// Topologies register by name in topology_registry() (src/core) — the
+// `topology=` config axis — exactly like routers and traffic patterns.
 
 #include <cassert>
 #include <cstdint>
+#include <memory>
+#include <string>
 #include <vector>
 
 #include "src/mesh/box.h"
@@ -24,23 +49,36 @@ namespace lgfi {
 using NodeId = int32_t;
 inline constexpr NodeId kInvalidNode = -1;
 
-class MeshTopology {
+class Topology {
  public:
-  /// k-ary n-D mesh: `dims` dimensions of radix `radix` each.
-  MeshTopology(int dims, int radix);
+  virtual ~Topology() = default;
 
-  /// Mixed-radix mesh, extents[i] nodes along dimension i.
-  explicit MeshTopology(std::vector<int> extents);
+  /// The registered name of this topology ("mesh", "torus", "cmesh").
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// A deep copy with the concrete type preserved (Network stores one).
+  [[nodiscard]] virtual std::unique_ptr<Topology> clone() const = 0;
 
   [[nodiscard]] int dims() const { return static_cast<int>(extents_.size()); }
   [[nodiscard]] int extent(int dim) const { return extents_[static_cast<size_t>(dim)]; }
   [[nodiscard]] long long node_count() const { return node_count_; }
   [[nodiscard]] int direction_count() const { return 2 * dims(); }
 
-  /// Network diameter (k-1)*n for a k-ary n-D mesh (Section 2.1).
+  /// True if dimension `dim` has wraparound channels.
+  [[nodiscard]] bool wraps(int dim) const { return (wrap_mask_ & (1u << dim)) != 0; }
+
+  /// Terminals sharing each router (1 except for the concentrated mesh).
+  [[nodiscard]] int concentration() const { return concentration_; }
+  /// Injection endpoints: concentration() terminals per router.
+  [[nodiscard]] long long terminal_count() const { return concentration_ * node_count_; }
+
+  /// Network diameter of the channel graph: each dimension contributes
+  /// extent-1 hops (linear array) or floor(extent/2) hops (wrapped).  For a
+  /// k-ary n-D mesh with equal radices this is the familiar (k-1)*n; with
+  /// mixed radices it is the per-dimension sum.
   [[nodiscard]] int diameter() const;
 
-  /// The full mesh as a box [0 : extent_i - 1].
+  /// The full coordinate grid as a box [0 : extent_i - 1].
   [[nodiscard]] Box bounds() const;
 
   [[nodiscard]] bool in_bounds(const Coord& c) const;
@@ -51,16 +89,47 @@ class MeshTopology {
   /// Dense index -> address.
   [[nodiscard]] Coord coord_of(NodeId id) const;
 
-  /// The neighbour one hop along `dir`, or kInvalidNode at the mesh surface.
+  // --- channel graph (wraparound-aware) ------------------------------------
+
+  /// The neighbour one hop along `dir`, or kInvalidNode where no channel
+  /// exists (the grid surface of a non-wrapped dimension).
   [[nodiscard]] NodeId neighbor(NodeId id, Direction dir) const;
   [[nodiscard]] bool has_neighbor(const Coord& c, Direction dir) const;
 
-  /// All in-bounds neighbours of `c` (up to 2n of them).
+  /// The coordinate one channel hop along `dir`.  Pre: has_neighbor(c, dir).
+  [[nodiscard]] Coord step(const Coord& c, Direction dir) const;
+
+  /// All channel neighbours of `c` (up to 2n of them; a wrapped dimension of
+  /// extent 2 reports the same node through both of its directions).
   [[nodiscard]] std::vector<Coord> neighbors(const Coord& c) const;
 
-  /// Calls fn(direction, neighbor_coord) for every in-bounds neighbour.
+  /// Calls fn(direction, neighbor_coord) for every channel neighbour.
   template <typename Fn>
   void for_each_neighbor(const Coord& c, Fn&& fn) const {
+    for (int i = 0; i < direction_count(); ++i) {
+      const Direction d = Direction::from_index(i);
+      const int e = extent(d.dim());
+      const int v = c[d.dim()] + d.sign();
+      if (v < 0 || v >= e) {
+        if (!wraps(d.dim()) || e < 2) continue;
+        fn(d, c.with(d.dim(), v < 0 ? e - 1 : 0));
+        continue;
+      }
+      fn(d, d.apply(c));
+    }
+  }
+
+  // --- coordinate grid (never wraps) ---------------------------------------
+  // The fault-information constructions (labeling, identification, boundary
+  // walls) operate on this graph so blocks stay axis-aligned boxes in
+  // coordinate space on every topology.
+
+  [[nodiscard]] bool has_grid_neighbor(const Coord& c, Direction dir) const;
+
+  /// Calls fn(direction, neighbor_coord) for every in-grid neighbour,
+  /// ignoring wraparound channels.
+  template <typename Fn>
+  void for_each_grid_neighbor(const Coord& c, Fn&& fn) const {
     for (int i = 0; i < direction_count(); ++i) {
       const Direction d = Direction::from_index(i);
       const int v = c[d.dim()] + d.sign();
@@ -69,23 +138,99 @@ class MeshTopology {
     }
   }
 
-  /// True if `c` lies on the outmost surface of the mesh (some coordinate at
-  /// 0 or extent-1).  Section 5 assumes no fault occurs on the outmost
-  /// surface; boundary propagation stops there.
-  [[nodiscard]] bool on_outer_surface(const Coord& c) const;
+  // --- minimal-hop metric ---------------------------------------------------
 
-  /// Directions from u toward d that reduce Manhattan distance — the
-  /// *preferred* directions; all others are *spare* (Section 2.1).
+  /// Channel-graph distance along one dimension: |a-b|, or the shorter way
+  /// around when the dimension wraps.
+  [[nodiscard]] int axis_distance(int dim, int a, int b) const {
+    int d = a - b;
+    if (d < 0) d = -d;
+    if (!wraps(dim)) return d;
+    const int around = extent(dim) - d;
+    return around < d ? around : d;
+  }
+
+  /// Sign of the (a) shorter way along `dim` from `from` to `to`: +1 or -1,
+  /// 0 when the coordinates agree.  A wraparound tie (both ways equal)
+  /// resolves to +1, keeping routing deterministic.
+  [[nodiscard]] int axis_step_sign(int dim, int from, int to) const;
+
+  /// Channel-graph minimal hops between two addresses (the fault-free
+  /// distance oracle; equals the Manhattan distance on a mesh).
+  [[nodiscard]] int min_hops(const Coord& a, const Coord& b) const;
+
+  /// Directions from u toward d that reduce min_hops — the *preferred*
+  /// directions; all others are *spare* (Section 2.1).  A wraparound tie
+  /// makes both directions of that dimension preferred.
   [[nodiscard]] std::vector<Direction> preferred_directions(const Coord& u,
                                                             const Coord& d) const;
 
-  /// Clamps a box to the mesh bounds.
+  // --- boundary predicates --------------------------------------------------
+
+  /// True if `c` lies on the outmost surface of the grid: some coordinate at
+  /// 0 or extent-1 in a *non-wrapped* dimension.  Section 5 assumes no fault
+  /// occurs there; on a torus every dimension wraps, so no node is on an
+  /// outer surface and the assumption is vacuous.
+  [[nodiscard]] bool on_outer_surface(const Coord& c) const;
+
+  /// Clamps a box to the grid bounds.
   [[nodiscard]] Box clip(const Box& b) const;
+
+ protected:
+  /// `wrap_mask` bit i set = dimension i wraps; `concentration` terminals
+  /// per router (>= 1).
+  Topology(std::vector<int> extents, uint32_t wrap_mask, int concentration);
+  Topology(const Topology&) = default;
+  Topology& operator=(const Topology&) = default;
 
  private:
   std::vector<int> extents_;
   std::vector<long long> strides_;
   long long node_count_ = 0;
+  uint32_t wrap_mask_ = 0;
+  int concentration_ = 1;
+};
+
+/// The paper's substrate: k-ary n-D mesh, no wraparound.
+class MeshTopology final : public Topology {
+ public:
+  /// k-ary n-D mesh: `dims` dimensions of radix `radix` each.
+  MeshTopology(int dims, int radix);
+
+  /// Mixed-radix mesh, extents[i] nodes along dimension i.
+  explicit MeshTopology(std::vector<int> extents);
+
+  [[nodiscard]] std::string name() const override { return "mesh"; }
+  [[nodiscard]] std::unique_ptr<Topology> clone() const override {
+    return std::make_unique<MeshTopology>(*this);
+  }
+};
+
+/// k-ary n-D torus: wraparound channels in every dimension.
+class TorusTopology final : public Topology {
+ public:
+  TorusTopology(int dims, int radix);
+  explicit TorusTopology(std::vector<int> extents);
+
+  [[nodiscard]] std::string name() const override { return "torus"; }
+  [[nodiscard]] std::unique_ptr<Topology> clone() const override {
+    return std::make_unique<TorusTopology>(*this);
+  }
+};
+
+/// Concentrated mesh: `concentration` terminals share each router of a plain
+/// mesh grid.  Traffic injection runs per terminal (concentration Bernoulli
+/// draws per router per step) and loads normalize by terminal_count();
+/// express channels are a possible later extension.
+class CMeshTopology final : public Topology {
+ public:
+  CMeshTopology(int dims, int radix, int concentration);
+  CMeshTopology(std::vector<int> extents, int concentration);
+
+  [[nodiscard]] std::string name() const override { return "cmesh"; }
+  [[nodiscard]] std::unique_ptr<Topology> clone() const override {
+    return std::make_unique<CMeshTopology>(*this);
+  }
 };
 
 }  // namespace lgfi

@@ -8,9 +8,10 @@ RouteDecision DimensionOrderRouter::decide(const RoutingContext& ctx, RoutingHea
   if (u == dest) return RouteDecision{RouteAction::kDelivered};
 
   for (int dim = 0; dim < ctx.mesh->dims(); ++dim) {
-    if (u[dim] == dest[dim]) continue;
-    const Direction d(dim, u[dim] < dest[dim]);
-    const Coord v = d.apply(u);
+    const int sign = ctx.mesh->axis_step_sign(dim, u[dim], dest[dim]);
+    if (sign == 0) continue;
+    const Direction d(dim, sign > 0);
+    const Coord v = ctx.mesh->step(u, d);
     const NodeStatus vs = ctx.field->at(v);
     const bool blocked =
         vs == NodeStatus::kFaulty || (strict_ && vs == NodeStatus::kDisabled);

@@ -48,14 +48,14 @@ DirectionClass classify_direction(const RoutingContext& ctx, const Coord& u, con
   if (used.contains(dir)) return DirectionClass::kExcluded;
   if (!ctx.mesh->has_neighbor(u, dir)) return DirectionClass::kExcluded;
 
-  const Coord v = dir.apply(u);
+  const Coord v = ctx.mesh->step(u, dir);
   const NodeStatus vs = ctx.field->at(v);
   if (opts.avoid_faulty_neighbors && vs == NodeStatus::kFaulty) return DirectionClass::kExcluded;
   if (opts.avoid_disabled_neighbors && vs == NodeStatus::kDisabled)
     return DirectionClass::kExcluded;
 
-  const bool preferred = std::abs(v[dir.dim()] - dest[dir.dim()]) <
-                         std::abs(u[dir.dim()] - dest[dir.dim()]);
+  const bool preferred = ctx.mesh->axis_distance(dir.dim(), v[dir.dim()], dest[dir.dim()]) <
+                         ctx.mesh->axis_distance(dir.dim(), u[dir.dim()], dest[dir.dim()]);
   if (preferred) {
     if (opts.use_block_info && ctx.info != nullptr) {
       for (const BlockInfo& b : ctx.info->info_at(ctx.mesh->index_of(u))) {
@@ -85,7 +85,7 @@ std::vector<ClassifiedDirection> ordered_candidates(const RoutingContext& ctx, c
   }
 
   auto offset = [&](const ClassifiedDirection& cd) {
-    return std::abs(u[cd.dir.dim()] - dest[cd.dir.dim()]);
+    return ctx.mesh->axis_distance(cd.dir.dim(), u[cd.dir.dim()], dest[cd.dir.dim()]);
   };
   std::stable_sort(out.begin(), out.end(),
                    [&](const ClassifiedDirection& a, const ClassifiedDirection& b) {

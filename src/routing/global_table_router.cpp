@@ -2,7 +2,7 @@
 
 namespace lgfi {
 
-DelayedGlobalInfoProvider::DelayedGlobalInfoProvider(const MeshTopology& mesh)
+DelayedGlobalInfoProvider::DelayedGlobalInfoProvider(const Topology& mesh)
     : mesh_(&mesh), visible_(static_cast<size_t>(mesh.node_count())) {}
 
 void DelayedGlobalInfoProvider::publish(const std::vector<BlockInfo>& blocks,
@@ -18,7 +18,7 @@ void DelayedGlobalInfoProvider::advance(long long now) {
     bool fully_visible = true;
     for (NodeId id = 0; id < static_cast<NodeId>(mesh_->node_count()); ++id) {
       const long long arrival =
-          it->published_at + manhattan_distance(it->origin, mesh_->coord_of(id));
+          it->published_at + mesh_->min_hops(it->origin, mesh_->coord_of(id));
       if (arrival <= now_) {
         visible_[static_cast<size_t>(id)] = it->blocks;
       } else {

@@ -35,7 +35,7 @@ class GlobalInfoProvider final : public InfoProvider {
 /// dynamic-comparison experiment.
 class DelayedGlobalInfoProvider final : public InfoProvider {
  public:
-  explicit DelayedGlobalInfoProvider(const MeshTopology& mesh);
+  explicit DelayedGlobalInfoProvider(const Topology& mesh);
 
   /// Publishes a new global snapshot originating at `origin` at time `now`.
   void publish(const std::vector<BlockInfo>& blocks, const Coord& origin, long long now);
@@ -56,7 +56,7 @@ class DelayedGlobalInfoProvider final : public InfoProvider {
     long long published_at = 0;
   };
 
-  const MeshTopology* mesh_;
+  const Topology* mesh_;
   std::vector<std::vector<BlockInfo>> visible_;  ///< per node
   std::vector<Pending> pending_;
   long long now_ = 0;

@@ -13,7 +13,7 @@ bool traversable(const StatusField& field, NodeId id, OracleAvoid avoid) {
   return true;
 }
 
-std::vector<int> bfs_from(const MeshTopology& mesh, const StatusField& field, const Coord& from,
+std::vector<int> bfs_from(const Topology& mesh, const StatusField& field, const Coord& from,
                           OracleAvoid avoid) {
   std::vector<int> dist(static_cast<size_t>(mesh.node_count()), -1);
   const NodeId start = mesh.index_of(from);
@@ -36,7 +36,7 @@ std::vector<int> bfs_from(const MeshTopology& mesh, const StatusField& field, co
 
 }  // namespace
 
-std::optional<int> oracle_path_length(const MeshTopology& mesh, const StatusField& field,
+std::optional<int> oracle_path_length(const Topology& mesh, const StatusField& field,
                                       const Coord& source, const Coord& dest,
                                       OracleAvoid avoid) {
   const auto dist = bfs_from(mesh, field, dest, avoid);

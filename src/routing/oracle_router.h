@@ -22,7 +22,7 @@ enum class OracleAvoid : uint8_t {
 };
 
 /// Length of the shortest path s -> d (hops), or nullopt if disconnected.
-std::optional<int> oracle_path_length(const MeshTopology& mesh, const StatusField& field,
+std::optional<int> oracle_path_length(const Topology& mesh, const StatusField& field,
                                       const Coord& source, const Coord& dest,
                                       OracleAvoid avoid = OracleAvoid::kBlockMembers);
 

@@ -5,7 +5,7 @@ namespace lgfi {
 RouteResult run_static_route(const RoutingContext& ctx, Router& router, const Coord& source,
                              const Coord& dest, long long step_budget) {
   RouteResult r;
-  r.min_distance = manhattan_distance(source, dest);
+  r.min_distance = ctx.mesh->min_hops(source, dest);
   if (step_budget <= 0)
     step_budget = 4ll * ctx.mesh->direction_count() * ctx.mesh->node_count();
 
@@ -28,7 +28,7 @@ RouteResult run_static_route(const RoutingContext& ctx, Router& router, const Co
         r.total_steps = header.total_steps();
         return r;
       case RouteAction::kForward:
-        header.forward(d.direction);
+        header.forward(d.direction, ctx.mesh->step(header.current(), d.direction));
         if (d.detour_preferred) header.count_detour_forward();
         break;
       case RouteAction::kBacktrack:

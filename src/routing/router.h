@@ -47,7 +47,7 @@ class StoreInfoProvider final : public InfoProvider {
 
 /// The node-local view a routing decision may consult.
 struct RoutingContext {
-  const MeshTopology* mesh = nullptr;
+  const Topology* mesh = nullptr;
   const StatusField* field = nullptr;
   const InfoProvider* info = nullptr;
 };

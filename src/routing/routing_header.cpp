@@ -9,10 +9,11 @@ RoutingHeader::RoutingHeader(const Coord& source, const Coord& destination)
   path_.push_back(PathEntry{source, Direction::none(), {}});
 }
 
-void RoutingHeader::forward(Direction d) {
+void RoutingHeader::forward(Direction d) { forward(d, d.apply(path_.back().node)); }
+
+void RoutingHeader::forward(Direction d, const Coord& next) {
   assert(!d.is_none());
   path_.back().used.insert(d);
-  const Coord next = d.apply(path_.back().node);
   PathEntry entry{next, d, {}};
   if (persistent_marks_) {
     // Record the mark globally and hand the next node its accumulated set.

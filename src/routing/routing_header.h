@@ -42,8 +42,13 @@ class RoutingHeader {
   /// Length of the currently-held path in hops.
   [[nodiscard]] int path_hops() const { return static_cast<int>(path_.size()) - 1; }
 
-  /// Marks `d` used at the current node and pushes the next node.
+  /// Marks `d` used at the current node and pushes the next node (the plain
+  /// grid step `d.apply(current())`; wrap-aware callers use the overload).
   void forward(Direction d);
+
+  /// Same, with the next node supplied by the caller — `Topology::step`
+  /// lands here so wraparound channels forward to the far edge.
+  void forward(Direction d, const Coord& next);
 
   /// Pops the current node (PCS backtrack).  Pre: !at_source().
   void backtrack();

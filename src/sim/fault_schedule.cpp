@@ -49,13 +49,13 @@ std::vector<long long> FaultSchedule::occurrence_times() const {
 
 namespace {
 
-bool interior_ok(const MeshTopology& mesh, const Coord& c, const FaultPlacementOptions& opts) {
+bool interior_ok(const Topology& mesh, const Coord& c, const FaultPlacementOptions& opts) {
   return !opts.avoid_outer_surface || !mesh.on_outer_surface(c);
 }
 
 }  // namespace
 
-std::vector<Coord> random_fault_placement(const MeshTopology& mesh, int count, Rng& rng,
+std::vector<Coord> random_fault_placement(const Topology& mesh, int count, Rng& rng,
                                           const FaultPlacementOptions& opts,
                                           const std::vector<Coord>& forbidden) {
   std::unordered_set<NodeId> taken;
@@ -81,16 +81,18 @@ std::vector<Coord> random_fault_placement(const MeshTopology& mesh, int count, R
   return out;
 }
 
-std::vector<Coord> clustered_fault_placement(const MeshTopology& mesh, int count, Rng& rng,
+std::vector<Coord> clustered_fault_placement(const Topology& mesh, int count, Rng& rng,
                                              const FaultPlacementOptions& opts) {
   std::vector<Coord> out;
   if (count <= 0) return out;
 
-  // Random interior seed.
+  // Random interior seed.  Wrapped dimensions have no outer surface, so the
+  // interior shrink only applies where a surface exists.
   Coord seed(mesh.dims());
   for (int i = 0; i < mesh.dims(); ++i) {
-    const int lo = opts.avoid_outer_surface ? 1 : 0;
-    const int hi = mesh.extent(i) - 1 - (opts.avoid_outer_surface ? 1 : 0);
+    const bool shrink = opts.avoid_outer_surface && !mesh.wraps(i);
+    const int lo = shrink ? 1 : 0;
+    const int hi = mesh.extent(i) - 1 - (shrink ? 1 : 0);
     if (hi < lo) return out;  // mesh too small for interior placement
     seed[i] = rng.uniform_int(lo, hi);
   }
@@ -104,7 +106,9 @@ std::vector<Coord> clustered_fault_placement(const MeshTopology& mesh, int count
     const size_t pick = static_cast<size_t>(rng.next_below(frontier.size()));
     const Coord base = frontier[pick];
     std::vector<Coord> candidates;
-    mesh.for_each_neighbor(base, [&](Direction, const Coord& nb) {
+    // Grid growth (no wraparound): blocks are coordinate-space boxes, so a
+    // seam-spanning cluster would bounding-box to the whole dimension.
+    mesh.for_each_grid_neighbor(base, [&](Direction, const Coord& nb) {
       if (!interior_ok(mesh, nb, opts)) return;
       if (chosen.count(mesh.index_of(nb))) return;
       candidates.push_back(nb);
@@ -121,7 +125,7 @@ std::vector<Coord> clustered_fault_placement(const MeshTopology& mesh, int count
   return out;
 }
 
-std::vector<Coord> box_fault_placement(const MeshTopology& mesh, const Box& box) {
+std::vector<Coord> box_fault_placement(const Topology& mesh, const Box& box) {
   std::vector<Coord> out;
   const Box clipped = mesh.clip(box);
   clipped.for_each([&](const Coord& c) {
@@ -180,19 +184,19 @@ NamedRegistry<FaultModelFactory>& fault_model_registry() {
     NamedRegistry<FaultModelFactory> reg("fault model");
     reg.add(
         "random",
-        [](const MeshTopology& mesh, const Config& cfg, Rng& rng) {
+        [](const Topology& mesh, const Config& cfg, Rng& rng) {
           return random_fault_placement(mesh, static_cast<int>(cfg.get_int("faults")), rng);
         },
         {"independent uniform placement over interior nodes", {"faults"}});
     reg.add(
         "clustered",
-        [](const MeshTopology& mesh, const Config& cfg, Rng& rng) {
+        [](const Topology& mesh, const Config& cfg, Rng& rng) {
           return clustered_fault_placement(mesh, static_cast<int>(cfg.get_int("faults")), rng);
         },
         {"compact connected cluster grown from a random interior seed", {"faults"}});
     reg.add(
         "box",
-        [](const MeshTopology& mesh, const Config& cfg, Rng&) {
+        [](const Topology& mesh, const Config& cfg, Rng&) {
           const Box box = parse_box_spec(cfg.get_str("fault_box"));
           if (box.lo().size() != mesh.dims())
             throw ConfigError("fault_box '" + cfg.get_str("fault_box") + "' has " +
@@ -206,11 +210,11 @@ NamedRegistry<FaultModelFactory>& fault_model_registry() {
   return registry;
 }
 
-std::vector<Coord> place_faults(const MeshTopology& mesh, const Config& config, Rng& rng) {
+std::vector<Coord> place_faults(const Topology& mesh, const Config& config, Rng& rng) {
   return fault_model_registry().require(config.get_str("fault_model"))(mesh, config, rng);
 }
 
-FaultSchedule periodic_random_schedule(const MeshTopology& mesh, int batches,
+FaultSchedule periodic_random_schedule(const Topology& mesh, int batches,
                                        int faults_per_batch, long long start,
                                        long long interval, Rng& rng, bool recoveries,
                                        const std::vector<Coord>& forbidden) {

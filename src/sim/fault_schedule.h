@@ -71,25 +71,25 @@ struct FaultPlacementOptions {
 /// `count` faults placed independently at random interior nodes, all at
 /// `step`.  `forbidden` nodes (e.g. the source/destination under test) are
 /// never chosen.
-std::vector<Coord> random_fault_placement(const MeshTopology& mesh, int count, Rng& rng,
+std::vector<Coord> random_fault_placement(const Topology& mesh, int count, Rng& rng,
                                           const FaultPlacementOptions& opts = {},
                                           const std::vector<Coord>& forbidden = {});
 
 /// A cluster of `count` faults grown by random adjacent steps from a random
 /// interior seed — produces a compact connected fault set whose block has
 /// e_max roughly count^(1/n).
-std::vector<Coord> clustered_fault_placement(const MeshTopology& mesh, int count, Rng& rng,
+std::vector<Coord> clustered_fault_placement(const Topology& mesh, int count, Rng& rng,
                                              const FaultPlacementOptions& opts = {});
 
 /// Fails every node of `box` (clipped to the interior).  Gives exact control
 /// over block extents for convergence experiments.
-std::vector<Coord> box_fault_placement(const MeshTopology& mesh, const Box& box);
+std::vector<Coord> box_fault_placement(const Topology& mesh, const Box& box);
 
 /// Builds the paper's dynamic timeline: `batches` fault batches, the i-th at
 /// time t_i = start + i * interval (so d_i = interval), each failing
 /// `faults_per_batch` random nodes.  With `recoveries` true, earlier faults
 /// are sometimes recovered instead, exercising Definition 4.
-FaultSchedule periodic_random_schedule(const MeshTopology& mesh, int batches,
+FaultSchedule periodic_random_schedule(const Topology& mesh, int batches,
                                        int faults_per_batch, long long start,
                                        long long interval, Rng& rng,
                                        bool recoveries = false,
@@ -99,7 +99,7 @@ FaultSchedule periodic_random_schedule(const MeshTopology& mesh, int batches,
 /// one batch fails.  The config supplies model-level options (`faults`,
 /// `fault_box`); `rng` draws from the replication's private stream.
 using FaultModelFactory =
-    std::function<std::vector<Coord>(const MeshTopology& mesh, const Config& config, Rng& rng)>;
+    std::function<std::vector<Coord>(const Topology& mesh, const Config& config, Rng& rng)>;
 
 /// The process-wide fault-model registry (the `fault_model=` axis) — the
 /// same NamedRegistry scheme as routers / traffic patterns / switching
@@ -109,7 +109,7 @@ NamedRegistry<FaultModelFactory>& fault_model_registry();
 /// Places one batch of faults via the registered `fault_model`; throws
 /// ConfigError with the known models (and a did-you-mean suggestion) on an
 /// unknown name.
-std::vector<Coord> place_faults(const MeshTopology& mesh, const Config& config, Rng& rng);
+std::vector<Coord> place_faults(const Topology& mesh, const Config& config, Rng& rng);
 
 /// Parses `fault_box` extents "lo:hi,lo:hi,..." (one range per dimension; a
 /// bare "v" means "v:v").  Every bound must be a fully-consumed integer —

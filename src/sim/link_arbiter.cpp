@@ -5,7 +5,7 @@
 
 namespace lgfi {
 
-LinkArbiter::LinkArbiter(const MeshTopology& mesh)
+LinkArbiter::LinkArbiter(const Topology& mesh)
     : dirs_(mesh.direction_count()),
       cursor_(static_cast<size_t>(mesh.node_count()) * static_cast<size_t>(dirs_), 0) {}
 

@@ -25,7 +25,7 @@ namespace lgfi {
 
 class LinkArbiter {
  public:
-  explicit LinkArbiter(const MeshTopology& mesh);
+  explicit LinkArbiter(const Topology& mesh);
 
   /// Clears the step's requests.  Grant history — the round-robin cursors —
   /// persists across steps; that persistence is what makes repeated

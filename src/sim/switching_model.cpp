@@ -32,7 +32,7 @@ const SwitchingModelFactory& SwitchingModelRegistry::require(const std::string& 
 }
 
 std::unique_ptr<SwitchingModel> SwitchingModelRegistry::make(
-    const std::string& name, const MeshTopology& mesh, const SwitchingOptions& options) const {
+    const std::string& name, const Topology& mesh, const SwitchingOptions& options) const {
   return require(name)(mesh, options);
 }
 
@@ -43,7 +43,7 @@ SwitchingModelRegistrar::SwitchingModelRegistrar(const std::string& name,
 }
 
 std::unique_ptr<SwitchingModel> make_switching_model(const std::string& name,
-                                                     const MeshTopology& mesh,
+                                                     const Topology& mesh,
                                                      const SwitchingOptions& options) {
   return SwitchingModelRegistry::instance().make(name, mesh, options);
 }
@@ -57,7 +57,7 @@ namespace {
 
 class IdealSwitching final : public SwitchingModel {
  public:
-  IdealSwitching(const MeshTopology& mesh, const SwitchingOptions& options)
+  IdealSwitching(const Topology& mesh, const SwitchingOptions& options)
       : arbitration_(options.link_arbitration) {
     if (arbitration_) fifo_.resize(static_cast<size_t>(mesh.node_count()));
   }
@@ -184,14 +184,14 @@ class IdealSwitching final : public SwitchingModel {
 // registrars the way it would an otherwise-unreferenced object file.
 const SwitchingModelRegistrar ideal_registrar(  // NOLINT(cert-err58-cpp)
     "ideal",
-    [](const MeshTopology& mesh, const SwitchingOptions& options) {
+    [](const Topology& mesh, const SwitchingOptions& options) {
       return std::make_unique<IdealSwitching>(mesh, options);
     },
     {"single-flit packets, one hop per step (the historical behavior)", {"arbitration"}});
 
 const SwitchingModelRegistrar wormhole_registrar(  // NOLINT(cert-err58-cpp)
     "wormhole",
-    [](const MeshTopology& mesh, const SwitchingOptions& options) {
+    [](const Topology& mesh, const SwitchingOptions& options) {
       return std::make_unique<WormholeSwitching>(mesh, options);
     },
     {"flit-level switching: virtual channels + credit flow control",

@@ -155,7 +155,7 @@ class SwitchingModel {
 };
 
 using SwitchingModelFactory = std::function<std::unique_ptr<SwitchingModel>(
-    const MeshTopology& mesh, const SwitchingOptions& options)>;
+    const Topology& mesh, const SwitchingOptions& options)>;
 
 class SwitchingModelRegistry {
  public:
@@ -174,7 +174,7 @@ class SwitchingModelRegistry {
   /// did-you-mean suggestion) on an unknown `name`, and on out-of-range
   /// options.
   [[nodiscard]] std::unique_ptr<SwitchingModel> make(const std::string& name,
-                                                     const MeshTopology& mesh,
+                                                     const Topology& mesh,
                                                      const SwitchingOptions& options) const;
 
   /// The factory registered under `name`; throws ConfigError naming the
@@ -197,7 +197,7 @@ struct SwitchingModelRegistrar {
 
 /// Convenience wrapper over SwitchingModelRegistry::instance().make().
 std::unique_ptr<SwitchingModel> make_switching_model(const std::string& name,
-                                                     const MeshTopology& mesh,
+                                                     const Topology& mesh,
                                                      const SwitchingOptions& options);
 
 }  // namespace lgfi

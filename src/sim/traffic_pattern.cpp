@@ -5,7 +5,7 @@
 
 namespace lgfi {
 
-Coord mesh_center(const MeshTopology& mesh) {
+Coord mesh_center(const Topology& mesh) {
   Coord c(mesh.dims());
   for (int d = 0; d < mesh.dims(); ++d) c[d] = mesh.extent(d) / 2;
   return c;
@@ -28,7 +28,7 @@ bool TrafficPatternRegistry::contains(const std::string& name) const {
 std::vector<std::string> TrafficPatternRegistry::names() const { return registry_.names(); }
 
 std::unique_ptr<TrafficPattern> TrafficPatternRegistry::make(const std::string& name,
-                                                             const MeshTopology& mesh,
+                                                             const Topology& mesh,
                                                              const Config& config,
                                                              Rng& rng) const {
   return registry_.require(name)(mesh, config, rng);
@@ -41,7 +41,7 @@ TrafficPatternRegistrar::TrafficPatternRegistrar(const std::string& name,
 }
 
 std::unique_ptr<TrafficPattern> make_traffic_pattern(const std::string& name,
-                                                     const MeshTopology& mesh,
+                                                     const Topology& mesh,
                                                      const Config& config, Rng& rng) {
   return TrafficPatternRegistry::instance().make(name, mesh, config, rng);
 }
@@ -54,7 +54,7 @@ namespace {
 
 class UniformPattern final : public TrafficPattern {
  public:
-  explicit UniformPattern(const MeshTopology& mesh) : mesh_(&mesh) {}
+  explicit UniformPattern(const Topology& mesh) : mesh_(&mesh) {}
 
   Coord destination(const Coord& source, Rng& rng) override {
     if (mesh_->node_count() <= 1) return source;
@@ -68,12 +68,12 @@ class UniformPattern final : public TrafficPattern {
   std::string name() const override { return "uniform"; }
 
  private:
-  const MeshTopology* mesh_;
+  const Topology* mesh_;
 };
 
 class TransposePattern final : public TrafficPattern {
  public:
-  explicit TransposePattern(const MeshTopology& mesh) : mesh_(&mesh) {
+  explicit TransposePattern(const Topology& mesh) : mesh_(&mesh) {
     for (int d = 0; d < mesh.dims(); ++d)
       if (mesh.extent(d) != mesh.extent(0))
         throw ConfigError("traffic=transpose needs equal extents in every dimension");
@@ -91,12 +91,12 @@ class TransposePattern final : public TrafficPattern {
   std::string name() const override { return "transpose"; }
 
  private:
-  const MeshTopology* mesh_;
+  const Topology* mesh_;
 };
 
 class BitComplementPattern final : public TrafficPattern {
  public:
-  explicit BitComplementPattern(const MeshTopology& mesh) : mesh_(&mesh) {}
+  explicit BitComplementPattern(const Topology& mesh) : mesh_(&mesh) {}
 
   Coord destination(const Coord& source, Rng&) override {
     Coord d(mesh_->dims());
@@ -107,12 +107,12 @@ class BitComplementPattern final : public TrafficPattern {
   std::string name() const override { return "bit_complement"; }
 
  private:
-  const MeshTopology* mesh_;
+  const Topology* mesh_;
 };
 
 class HotspotPattern final : public TrafficPattern {
  public:
-  HotspotPattern(const MeshTopology& mesh, double frac)
+  HotspotPattern(const Topology& mesh, double frac)
       : uniform_(mesh), hotspot_(mesh_center(mesh)), frac_(frac) {
     if (frac < 0.0 || frac > 1.0)
       throw ConfigError("hotspot_frac must be in [0, 1]");
@@ -136,7 +136,7 @@ class HotspotPattern final : public TrafficPattern {
 
 class PermutationPattern final : public TrafficPattern {
  public:
-  PermutationPattern(const MeshTopology& mesh, Rng& rng) : mesh_(&mesh) {
+  PermutationPattern(const Topology& mesh, Rng& rng) : mesh_(&mesh) {
     perm_.resize(static_cast<size_t>(mesh.node_count()));
     std::iota(perm_.begin(), perm_.end(), 0);
     rng.shuffle(perm_);
@@ -149,34 +149,34 @@ class PermutationPattern final : public TrafficPattern {
   std::string name() const override { return "permutation"; }
 
  private:
-  const MeshTopology* mesh_;
+  const Topology* mesh_;
   std::vector<NodeId> perm_;
 };
 
 const TrafficPatternRegistrar kUniform(
     "uniform",
-    [](const MeshTopology& mesh, const Config&, Rng&) {
+    [](const Topology& mesh, const Config&, Rng&) {
       return std::make_unique<UniformPattern>(mesh);
     },
     {"destination uniform over all nodes != source", {}});
 
 const TrafficPatternRegistrar kTranspose(
     "transpose",
-    [](const MeshTopology& mesh, const Config&, Rng&) {
+    [](const Topology& mesh, const Config&, Rng&) {
       return std::make_unique<TransposePattern>(mesh);
     },
     {"coordinates rotated one dimension (2-D: (x,y) -> (y,x))", {}});
 
 const TrafficPatternRegistrar kBitComplement(
     "bit_complement",
-    [](const MeshTopology& mesh, const Config&, Rng&) {
+    [](const Topology& mesh, const Config&, Rng&) {
       return std::make_unique<BitComplementPattern>(mesh);
     },
     {"destination mirrored through the mesh center", {}});
 
 const TrafficPatternRegistrar kHotspot(
     "hotspot",
-    [](const MeshTopology& mesh, const Config& cfg, Rng&) {
+    [](const Topology& mesh, const Config& cfg, Rng&) {
       const double frac =
           cfg.defined("hotspot_frac") ? cfg.get_double("hotspot_frac") : kDefaultHotspotFrac;
       return std::make_unique<HotspotPattern>(mesh, frac);
@@ -185,7 +185,7 @@ const TrafficPatternRegistrar kHotspot(
 
 const TrafficPatternRegistrar kPermutation(
     "permutation",
-    [](const MeshTopology& mesh, const Config&, Rng& rng) {
+    [](const Topology& mesh, const Config&, Rng& rng) {
       return std::make_unique<PermutationPattern>(mesh, rng);
     },
     {"one fixed random node permutation per workload", {}});

@@ -49,7 +49,7 @@ class TrafficPattern {
 };
 
 using TrafficPatternFactory = std::function<std::unique_ptr<TrafficPattern>(
-    const MeshTopology& mesh, const Config& config, Rng& rng)>;
+    const Topology& mesh, const Config& config, Rng& rng)>;
 
 class TrafficPatternRegistry {
  public:
@@ -69,7 +69,7 @@ class TrafficPatternRegistry {
   /// pattern-level options (hotspot_frac, ...); `rng` seeds
   /// construction-time randomness (the permutation pattern's table).
   [[nodiscard]] std::unique_ptr<TrafficPattern> make(const std::string& name,
-                                                     const MeshTopology& mesh,
+                                                     const Topology& mesh,
                                                      const Config& config, Rng& rng) const;
 
   /// The catalog rows for every registered pattern (sorted by name).
@@ -87,10 +87,10 @@ struct TrafficPatternRegistrar {
 
 /// Convenience wrapper over TrafficPatternRegistry::instance().make().
 std::unique_ptr<TrafficPattern> make_traffic_pattern(const std::string& name,
-                                                     const MeshTopology& mesh,
+                                                     const Topology& mesh,
                                                      const Config& config, Rng& rng);
 
 /// The hotspot pattern's target: the center node of the mesh.
-Coord mesh_center(const MeshTopology& mesh);
+Coord mesh_center(const Topology& mesh);
 
 }  // namespace lgfi

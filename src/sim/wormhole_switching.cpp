@@ -15,7 +15,7 @@ void check_range(const char* key, int value, int lo, int hi) {
 }
 }  // namespace
 
-WormholeSwitching::WormholeSwitching(const MeshTopology& mesh, const SwitchingOptions& options)
+WormholeSwitching::WormholeSwitching(const Topology& mesh, const SwitchingOptions& options)
     : mesh_(&mesh), options_(options), dirs_(mesh.direction_count()) {
   check_range("num_vcs", options_.num_vcs, 1, 64);
   check_range("vc_buffer_depth", options_.vc_buffer_depth, 1, 4096);

@@ -60,7 +60,7 @@ class WormholeSwitching final : public SwitchingModel {
  public:
   /// Throws ConfigError on out-of-range options (num_vcs in [1, 64],
   /// vc_buffer_depth and flits_per_packet in [1, 4096]).
-  WormholeSwitching(const MeshTopology& mesh, const SwitchingOptions& options);
+  WormholeSwitching(const Topology& mesh, const SwitchingOptions& options);
 
   [[nodiscard]] std::string name() const override { return "wormhole"; }
   [[nodiscard]] bool arbitrated() const override { return true; }
@@ -130,7 +130,7 @@ class WormholeSwitching final : public SwitchingModel {
   void release_all(Worm& w);
   void remove_from_fifo(NodeId node, int id);
 
-  const MeshTopology* mesh_;
+  const Topology* mesh_;
   SwitchingOptions options_;
   int dirs_;
   std::vector<int32_t> vc_owner_;  ///< (channel * num_vcs + vc) -> worm id or -1

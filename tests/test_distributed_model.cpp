@@ -29,7 +29,7 @@ std::vector<Box> sorted_boxes(std::span<const BlockInfo> infos) {
 
 /// Compares the distributed InfoStore against the centralized fixpoint.
 /// Returns the number of mismatching nodes (and reports the first few).
-int placement_mismatches(const MeshTopology& mesh, const DistributedFaultModel& model,
+int placement_mismatches(const Topology& mesh, const DistributedFaultModel& model,
                          const InfoStore& expected, int report_limit = 5) {
   int mismatches = 0;
   for (NodeId id = 0; id < mesh.node_count(); ++id) {
@@ -49,7 +49,7 @@ int placement_mismatches(const MeshTopology& mesh, const DistributedFaultModel& 
   return mismatches;
 }
 
-void expect_converges_to_reference(const MeshTopology& mesh,
+void expect_converges_to_reference(const Topology& mesh,
                                    const std::vector<Coord>& faults) {
   DistributedFaultModel model(mesh);
   for (const auto& f : faults) model.inject_fault(f);

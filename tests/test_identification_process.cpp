@@ -16,7 +16,7 @@ namespace {
 
 /// Stabilizes a box-fault field and asserts every envelope node of the block
 /// holds exactly the identified box.
-void expect_identifies(const MeshTopology& mesh, const Box& block) {
+void expect_identifies(const Topology& mesh, const Box& block) {
   DistributedFaultModel model(mesh);
   for (const auto& c : box_fault_placement(mesh, block)) model.inject_fault(c);
   const auto rounds = model.stabilize(50000);

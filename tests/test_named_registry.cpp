@@ -192,14 +192,15 @@ TEST(RegistryCoverage, EveryRegisteredReporterConstructs) {
 // The describe/--list catalog.
 // ---------------------------------------------------------------------------
 
-TEST(ComponentCatalog, CoversAllFiveAxes) {
+TEST(ComponentCatalog, CoversAllSixAxes) {
   const auto sections = component_catalog();
-  ASSERT_EQ(sections.size(), 5u);
-  EXPECT_EQ(sections[0].config_key, "router");
-  EXPECT_EQ(sections[1].config_key, "traffic");
-  EXPECT_EQ(sections[2].config_key, "switching");
-  EXPECT_EQ(sections[3].config_key, "fault_model");
-  EXPECT_EQ(sections[4].config_key, "report");
+  ASSERT_EQ(sections.size(), 6u);
+  EXPECT_EQ(sections[0].config_key, "topology");
+  EXPECT_EQ(sections[1].config_key, "router");
+  EXPECT_EQ(sections[2].config_key, "traffic");
+  EXPECT_EQ(sections[3].config_key, "switching");
+  EXPECT_EQ(sections[4].config_key, "fault_model");
+  EXPECT_EQ(sections[5].config_key, "report");
   for (const auto& section : sections) {
     EXPECT_FALSE(section.components.empty()) << section.kind;
     for (const auto& c : section.components)
@@ -210,8 +211,8 @@ TEST(ComponentCatalog, CoversAllFiveAxes) {
 
 TEST(ComponentCatalog, DescribeTextNamesOneComponentPerRegistry) {
   const std::string text = describe_components();
-  for (const char* expected :
-       {"fault_info", "uniform", "wormhole", "clustered", "json", "(router=", "(traffic="})
+  for (const char* expected : {"fault_info", "uniform", "wormhole", "clustered", "json",
+                               "torus", "(topology=", "(router=", "(traffic="})
     EXPECT_NE(text.find(expected), std::string::npos) << "missing '" << expected << "'";
 }
 
