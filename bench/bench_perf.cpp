@@ -83,6 +83,80 @@ void BM_DynamicStep(benchmark::State& state) {
 }
 BENCHMARK(BM_DynamicStep);
 
+// --- active-set scale benches (DESIGN.md §14) -----------------------------
+// The headline numbers of the active-set round engine: quiescent-step cost
+// must be independent of node count (the full scan grows ~8x from 32^3 to
+// 64^3), and steady-state steps/sec with localized faults must hold up at
+// 100^3 = one million nodes.  bytes_per_node tracks the resident footprint
+// of the per-node protocol state.
+
+/// Steps the simulation until the information model reports three
+/// consecutive quiet rounds (converged after the step-0 fault batch).
+void converge(DynamicSimulation& sim) {
+  int quiet = 0;
+  for (int i = 0; i < 10000 && quiet < 3; ++i) {
+    sim.step();
+    quiet = sim.model().last_activity().any() ? 0 : quiet + 1;
+  }
+}
+
+/// A small fault cluster near (4,4,4) — localized, radix-independent.
+FaultSchedule localized_cluster() {
+  FaultSchedule sch;
+  for (const Coord& c : {Coord{4, 4, 4}, Coord{4, 5, 4}, Coord{5, 4, 4}, Coord{4, 4, 5},
+                         Coord{5, 5, 4}, Coord{4, 5, 5}})
+    sch.add_fail(0, c);
+  return sch;
+}
+
+void BM_QuiescentStep(benchmark::State& state) {
+  const int radix = static_cast<int>(state.range(0));
+  const bool active = state.range(1) != 0;
+  const MeshTopology mesh(3, radix);
+  DynamicSimulationOptions opts;
+  opts.model.active_set = active;
+  DynamicSimulation sim(mesh, localized_cluster(), opts);
+  converge(sim);
+  const long long visits_before = sim.model().protocol_node_visits();
+  for (auto _ : state) sim.step();
+  state.SetItemsProcessed(state.iterations());
+  state.counters["visits_per_step"] =
+      static_cast<double>(sim.model().protocol_node_visits() - visits_before) /
+      static_cast<double>(state.iterations());
+  state.counters["bytes_per_node"] = static_cast<double>(sim.model().memory_bytes()) /
+                                     static_cast<double>(mesh.node_count());
+}
+// 100^3 full-scan omitted: it only re-measures the O(N) scaling already
+// visible at 32 -> 64 and would dominate the perf job's wall clock.
+BENCHMARK(BM_QuiescentStep)
+    ->Args({32, 1})
+    ->Args({64, 1})
+    ->Args({100, 1})
+    ->Args({32, 0})
+    ->Args({64, 0});
+
+void BM_StepsPerSec(benchmark::State& state) {
+  const int radix = static_cast<int>(state.range(0));
+  const MeshTopology mesh(3, radix);
+  DynamicSimulation sim(mesh, localized_cluster());
+  converge(sim);
+  const Coord src{0, 0, 0};
+  const Coord dst{radix - 1, radix - 1, radix - 1};
+  int id = sim.launch_message(src, dst);
+  for (auto _ : state) {
+    sim.step();
+    const auto& m = sim.message(id);
+    if (m.delivered || m.unreachable || m.budget_exhausted)
+      id = sim.launch_message(src, dst);
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["steps_per_sec"] = benchmark::Counter(
+      static_cast<double>(state.iterations()), benchmark::Counter::kIsRate);
+  state.counters["bytes_per_node"] = static_cast<double>(sim.model().memory_bytes()) /
+                                     static_cast<double>(mesh.node_count());
+}
+BENCHMARK(BM_StepsPerSec)->Arg(64)->Arg(100);
+
 void BM_ParallelReplication(benchmark::State& state) {
   const int threads = static_cast<int>(state.range(0));
   ThreadPool pool(static_cast<unsigned>(threads));

@@ -41,6 +41,12 @@ def load_times(path):
         # Skip aggregate rows (mean/median/stddev of --benchmark_repetitions).
         if bench.get("run_type") == "aggregate":
             continue
+        # A benchmark that failed at runtime (error_occurred) has no timing
+        # row; warn instead of crashing the job on the missing key.
+        if bench.get("error_occurred") or "real_time" not in bench:
+            print(f"NOTE: skipping benchmark without timing data: "
+                  f"{bench.get('name', '<unnamed>')}")
+            continue
         unit = bench.get("time_unit", "ns")
         times[bench["name"]] = bench["real_time"] * _TO_NS.get(unit, 1.0)
     return times

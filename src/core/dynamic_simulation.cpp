@@ -28,6 +28,12 @@ DynamicSimulation::DynamicSimulation(const Topology& mesh, FaultSchedule schedul
   switching_ = make_switching_model(options_.switching, mesh, sopts);
   if (switching_->arbitrated()) arbiter_ = std::make_unique<LinkArbiter>(mesh);
 
+  // The per-message step budget depends only on construction-time values;
+  // computing it here keeps it out of the per-step hot path.
+  step_budget_ = options_.step_budget_per_message > 0
+                     ? options_.step_budget_per_message
+                     : 4ll * mesh_->direction_count() * mesh_->node_count();
+
   router_ = make_router(options_.router == "auto" ? router_name_for(options_.info_mode)
                                                   : options_.router,
                         options_.router_config);
@@ -135,7 +141,10 @@ void DynamicSimulation::run_information_rounds(StepContext& ctx) {
       }
     }
   }
-  if (options_.info_mode == InfoMode::kDelayedGlobal) delayed_provider_->advance(now_);
+  // Skip the provider's O(N) reveal sweep entirely while no snapshot wave is
+  // spreading — the common case once the network has stabilized.
+  if (options_.info_mode == InfoMode::kDelayedGlobal && delayed_provider_->wave_in_flight())
+    delayed_provider_->advance(now_);
 }
 
 void DynamicSimulation::finish_message(MessageProgress& msg, StepContext& ctx) {
@@ -221,9 +230,6 @@ uint64_t DynamicSimulation::field_version() const { return model_.field().versio
 void DynamicSimulation::arbitrate_and_advance(StepContext& ctx) {
   ctx.routing = context();
   step_ctx_ = &ctx;
-  step_budget_ = options_.step_budget_per_message > 0
-                     ? options_.step_budget_per_message
-                     : 4ll * mesh_->direction_count() * mesh_->node_count();
   switching_->advance_step(*this, arbiter_.get());
   step_ctx_ = nullptr;
 }

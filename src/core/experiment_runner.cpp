@@ -132,6 +132,10 @@ Config experiment_config() {
       .define_int("max_rounds", 1 << 20, "stabilization round cap (static mode)")
       .define_bool("persistent_marks", false,
                    "header ablation: marks survive backtracking (DESIGN.md 6.7)")
+      .define_bool("active_set", true,
+                   "protocol rounds iterate dirty-node worklists instead of "
+                   "scanning all N nodes (DESIGN.md 14); false: historical "
+                   "full-scan engine (byte-identical trajectories)")
       .define_bool("ecube_strict", true,
                    "dimension_order: disabled nodes block the route too")
       .define_string("oracle_avoid", "block_members",
@@ -388,17 +392,19 @@ InfoMode ExperimentRunner::info_mode() const { return resolve_info_mode(config_)
 
 ExperimentRunner::StaticEnv ExperimentRunner::build_static(Rng& rng) const {
   StaticEnv env;
+  DistributedModelOptions mopts;
+  mopts.active_set = config_.get_bool("active_set");
   const std::string& scenario = config_.get_str("scenario");
   if (scenario == "figure1") {
-    env.net = std::make_unique<Network>(MeshTopology(3, 8));
+    env.net = std::make_unique<Network>(MeshTopology(3, 8), mopts);
     env.faults = figure1_faults();
   } else if (scenario == "stacked_blocks") {
     auto s = stacked_blocks_scenario();
-    env.net = std::make_unique<Network>(s.mesh);
+    env.net = std::make_unique<Network>(s.mesh, mopts);
     env.faults = s.faults;
   } else if (scenario == "random") {
     const auto mesh = make_topology(config_);
-    env.net = std::make_unique<Network>(*mesh);
+    env.net = std::make_unique<Network>(*mesh, mopts);
     env.faults = place_faults(env.net->mesh(), config_, rng);
   } else {
     throw ConfigError("unknown scenario '" + scenario +
@@ -463,6 +469,7 @@ ExperimentRunner::DynamicEnv ExperimentRunner::build_dynamic(Rng& rng, bool run_
   opts.vc_buffer_depth = static_cast<int>(config_.get_int("vc_buffer_depth"));
   opts.flits_per_packet = static_cast<int>(config_.get_int("flits_per_packet"));
   opts.step_budget_per_message = config_.get_int("step_budget");
+  opts.model.active_set = config_.get_bool("active_set");
   env.sim = std::make_unique<DynamicSimulation>(*env.mesh, env.schedule, opts);
   if (run_warmup) {
     const long long warmup = config_.get_int("warmup_steps");

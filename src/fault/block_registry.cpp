@@ -77,4 +77,13 @@ long long InfoStore::total_entries() const {
   return n;
 }
 
+long long InfoStore::memory_bytes() const {
+  long long bytes = static_cast<long long>(
+      infos_.capacity() * sizeof(std::vector<BlockInfo>) +
+      provs_.capacity() * sizeof(std::vector<Provenance>));
+  for (const auto& e : infos_) bytes += static_cast<long long>(e.capacity() * sizeof(BlockInfo));
+  for (const auto& e : provs_) bytes += static_cast<long long>(e.capacity() * sizeof(Provenance));
+  return bytes;
+}
+
 }  // namespace lgfi

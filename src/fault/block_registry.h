@@ -85,6 +85,10 @@ class InfoStore {
   /// Total entries across all nodes.
   [[nodiscard]] long long total_entries() const;
 
+  /// Estimated resident bytes (per-node vector headers + retained entry
+  /// capacity).  O(N) — bench/reporting use only.
+  [[nodiscard]] long long memory_bytes() const;
+
  private:
   // Parallel per-node vectors (infos_ stays contiguous for InfoProvider).
   std::vector<std::vector<BlockInfo>> infos_;

@@ -11,6 +11,7 @@
 // old block finds that its existing condition cannot be satisfied" — plus
 // optional eager local invalidation rules (DESIGN.md §6 note 8).
 
+#include <algorithm>
 #include <cstdio>
 
 #include "src/fault/corner_taxonomy.h"
@@ -61,7 +62,7 @@ void DistributedFaultModel::handle_wall_message(NodeId node, const WallMessage& 
   prov.via = InfoVia::kWall;
   prov.dim = m.dim;
   prov.positive = m.positive;
-  if (info_.deposit(node, m.info, prov)) ++wall_deposits_;
+  if (deposit_info(node, m.info, prov)) ++wall_deposits_;
 
   const int dir = m.positive ? -1 : +1;  // S_{j,+} walls extend toward -j
   const Coord next = c.shifted(m.dim, dir);
@@ -95,11 +96,17 @@ void DistributedFaultModel::handle_wall_message(NodeId node, const WallMessage& 
 bool DistributedFaultModel::round_boundary() {
   wall_mail_->flip();
   bool any = false;
-  for (NodeId id = 0; id < field_.node_count(); ++id) {
+  auto deliver = [&](NodeId id) {
+    ++protocol_node_visits_;
     for (const auto& msg : wall_mail_->inbox(id)) {
       any = true;
       handle_wall_message(id, msg);
     }
+  };
+  if (options_.active_set) {
+    for (NodeId id : wall_mail_->active()) deliver(id);
+  } else {
+    for (NodeId id = 0; id < field_.node_count(); ++id) deliver(id);
   }
   return any || wall_mail_->pending() > 0;
 }
@@ -131,7 +138,7 @@ void DistributedFaultModel::handle_cancel_message(NodeId node, const CancelMessa
     // vice versa.  Disabled members are alive processors and relay the
     // cancel; a faulty blocker forces the merge-undo path (waiting for the
     // blocking block's identity if necessary, TTL-bounded).
-    (void)info_.cancel(node, m.box, m.epoch);
+    (void)remove_info(node, m.box, m.epoch);
     const int dir = m.positive ? -1 : +1;
     const Coord next = c.shifted(m.dim, dir);
     if (!mesh_->in_bounds(next)) return;
@@ -174,10 +181,9 @@ void DistributedFaultModel::handle_cancel_message(NodeId node, const CancelMessa
   // Envelope cancel flood (own envelope, or a carrier's when undoing merges).
   const Box& shell = m.carrier.empty() ? m.box : m.carrier;
   if (corner_level(c, shell) == 0 && !m.force) return;
-  (void)info_.cancel(node, m.box, m.epoch);
+  (void)remove_info(node, m.box, m.epoch);
   if (!m.carrier.empty()) {
-    merge_seen_[static_cast<size_t>(node)].erase(
-        merge_key(m.box, m.carrier, m.dim, m.positive != 0));
+    merge_seen_.erase(NodeKey{node, merge_key(m.box, m.carrier, m.dim, m.positive != 0)});
   }
   // Dedup by wave identity, not by removal success: a node that already lost
   // the entry (eager invalidation) must still relay the wave so the ring
@@ -185,9 +191,14 @@ void DistributedFaultModel::handle_cancel_message(NodeId node, const CancelMessa
   const uint64_t wave_key =
       merge_key(m.box, m.carrier, m.dim, m.positive != 0) ^
       (0x9E3779B97F4A7C15ull * (static_cast<uint64_t>(m.epoch) + 1));
-  auto& seen = cancel_seen_[static_cast<size_t>(node)];
-  if (seen.size() > 512) seen.clear();  // bounded memory; keys are epoch-scoped
-  if (!seen.insert(wave_key).second && !m.force) return;
+  auto& seen_count = cancel_seen_count_[static_cast<size_t>(node)];
+  if (seen_count > 512) {  // bounded memory; keys are epoch-scoped
+    std::erase_if(cancel_seen_, [node](const NodeKey& k) { return k.node == node; });
+    seen_count = 0;
+  }
+  const bool inserted = cancel_seen_.insert(NodeKey{node, wave_key}).second;
+  if (inserted) ++seen_count;
+  if (!inserted && !m.force) return;
   m.force = 0;
 
   // Sweep away everything this box was CARRYING (merged deposits): when the
@@ -250,9 +261,8 @@ void DistributedFaultModel::sweep_carried_info(NodeId node, const Box& dead_carr
     // note 11.
   }
   for (const auto& [f, prov] : carried) {
-    info_.cancel(node, f.box, f.epoch);
-    merge_seen_[static_cast<size_t>(node)].erase(
-        merge_key(f.box, dead_carrier, prov.dim, prov.positive != 0));
+    remove_info(node, f.box, f.epoch);
+    merge_seen_.erase(NodeKey{node, merge_key(f.box, dead_carrier, prov.dim, prov.positive != 0)});
     // Self-optimizing re-assertion: with the carrier gone, the foreign
     // block's straight wall can extend through the freed space again.  A
     // swept node sitting on that wall column re-walks it downward (the wall
@@ -290,9 +300,10 @@ void DistributedFaultModel::sweep_carried_info(NodeId node, const Box& dead_carr
   }
 }
 
-void DistributedFaultModel::check_eager_invalidation(NodeId node) {
+bool DistributedFaultModel::check_eager_invalidation(NodeId node) {
   const Coord c = mesh_->coord_of(node);
-  if (field_.at(node) == NodeStatus::kFaulty) return;
+  if (field_.at(node) == NodeStatus::kFaulty) return false;
+  bool fired = false;
   // Copy: start_cancel mutates the store.
   const auto held_span = info_.at(node);
   const std::vector<BlockInfo> held(held_span.begin(), held_span.end());
@@ -307,6 +318,7 @@ void DistributedFaultModel::check_eager_invalidation(NodeId node) {
         std::fprintf(stderr, "[cancel r%d] eager-b at %s box=%s\n", rounds_run_,
                      c.to_string().c_str(), b.box.to_string().c_str());
       start_cancel(node, b.box, b.epoch);
+      fired = true;
       continue;
     }
     // (c) adjacent (out-by-one) holder whose expected member neighbour is no
@@ -320,6 +332,7 @@ void DistributedFaultModel::check_eager_invalidation(NodeId node) {
                        c.to_string().c_str(), b.box.to_string().c_str(),
                        inward.to_string().c_str());
         start_cancel(node, b.box, b.epoch);
+        fired = true;
       }
     }
   }
@@ -328,58 +341,102 @@ void DistributedFaultModel::check_eager_invalidation(NodeId node) {
     for (const auto& big : held) {
       if (small.box == big.box) continue;
       if (big.box.contains(small.box) && big.epoch >= small.epoch)
-        info_.cancel(node, small.box, small.epoch);
+        if (remove_info(node, small.box, small.epoch)) fired = true;
     }
   }
+  return fired;
+}
+
+bool DistributedFaultModel::check_formed_corners(NodeId id) {
+  // Corner-triggered deletion (the paper's rule): a corner that formed block
+  // info whose corner condition no longer holds cancels it.
+  auto& formed = formed_at_corner_[static_cast<size_t>(id)];
+  if (formed.empty()) return false;
+  bool any = false;
+  const int n = mesh_->dims();
+  const Coord c = mesh_->coord_of(id);
+  for (size_t i = 0; i < formed.size();) {
+    const BlockInfo f = formed[i];
+    if (!info_.holds(id, f.box)) {
+      // The corner's own copy vanished (e.g. a local eager invalidation):
+      // its deletion duty still stands — stale replicas may survive
+      // elsewhere.  Fire the wave once, then drop the bookkeeping.
+      start_cancel(id, f.box, f.epoch);
+      any = true;
+      formed.erase(formed.begin() + static_cast<std::ptrdiff_t>(i));
+      continue;
+    }
+    bool condition_holds = false;
+    if (field_.at(id) == NodeStatus::kEnabled && corner_level(c, f.box) == n) {
+      // Still the opposite corner: must retain a level-n entry anchored at
+      // the diagonal member inside the old box.
+      for (const auto& e : levels_[static_cast<size_t>(id)])
+        if (e.level == n && f.box.contains(e.anchor)) condition_holds = true;
+    }
+    if (condition_holds) {
+      ++i;
+    } else {
+      if (options_.trace)
+        std::fprintf(stderr, "[cancel r%d] corner-d at %s box=%s\n", rounds_run_,
+                     mesh_->coord_of(id).to_string().c_str(), f.box.to_string().c_str());
+      formed.erase(formed.begin() + static_cast<std::ptrdiff_t>(i));
+      start_cancel(id, f.box, f.epoch);
+      any = true;
+    }
+  }
+  return any;
 }
 
 bool DistributedFaultModel::round_cancel() {
   cancel_mail_->flip();
   bool any = false;
 
-  // Corner-triggered deletion (the paper's rule): a corner that formed block
-  // info whose corner condition no longer holds cancels it.
-  const int n = mesh_->dims();
-  for (NodeId id = 0; id < field_.node_count(); ++id) {
-    auto& formed = formed_at_corner_[static_cast<size_t>(id)];
-    if (formed.empty()) continue;
-    const Coord c = mesh_->coord_of(id);
-    for (size_t i = 0; i < formed.size();) {
-      const BlockInfo f = formed[i];
-      if (!info_.holds(id, f.box)) {
-        // The corner's own copy vanished (e.g. a local eager invalidation):
-        // its deletion duty still stands — stale replicas may survive
-        // elsewhere.  Fire the wave once, then drop the bookkeeping.
-        start_cancel(id, f.box, f.epoch);
-        any = true;
-        formed.erase(formed.begin() + static_cast<std::ptrdiff_t>(i));
-        continue;
-      }
-      bool condition_holds = false;
-      if (field_.at(id) == NodeStatus::kEnabled && corner_level(c, f.box) == n) {
-        // Still the opposite corner: must retain a level-n entry anchored at
-        // the diagonal member inside the old box.
-        for (const auto& e : levels_[static_cast<size_t>(id)])
-          if (e.level == n && f.box.contains(e.anchor)) condition_holds = true;
-      }
-      if (condition_holds) {
-        ++i;
-      } else {
-        if (options_.trace)
-          std::fprintf(stderr, "[cancel r%d] corner-d at %s box=%s\n", rounds_run_,
-                       mesh_->coord_of(id).to_string().c_str(), f.box.to_string().c_str());
-        formed.erase(formed.begin() + static_cast<std::ptrdiff_t>(i));
-        start_cancel(id, f.box, f.epoch);
-        any = true;
+  if (options_.active_set) {
+    // Consume the dirty worklist up front: marks made while processing (info
+    // removals, status fallout) belong to NEXT round's checks, exactly when
+    // the full scan would next observe their effects.  Phase order within
+    // the round — all corner checks, then all eager checks, then the inbox
+    // deliveries — matches the full scan below.
+    std::vector<NodeId> cur;
+    cur.swap(cancel_queue_);
+    for (NodeId id : cur) cancel_marked_[static_cast<size_t>(id)] = 0;
+    std::sort(cur.begin(), cur.end());
+    for (NodeId id : cur) {
+      ++protocol_node_visits_;
+      if (check_formed_corners(id)) any = true;
+    }
+    if (options_.eager_invalidation) {
+      for (NodeId id : cur) {
+        ++protocol_node_visits_;
+        // A condition that persists (the wave needs a round to come back and
+        // remove the entry) must re-fire next round like the full scan does.
+        if (check_eager_invalidation(id)) mark_cancel(id);
       }
     }
+    for (NodeId id : cancel_mail_->active()) {
+      ++protocol_node_visits_;
+      for (const auto& msg : cancel_mail_->inbox(id)) {
+        any = true;
+        handle_cancel_message(id, msg);
+      }
+    }
+    return any || cancel_mail_->pending() > 0;
+  }
+
+  for (NodeId id = 0; id < field_.node_count(); ++id) {
+    ++protocol_node_visits_;
+    if (check_formed_corners(id)) any = true;
   }
 
   if (options_.eager_invalidation) {
-    for (NodeId id = 0; id < field_.node_count(); ++id) check_eager_invalidation(id);
+    for (NodeId id = 0; id < field_.node_count(); ++id) {
+      ++protocol_node_visits_;
+      (void)check_eager_invalidation(id);
+    }
   }
 
   for (NodeId id = 0; id < field_.node_count(); ++id) {
+    ++protocol_node_visits_;
     for (const auto& msg : cancel_mail_->inbox(id)) {
       any = true;
       handle_cancel_message(id, msg);

@@ -92,25 +92,32 @@ std::vector<int> definition2_levels(const StatusField& field, const Box& box) {
   const long long n = field.node_count();
   std::vector<int> level(static_cast<size_t>(n), 0);
 
+  // Every positive level lives on the inflated-box shell: a level-1 node is
+  // grid-adjacent to a member of `box`, and by induction a level-m node needs
+  // level-(m-1) neighbours in m distinct dims, which is impossible more than
+  // one step outside the box.  Scanning the shell instead of the whole mesh
+  // makes this O(|box surface|), independent of node count.
+  const Box shell = mesh.clip(box.inflated(1));
+
   // Level 1: enabled node with a neighbour that is a member of this block.
-  for (NodeId id = 0; id < n; ++id) {
-    if (field.at(id) != NodeStatus::kEnabled) continue;
-    const Coord c = mesh.coord_of(id);
+  shell.for_each([&](const Coord& c) {
+    const NodeId id = mesh.index_of(c);
+    if (field.at(id) != NodeStatus::kEnabled) return;
     bool adjacent = false;
     mesh.for_each_grid_neighbor(c, [&](Direction, const Coord& nb) {
       if (is_block_member(field.at(nb)) && box.contains(nb)) adjacent = true;
     });
     if (adjacent) level[static_cast<size_t>(id)] = 1;
-  }
+  });
 
   // Level m: enabled node with m neighbours of level m-1 in different dims.
   // Iterate levels upward; a node's level is the highest m it satisfies.
   for (int m = 2; m <= mesh.dims(); ++m) {
-    std::vector<int> next = level;
-    for (NodeId id = 0; id < n; ++id) {
-      if (field.at(id) != NodeStatus::kEnabled) continue;
-      if (level[static_cast<size_t>(id)] != 0) continue;  // already classified
-      const Coord c = mesh.coord_of(id);
+    std::vector<std::pair<size_t, int>> upgrades;
+    shell.for_each([&](const Coord& c) {
+      const NodeId id = mesh.index_of(c);
+      if (field.at(id) != NodeStatus::kEnabled) return;
+      if (level[static_cast<size_t>(id)] != 0) return;  // already classified
       int dims_with = 0;
       for (int d = 0; d < mesh.dims(); ++d) {
         bool hit = false;
@@ -121,9 +128,9 @@ std::vector<int> definition2_levels(const StatusField& field, const Box& box) {
         }
         if (hit) ++dims_with;
       }
-      if (dims_with >= m) next[static_cast<size_t>(id)] = m;
-    }
-    level = std::move(next);
+      if (dims_with >= m) upgrades.emplace_back(static_cast<size_t>(id), m);
+    });
+    for (const auto& [idx, lvl] : upgrades) level[idx] = lvl;
   }
   return level;
 }

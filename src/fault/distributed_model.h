@@ -37,6 +37,7 @@
 #include <vector>
 
 #include "src/fault/block_registry.h"
+#include "src/fault/labeling.h"
 #include "src/fault/node_status.h"
 #include "src/sim/engine.h"
 #include "src/sim/mailbox.h"
@@ -53,6 +54,14 @@ struct DistributedModelOptions {
   /// member status starts a cancel wave (besides the corner-triggered
   /// deletion).  Ablatable; see DESIGN.md §6 note 8.
   bool eager_invalidation = true;
+  /// Active-set round engine (DESIGN.md §14): every round phase iterates a
+  /// dirty-node worklist seeded from fault events, inbox deliveries and
+  /// prior-round state changes instead of scanning all N nodes.  The BSP
+  /// one-hop rule makes the worklist sound — a node with no mail and no
+  /// neighbour change cannot act — so the trajectory is byte-identical to
+  /// the full scan; set false to run (and test against) the O(N)-per-round
+  /// historical path.
+  bool active_set = true;
   /// Prints identification message events to stderr (debugging aid).
   bool trace = false;
 };
@@ -115,6 +124,14 @@ class DistributedFaultModel final : public SynchronousProtocol {
   }
   [[nodiscard]] long long messages_sent() const { return messages_sent_; }
   [[nodiscard]] int rounds_run() const { return rounds_run_; }
+  /// Per-node protocol evaluations performed so far, across all six round
+  /// phases.  Under the active-set engine a fully quiescent round performs
+  /// zero visits; the full scan performs ~6N (pinned by tests).
+  [[nodiscard]] long long protocol_node_visits() const { return protocol_node_visits_; }
+  /// Estimated resident bytes of the model's per-node state (SoA arrays,
+  /// consolidated bookkeeping tables, mailboxes).  The bytes/node headline
+  /// metric of the scale benches.
+  [[nodiscard]] long long memory_bytes() const;
   /// Activity flags of the most recent round (used by the dynamic step model
   /// to attribute convergence rounds to a_i / b_i / c_i).
   [[nodiscard]] const RoundActivity& last_activity() const { return last_activity_; }
@@ -141,7 +158,14 @@ class DistributedFaultModel final : public SynchronousProtocol {
 
   // identification.cpp helpers
   /// Returns true while some level-n corner lacks covering block info.
+  /// Full-scan form; the active form evaluates only pending corner nodes.
   bool trigger_identifications();
+  bool trigger_identifications_active();
+  /// Shared per-corner-node launch logic; returns true if the node still has
+  /// an uncovered, non-abandoned level-n corner (= it must stay pending).
+  bool evaluate_corner_node(NodeId id, int retry);
+  [[nodiscard]] int launch_retry_interval() const;
+  void age_identification_bookkeeping();
   void handle_ident_message(NodeId node, IdentMessage m);
   void launch_process(NodeId corner, const LevelEntry& entry);
   void launch_subprocess(const Coord& at, int level, uint8_t free_mask,
@@ -167,7 +191,13 @@ class DistributedFaultModel final : public SynchronousProtocol {
   // cancel (boundary_protocol.cpp)
   void start_cancel(NodeId origin, const Box& box, uint32_t epoch);
   void handle_cancel_message(NodeId node, const CancelMessage& m);
-  void check_eager_invalidation(NodeId node);
+  /// Returns true if it fired anything (a cancel wave or a local removal) —
+  /// the active-set engine re-marks such nodes so a persisting condition
+  /// re-fires next round exactly as the full scan does.
+  bool check_eager_invalidation(NodeId node);
+  /// The corner-triggered deletion check for one node (the paper's rule);
+  /// returns true if a cancel wave was started.
+  bool check_formed_corners(NodeId node);
   /// Drops every entry whose provenance names `dead_carrier` as its merge
   /// carrier and retraces its continuation walls from the carrier's rings.
   void sweep_carried_info(NodeId node, const Box& dead_carrier, int ttl);
@@ -179,6 +209,46 @@ class DistributedFaultModel final : public SynchronousProtocol {
   /// Physical memory loss: a node that fails (or comes back) has no stored
   /// information or protocol bookkeeping left.
   void wipe_node_memory(NodeId node);
+  /// Shared event seeding for inject_fault / recover: marks the one-hop
+  /// neighbourhood of `node` dirty in every phase worklist and resets the
+  /// per-epoch launch bookkeeping.
+  void on_status_event(NodeId node);
+
+  // All InfoStore mutation goes through these wrappers so the cancel-phase
+  // and identification worklists learn about every information change.
+  bool deposit_info(NodeId node, const BlockInfo& info, const Provenance& prov = {});
+  bool remove_info(NodeId node, const Box& box, uint32_t epoch);
+
+  // ---- active-set worklist plumbing (options_.active_set) ----
+  void mark_levels(NodeId id) {
+    if (levels_marked_[static_cast<size_t>(id)]) return;
+    levels_marked_[static_cast<size_t>(id)] = 1;
+    levels_queue_.push_back(id);
+  }
+  void mark_levels_neighborhood(NodeId id);
+  void mark_cancel(NodeId id) {
+    if (cancel_marked_[static_cast<size_t>(id)]) return;
+    cancel_marked_[static_cast<size_t>(id)] = 1;
+    cancel_queue_.push_back(id);
+  }
+  void mark_cancel_neighborhood(NodeId id);
+  void mark_corner_pending(NodeId id) {
+    if (corner_pending_marked_[static_cast<size_t>(id)]) return;
+    corner_pending_marked_[static_cast<size_t>(id)] = 1;
+    corner_pending_.push_back(id);
+  }
+  /// Per-node Definition-2 recomputation (shared by both engines).  Returns
+  /// true if the node's entry set changed; maintains the snapshot-on-write
+  /// prev view and (active engine) the downstream worklists.
+  bool visit_levels(NodeId id);
+  /// The previous-round entry view of `id`: the snapshot if `id` was
+  /// rewritten this round, the live entries otherwise.  Valid from
+  /// round_levels until the next round's round_levels.
+  [[nodiscard]] const std::vector<LevelEntry>& levels_before(NodeId id) const {
+    return levels_prev_round_[static_cast<size_t>(id)] == levels_round_
+               ? levels_prev_[static_cast<size_t>(id)]
+               : levels_[static_cast<size_t>(id)];
+  }
 
  public:
   /// True if `p` lies on the straight boundary-wall column of block `box`
@@ -195,34 +265,61 @@ class DistributedFaultModel final : public SynchronousProtocol {
   StatusField field_;
   std::vector<uint8_t> freshly_clean_;
 
-  // Level detection state, double buffered (levels_ = current, read by
-  // neighbours next round via levels_prev_).
+  // Level detection state: levels_ is current; levels_prev_ is a
+  // snapshot-on-write buffer valid for node id while levels_prev_round_[id]
+  // == levels_round_ (read through levels_before()).  Equivalent to the old
+  // wholesale array swap, but a round that changes k nodes copies k entry
+  // vectors instead of rewriting N.
   std::vector<std::vector<LevelEntry>> levels_;
   std::vector<std::vector<LevelEntry>> levels_prev_;
+  std::vector<int> levels_prev_round_;
+  int levels_round_ = 0;
 
   InfoStore info_;
 
-  // Identification bookkeeping.  Keys are pid * 16 + process level so that
-  // nested processes of one pid never collide.
+  // Identification bookkeeping, consolidated into (node, key) global tables:
+  // a quiescent node costs zero bytes here, the per-epoch reset is an O(live
+  // entries) clear instead of an O(N) sweep over per-node maps, and wiping a
+  // dead node is an erase_if.  Keys mix the pid/level/parent-stack instance
+  // hash (see identification.cpp); the node id is stored verbatim so the
+  // dedup semantics are exactly the old per-node containers'.
+  struct NodeKey {
+    NodeId node;
+    uint64_t key;
+    friend bool operator==(const NodeKey& a, const NodeKey& b) {
+      return a.node == b.node && a.key == b.key;
+    }
+  };
+  struct NodeKeyHash {
+    size_t operator()(const NodeKey& k) const {
+      uint64_t h = static_cast<uint64_t>(k.node) * 0x9E3779B97F4A7C15ull;
+      h ^= k.key + 0x9E3779B97F4A7C15ull + (h << 6) + (h >> 2);
+      return static_cast<size_t>(h);
+    }
+  };
   uint64_t next_pid_ = 1;
   struct SliceResult {
     Box box;
     int round = 0;  ///< for aging out results of dead processes
   };
-  std::vector<std::unordered_map<uint64_t, SliceResult>> slice_results_;
+  std::unordered_map<NodeKey, SliceResult, NodeKeyHash> slice_results_;
   struct CornerCollect {
     Box box;
     int arrivals = 0;
     int round = 0;
     bool invalid = false;  ///< inconsistent sections: the block is not stable
   };
-  std::vector<std::unordered_map<uint64_t, CornerCollect>> corner_collect_;
-  std::vector<std::unordered_map<size_t, int>> last_launch_;  // anchor hash -> round
-  // anchor hash -> attempts this epoch; a corner whose identification keeps
-  // failing (e.g. its walks are permanently blocked by a diagonally touching
-  // block) is abandoned after a few tries so the system can quiesce — it
-  // stays uninformed, which only costs routing detours, never correctness.
-  std::vector<std::unordered_map<size_t, int>> launch_attempts_;
+  std::unordered_map<NodeKey, CornerCollect, NodeKeyHash> corner_collect_;
+  // Per-(corner, anchor) launch log: last launch round + attempts this
+  // epoch.  A corner whose identification keeps failing (e.g. its walks are
+  // permanently blocked by a diagonally touching block) is abandoned after a
+  // few tries so the system can quiesce — it stays uninformed, which only
+  // costs routing detours, never correctness.
+  struct LaunchBook {
+    int last_round = 0;
+    int attempts = 0;
+  };
+  std::unordered_map<NodeKey, LaunchBook, NodeKeyHash> launch_book_;
 
   // Mailboxes (one hop per round each).
   MailboxSystem<IdentMessage>* ident_mail();
@@ -239,14 +336,32 @@ class DistributedFaultModel final : public SynchronousProtocol {
   // existing condition no longer holds.
   std::vector<std::vector<BlockInfo>> formed_at_corner_;
 
-  // Merge-flood dedup: (info box, carrier box, surface) triples processed.
-  std::vector<std::unordered_set<uint64_t>> merge_seen_;
+  // Merge-flood dedup: (info box, carrier box, surface) triples processed,
+  // keyed by (node, triple hash) in one global set.
+  std::unordered_set<NodeKey, NodeKeyHash> merge_seen_;
 
   // Cancel-flood dedup.  Keyed by (box, epoch, carrier, surface) so the wave
   // traverses the entire envelope even across nodes that already dropped the
   // entry locally — otherwise eager invalidation could cut the wave before
-  // it reaches the ring nodes that must cancel the walls.
-  std::vector<std::unordered_set<uint64_t>> cancel_seen_;
+  // it reaches the ring nodes that must cancel the walls.  The per-node
+  // entry count preserves the historical bounded-memory rule (a node's keys
+  // are dropped when it accumulates > 512).
+  std::unordered_set<NodeKey, NodeKeyHash> cancel_seen_;
+  std::vector<uint16_t> cancel_seen_count_;
+
+  // ---- active-set round engine state (options_.active_set) ----
+  LabelingWorklist labeling_wl_;
+  std::vector<uint8_t> levels_marked_;  ///< round_levels worklist flags
+  std::vector<NodeId> levels_queue_;
+  std::vector<uint8_t> cancel_marked_;  ///< round_cancel check-worklist flags
+  std::vector<NodeId> cancel_queue_;
+  std::vector<uint8_t> has_corner_;     ///< node holds a level-n entry
+  std::vector<NodeId> corner_nodes_;    ///< nodes with has_corner_ set (compacted lazily)
+  std::vector<uint8_t> corner_pending_marked_;
+  std::vector<NodeId> corner_pending_;  ///< corners to evaluate for (re)launch
+  std::vector<LevelEntry> levels_scratch_;
+  std::vector<Coord> candidate_scratch_;
+  long long protocol_node_visits_ = 0;
 
   uint32_t epoch_ = 1;
   int rounds_run_ = 0;

@@ -44,15 +44,15 @@ void DistributedFaultModel::handle_info_message(NodeId node, const InfoMessage& 
   if (merge_flood) {
     const uint64_t key =
         merge_key(m.info.box, m.carrier, m.surface_dim, m.surface_positive != 0);
-    fresh = merge_seen_[static_cast<size_t>(node)].insert(key).second;
+    fresh = merge_seen_.insert(NodeKey{node, key}).second;
     Provenance prov;
     prov.via = InfoVia::kMerged;
     prov.carrier = m.carrier;
     prov.dim = m.surface_dim;
     prov.positive = m.surface_positive;
-    if (info_.deposit(node, m.info, prov)) ++envelope_deposits_;
+    if (deposit_info(node, m.info, prov)) ++envelope_deposits_;
   } else {
-    fresh = info_.deposit(node, m.info, Provenance{});
+    fresh = deposit_info(node, m.info, Provenance{});
     if (fresh) ++envelope_deposits_;
   }
   if (!fresh) return;
@@ -130,11 +130,17 @@ void DistributedFaultModel::handle_info_message(NodeId node, const InfoMessage& 
 bool DistributedFaultModel::round_envelope() {
   info_mail_->flip();
   bool any = false;
-  for (NodeId id = 0; id < field_.node_count(); ++id) {
+  auto deliver = [&](NodeId id) {
+    ++protocol_node_visits_;
     for (const auto& msg : info_mail_->inbox(id)) {
       any = true;
       handle_info_message(id, msg);
     }
+  };
+  if (options_.active_set) {
+    for (NodeId id : info_mail_->active()) deliver(id);
+  } else {
+    for (NodeId id = 0; id < field_.node_count(); ++id) deliver(id);
   }
   return any || info_mail_->pending() > 0;
 }

@@ -14,6 +14,7 @@
 // in the forwarding direction, the new block is not stable ... the message
 // is discarded".  TTLs bound every walk and every wait.
 
+#include <algorithm>
 #include <cassert>
 #include <cstdio>
 
@@ -54,52 +55,85 @@ uint64_t instance_key(uint64_t pid, int level, uint8_t free_mask,
 
 }  // namespace
 
-bool DistributedFaultModel::trigger_identifications() {
+bool DistributedFaultModel::evaluate_corner_node(NodeId id, int retry) {
   const int n = mesh_->dims();
+  bool uncovered_corner = false;
+  for (const auto& e : levels_[static_cast<size_t>(id)]) {
+    if (e.level != n) continue;
+    // Already have block information covering this anchor?  Then the
+    // reactive model does not restart anything.
+    bool covered = false;
+    for (const auto& held : info_.at(id))
+      if (held.box.contains(e.anchor)) covered = true;
+    if (covered) continue;
+
+    const uint64_t anchor_key = static_cast<uint64_t>(CoordHash{}(e.anchor));
+    auto& book = launch_book_[NodeKey{id, anchor_key}];
+    constexpr int kMaxAttempts = 6;
+    if (book.attempts >= kMaxAttempts) continue;  // abandoned this epoch
+    uncovered_corner = true;
+
+    if (book.attempts > 0 && rounds_run_ - book.last_round < retry) continue;
+    book.last_round = rounds_run_;
+    ++book.attempts;
+    launch_process(id, e);
+  }
+  return uncovered_corner;
+}
+
+int DistributedFaultModel::launch_retry_interval() const {
   // Retry fast: processes discarded during a converging transient relaunch
   // as soon as the previous attempt had time to finish; duplicate
   // completions dedup at the deposit.
   int max_extent = 0;
-  for (int d = 0; d < n; ++d) max_extent = std::max(max_extent, mesh_->extent(d));
-  const int retry =
-      options_.retry_interval > 0 ? options_.retry_interval : 2 * max_extent + 8;
+  for (int d = 0; d < mesh_->dims(); ++d) max_extent = std::max(max_extent, mesh_->extent(d));
+  return options_.retry_interval > 0 ? options_.retry_interval : 2 * max_extent + 8;
+}
+
+void DistributedFaultModel::age_identification_bookkeeping() {
+  // Age out bookkeeping of dead processes.
+  if (rounds_run_ % 64 != 0) return;
+  const int horizon = 2 * default_ttl();
+  if (!slice_results_.empty())
+    std::erase_if(slice_results_,
+                  [&](const auto& kv) { return rounds_run_ - kv.second.round > horizon; });
+  if (!corner_collect_.empty())
+    std::erase_if(corner_collect_,
+                  [&](const auto& kv) { return rounds_run_ - kv.second.round > horizon; });
+}
+
+bool DistributedFaultModel::trigger_identifications() {
+  const int retry = launch_retry_interval();
   const long long count = field_.node_count();
   bool uncovered_corner = false;
   for (NodeId id = 0; id < count; ++id) {
-    for (const auto& e : levels_[static_cast<size_t>(id)]) {
-      if (e.level != n) continue;
-      // Already have block information covering this anchor?  Then the
-      // reactive model does not restart anything.
-      bool covered = false;
-      for (const auto& held : info_.at(id))
-        if (held.box.contains(e.anchor)) covered = true;
-      if (covered) continue;
+    ++protocol_node_visits_;
+    if (evaluate_corner_node(id, retry)) uncovered_corner = true;
+  }
+  age_identification_bookkeeping();
+  return uncovered_corner;
+}
 
-      const size_t anchor_key = CoordHash{}(e.anchor);
-      auto& attempts = launch_attempts_[static_cast<size_t>(id)];
-      constexpr int kMaxAttempts = 6;
-      if (attempts[anchor_key] >= kMaxAttempts) continue;  // abandoned this epoch
+bool DistributedFaultModel::trigger_identifications_active() {
+  // Only pending corners can launch: a node joins the pending set when it
+  // gains a level-n entry, loses covering info, or a new epoch re-arms its
+  // abandoned attempts; it keeps itself pending while an uncovered,
+  // non-abandoned corner remains (matching the full scan's per-round
+  // activity flag exactly), and drops out otherwise.
+  const int retry = launch_retry_interval();
+  std::vector<NodeId> cur;
+  cur.swap(corner_pending_);
+  for (NodeId id : cur) corner_pending_marked_[static_cast<size_t>(id)] = 0;
+  std::sort(cur.begin(), cur.end());
+  bool uncovered_corner = false;
+  for (NodeId id : cur) {
+    ++protocol_node_visits_;
+    if (evaluate_corner_node(id, retry)) {
       uncovered_corner = true;
-
-      auto& launches = last_launch_[static_cast<size_t>(id)];
-      const auto it = launches.find(anchor_key);
-      if (it != launches.end() && rounds_run_ - it->second < retry) continue;
-      launches[anchor_key] = rounds_run_;
-      ++attempts[anchor_key];
-      launch_process(id, e);
+      mark_corner_pending(id);
     }
   }
-
-  // Age out bookkeeping of dead processes.
-  if (rounds_run_ % 64 == 0) {
-    const int horizon = 2 * default_ttl();
-    for (auto& per_node : slice_results_)
-      std::erase_if(per_node,
-                    [&](const auto& kv) { return rounds_run_ - kv.second.round > horizon; });
-    for (auto& per_node : corner_collect_)
-      std::erase_if(per_node,
-                    [&](const auto& kv) { return rounds_run_ - kv.second.round > horizon; });
-  }
+  age_identification_bookkeeping();
   return uncovered_corner;
 }
 
@@ -276,7 +310,7 @@ void DistributedFaultModel::handle_ident_message(NodeId node, IdentMessage m) {
         // n == 2, the block) is identified when both walkers agree.
         const uint64_t key =
             instance_key(m.pid, m.level, m.free_mask, m.parent_dims, m.parent_signs, m.depth);
-        auto& cc = corner_collect_[static_cast<size_t>(node)][key];
+        auto& cc = corner_collect_[NodeKey{node, key}];
         cc.round = rounds_run_;
         if (cc.arrivals == 0) {
           cc.box = m.partial;
@@ -302,10 +336,10 @@ void DistributedFaultModel::handle_ident_message(NodeId node, IdentMessage m) {
       const int j = m.walk_dim;
       if (has_level_entry(node, side_anchor, m.level - 1)) {
         // Opposite-edge node: wait for the slice result, merge, move on.
-        auto& results = slice_results_[static_cast<size_t>(node)];
-        const auto it = results.find(
-            instance_key(m.pid, m.level, m.free_mask, m.parent_dims, m.parent_signs, m.depth));
-        if (it == results.end()) {
+        const auto it = slice_results_.find(NodeKey{
+            node,
+            instance_key(m.pid, m.level, m.free_mask, m.parent_dims, m.parent_signs, m.depth)});
+        if (it == slice_results_.end()) {
           ident_mail_->send(node, std::move(m));  // wait one round
           return;
         }
@@ -319,7 +353,7 @@ void DistributedFaultModel::handle_ident_message(NodeId node, IdentMessage m) {
       if (has_level_entry(node, corner_anchor, m.level)) {
         const uint64_t key =
             instance_key(m.pid, m.level, m.free_mask, m.parent_dims, m.parent_signs, m.depth);
-        auto& cc = corner_collect_[static_cast<size_t>(node)][key];
+        auto& cc = corner_collect_[NodeKey{node, key}];
         cc.round = rounds_run_;
         if (cc.arrivals == 0) {
           cc.box = m.partial;
@@ -359,11 +393,14 @@ void DistributedFaultModel::process_complete(NodeId node, const IdentMessage& m,
       }
     }
     if (!known) formed.push_back(info);
+    // The new formed entry must be condition-checked by this round's cancel
+    // phase, exactly as the full scan would.
+    if (options_.active_set) mark_cancel(node);
     if (options_.trace)
       std::fprintf(stderr, "[ident r%d] pid=%llu BLOCK FORMED at %s box=%s\n", rounds_run_,
                    static_cast<unsigned long long>(m.pid), c.to_string().c_str(),
                    box.to_string().c_str());
-    if (info_.deposit(node, info)) {
+    if (deposit_info(node, info)) {
       ++envelope_deposits_;
       start_info_flood(node, info);
       spawn_walls_if_ring(node, info);
@@ -379,9 +416,10 @@ void DistributedFaultModel::process_complete(NodeId node, const IdentMessage& m,
   const int pj = m.parent_dims[static_cast<size_t>(m.depth - 1)];
   const int ps = m.parent_signs[static_cast<size_t>(m.depth - 1)];
 
-  slice_results_[static_cast<size_t>(node)][instance_key(
-      m.pid, parent_level, static_cast<uint8_t>(m.free_mask | (1u << pj)), m.parent_dims,
-      m.parent_signs, m.depth - 1)] = SliceResult{box, rounds_run_};
+  slice_results_[NodeKey{node, instance_key(m.pid, parent_level,
+                                             static_cast<uint8_t>(m.free_mask | (1u << pj)),
+                                             m.parent_dims, m.parent_signs, m.depth - 1)}] =
+      SliceResult{box, rounds_run_};
 
   if (options_.trace)
     std::fprintf(stderr, "[ident r%d] pid=%llu slice-complete lvl=%d at %s box=%s\n",
@@ -390,7 +428,7 @@ void DistributedFaultModel::process_complete(NodeId node, const IdentMessage& m,
   const Coord q = c.shifted(pj, -ps);
   if (!mesh_->in_bounds(q)) return;
   bool q_is_parent_corner = false;
-  for (const auto& e : levels_prev_[static_cast<size_t>(mesh_->index_of(q))])
+  for (const auto& e : levels_before(mesh_->index_of(q)))
     if (e.level == parent_level && e.anchor == corner_anchor) q_is_parent_corner = true;
   if (!q_is_parent_corner) return;
 
@@ -418,13 +456,20 @@ bool DistributedFaultModel::round_identification() {
   ident_mail_->flip();
   // An uncovered corner counts as activity even between retries: the
   // construction is not done until every corner is covered by block info.
-  const bool uncovered = trigger_identifications();
+  const bool uncovered = options_.active_set ? trigger_identifications_active()
+                                             : trigger_identifications();
   bool any = false;
-  for (NodeId id = 0; id < field_.node_count(); ++id) {
+  auto deliver = [&](NodeId id) {
+    ++protocol_node_visits_;
     for (const auto& msg : ident_mail_->inbox(id)) {
       any = true;
       handle_ident_message(id, msg);
     }
+  };
+  if (options_.active_set) {
+    for (NodeId id : ident_mail_->active()) deliver(id);
+  } else {
+    for (NodeId id = 0; id < field_.node_count(); ++id) deliver(id);
   }
   return any || uncovered || ident_mail_->pending() > 0;
 }

@@ -42,6 +42,47 @@ struct LabelingResult {
 /// place.  Returns the number of nodes that changed status.
 long long labeling_round(StatusField& field, std::vector<uint8_t>& freshly_clean);
 
+/// Dirty-node worklist for the active-set labeling engine (DESIGN.md §14).
+/// Soundness rests on the BSP one-hop rule: rules 1-4 read only a node's own
+/// status and its grid neighbours' statuses, so a node whose inputs did not
+/// change since its last evaluation cannot transition.  The worklist holds
+/// every node with a changed input: labeling_round_active() re-marks the
+/// one-hop neighbourhood of every transition, and external events (fault
+/// injection, recovery) must be marked by the caller via mark_event().
+struct LabelingWorklist {
+  std::vector<uint8_t> marked;  ///< membership flags for `queue`
+  std::vector<NodeId> queue;    ///< nodes to evaluate next round (deduped)
+  std::vector<NodeId> changed;  ///< status transitions of the last round
+
+  void init(long long node_count) {
+    marked.assign(static_cast<size_t>(node_count), 0);
+    queue.clear();
+    changed.clear();
+  }
+  void mark(NodeId id) {
+    if (marked[static_cast<size_t>(id)]) return;
+    marked[static_cast<size_t>(id)] = 1;
+    queue.push_back(id);
+  }
+  /// Marks a node and its grid neighbours (the read set of its neighbours'
+  /// rules) — the seeding step for an external status event at `id`.
+  void mark_event(const StatusField& field, NodeId id);
+  /// Marks every node — the full-scan seed for a cold start.
+  void mark_all(long long node_count) {
+    for (NodeId id = 0; id < node_count; ++id) mark(id);
+  }
+};
+
+/// labeling_round restricted to the worklist: evaluates only the queued
+/// nodes, applies the identical rules with identical double-buffered timing,
+/// rebuilds the worklist for the next round from the transitions it applied,
+/// and records them in `wl.changed`.  The returned change count (and the
+/// resulting field trajectory) is byte-identical to labeling_round() as long
+/// as every external status event was seeded with mark_event().  `visits`,
+/// when non-null, is incremented once per node evaluated.
+long long labeling_round_active(StatusField& field, std::vector<uint8_t>& freshly_clean,
+                                LabelingWorklist& wl, long long* visits = nullptr);
+
 /// Runs rounds until no status changes (or max_rounds).  The field is
 /// updated in place.  A fresh recovery must already be marked kClean (via
 /// StatusField::recover) before calling; pass its node in `new_clean` so the

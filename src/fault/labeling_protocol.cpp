@@ -1,5 +1,11 @@
 // DistributedFaultModel: construction, the round driver, Algorithm 1 status
 // exchange, and Definition-2 level detection with anchors.
+//
+// Round phases come in two engines (DESIGN.md §14): the historical full scan
+// (options.active_set = false) touches every node every round; the active-set
+// engine evaluates only dirty-node worklists seeded from fault events, inbox
+// deliveries and prior-round state changes.  Both run the identical per-node
+// logic in ascending NodeId order, so their trajectories are byte-identical.
 
 #include <algorithm>
 #include <cassert>
@@ -17,14 +23,15 @@ DistributedFaultModel::DistributedFaultModel(const Topology& mesh,
       freshly_clean_(static_cast<size_t>(mesh.node_count()), 0),
       levels_(static_cast<size_t>(mesh.node_count())),
       levels_prev_(static_cast<size_t>(mesh.node_count())),
+      levels_prev_round_(static_cast<size_t>(mesh.node_count()), -1),
       info_(mesh),
-      slice_results_(static_cast<size_t>(mesh.node_count())),
-      corner_collect_(static_cast<size_t>(mesh.node_count())),
-      last_launch_(static_cast<size_t>(mesh.node_count())),
-      launch_attempts_(static_cast<size_t>(mesh.node_count())),
       formed_at_corner_(static_cast<size_t>(mesh.node_count())),
-      merge_seen_(static_cast<size_t>(mesh.node_count())),
-      cancel_seen_(static_cast<size_t>(mesh.node_count())) {
+      cancel_seen_count_(static_cast<size_t>(mesh.node_count()), 0),
+      levels_marked_(static_cast<size_t>(mesh.node_count()), 0),
+      cancel_marked_(static_cast<size_t>(mesh.node_count()), 0),
+      has_corner_(static_cast<size_t>(mesh.node_count()), 0),
+      corner_pending_marked_(static_cast<size_t>(mesh.node_count()), 0) {
+  labeling_wl_.init(mesh.node_count());
   ident_mail_ = std::make_unique<MailboxSystem<IdentMessage>>(mesh.node_count());
   info_mail_ = std::make_unique<MailboxSystem<InfoMessage>>(mesh.node_count());
   wall_mail_ = std::make_unique<MailboxSystem<WallMessage>>(mesh.node_count());
@@ -53,37 +60,99 @@ int DistributedFaultModel::default_ttl() const {
   return 4 * sum + 16;
 }
 
+void DistributedFaultModel::mark_levels_neighborhood(NodeId id) {
+  mark_levels(id);
+  mesh_->for_each_grid_neighbor(mesh_->coord_of(id), [&](Direction, const Coord& nb) {
+    mark_levels(mesh_->index_of(nb));
+  });
+}
+
+void DistributedFaultModel::mark_cancel_neighborhood(NodeId id) {
+  mark_cancel(id);
+  mesh_->for_each_grid_neighbor(mesh_->coord_of(id), [&](Direction, const Coord& nb) {
+    mark_cancel(mesh_->index_of(nb));
+  });
+}
+
+bool DistributedFaultModel::deposit_info(NodeId node, const BlockInfo& info,
+                                         const Provenance& prov) {
+  const bool fresh = info_.deposit(node, info, prov);
+  // An information change can flip this node's eager-invalidation and
+  // corner-deletion predicates; the full scan re-checks every round, the
+  // active engine re-checks exactly the changed nodes.
+  if (fresh && options_.active_set) mark_cancel(node);
+  return fresh;
+}
+
+bool DistributedFaultModel::remove_info(NodeId node, const Box& box, uint32_t epoch) {
+  const bool removed = info_.cancel(node, box, epoch);
+  if (removed && options_.active_set) {
+    mark_cancel(node);
+    // A corner whose covering info vanished must re-trigger identification.
+    if (has_corner_[static_cast<size_t>(node)] == 1) mark_corner_pending(node);
+  }
+  return removed;
+}
+
 void DistributedFaultModel::wipe_node_memory(NodeId node) {
   info_.clear_node(node);
   levels_[static_cast<size_t>(node)].clear();
   levels_prev_[static_cast<size_t>(node)].clear();
-  slice_results_[static_cast<size_t>(node)].clear();
-  corner_collect_[static_cast<size_t>(node)].clear();
-  last_launch_[static_cast<size_t>(node)].clear();
+  levels_prev_round_[static_cast<size_t>(node)] = -1;
+  if (has_corner_[static_cast<size_t>(node)] == 1)
+    has_corner_[static_cast<size_t>(node)] = 2;  // stays in corner_nodes_; compacted lazily
+  const auto is_node = [node](const auto& entry) {
+    if constexpr (requires { entry.first.node; }) return entry.first.node == node;
+    else return entry.node == node;
+  };
+  std::erase_if(slice_results_, is_node);
+  std::erase_if(corner_collect_, is_node);
+  std::erase_if(launch_book_, is_node);
+  std::erase_if(merge_seen_, is_node);
+  std::erase_if(cancel_seen_, is_node);
+  cancel_seen_count_[static_cast<size_t>(node)] = 0;
   formed_at_corner_[static_cast<size_t>(node)].clear();
-  merge_seen_[static_cast<size_t>(node)].clear();
-  cancel_seen_[static_cast<size_t>(node)].clear();
+}
+
+void DistributedFaultModel::on_status_event(NodeId node) {
+  labeling_wl_.mark_event(field_, node);
+  mark_levels_neighborhood(node);
+  mark_cancel_neighborhood(node);
+  // New epoch: abandoned identifications get a fresh chance — re-arm every
+  // known corner node, compacting stale list entries in the same pass.
+  size_t keep = 0;
+  for (NodeId id : corner_nodes_) {
+    if (has_corner_[static_cast<size_t>(id)] != 1) {
+      has_corner_[static_cast<size_t>(id)] = 0;  // left the list; reset for re-insertion
+      continue;
+    }
+    corner_nodes_[keep++] = id;
+    mark_corner_pending(id);
+  }
+  corner_nodes_.resize(keep);
 }
 
 void DistributedFaultModel::inject_fault(const Coord& c) {
   field_.inject_fault(c);
+  const NodeId node = mesh_->index_of(c);
   // The failed node's memory is gone with it.
-  wipe_node_memory(mesh_->index_of(c));
+  wipe_node_memory(node);
   ++epoch_;
   // New epoch: abandoned identifications get a fresh chance.
-  for (auto& m : last_launch_) m.clear();
-  for (auto& m : launch_attempts_) m.clear();
+  launch_book_.clear();
+  if (options_.active_set) on_status_event(node);
 }
 
 void DistributedFaultModel::recover(const Coord& c) {
   field_.recover(c);
+  const NodeId node = mesh_->index_of(c);
   // A recovered node boots with empty memory (rule 5 gives it clean status
   // only; everything else it must relearn).
-  wipe_node_memory(mesh_->index_of(c));
-  freshly_clean_[static_cast<size_t>(mesh_->index_of(c))] = 1;
+  wipe_node_memory(node);
+  freshly_clean_[static_cast<size_t>(node)] = 1;
   ++epoch_;
-  for (auto& m : last_launch_) m.clear();
-  for (auto& m : launch_attempts_) m.clear();
+  launch_book_.clear();
+  if (options_.active_set) on_status_event(node);
 }
 
 bool DistributedFaultModel::on_wall_column(const Coord& p, const Box& box, int dim,
@@ -121,24 +190,26 @@ std::optional<LevelEntry> DistributedFaultModel::entry_with_anchor(NodeId node,
 }
 
 bool DistributedFaultModel::round_labeling() {
-  return labeling_round(field_, freshly_clean_) != 0;
+  if (!options_.active_set) {
+    protocol_node_visits_ += field_.node_count();
+    return labeling_round(field_, freshly_clean_) != 0;
+  }
+  const long long changes =
+      labeling_round_active(field_, freshly_clean_, labeling_wl_, &protocol_node_visits_);
+  // A status change is an input change for the same round's Definition-2
+  // pass and for the cancel-phase predicates of the one-hop neighbourhood.
+  for (NodeId id : labeling_wl_.changed) {
+    mark_levels_neighborhood(id);
+    mark_cancel_neighborhood(id);
+  }
+  return changes != 0;
 }
 
-bool DistributedFaultModel::round_levels() {
-  // One synchronous re-evaluation of Definition 2 everywhere: a node reads
-  // its neighbours' previous-round entries (levels advance one hop per
-  // round, giving the n-1 extra rounds the recursive definition needs).
-  const long long n = field_.node_count();
-  levels_prev_.swap(levels_);
-  bool changed = false;
-
-  for (NodeId id = 0; id < n; ++id) {
-    auto& out = levels_[static_cast<size_t>(id)];
-    out.clear();
-    if (field_.at(id) != NodeStatus::kEnabled) {
-      if (!levels_prev_[static_cast<size_t>(id)].empty()) changed = true;
-      continue;
-    }
+bool DistributedFaultModel::visit_levels(NodeId id) {
+  ++protocol_node_visits_;
+  auto& out = levels_scratch_;
+  out.clear();
+  if (field_.at(id) == NodeStatus::kEnabled) {
     const Coord c = mesh_->coord_of(id);
 
     // Level 1: a member neighbour's coordinate is the anchor.
@@ -148,9 +219,10 @@ bool DistributedFaultModel::round_levels() {
 
     // Level m >= 2: an anchor w seen at level m-1 by the inward neighbour in
     // every dimension where w differs from c (all offsets +-1).
-    std::vector<Coord> candidates;
+    auto& candidates = candidate_scratch_;
+    candidates.clear();
     mesh_->for_each_grid_neighbor(c, [&](Direction, const Coord& nb) {
-      for (const auto& e : levels_prev_[static_cast<size_t>(mesh_->index_of(nb))]) {
+      for (const auto& e : levels_before(mesh_->index_of(nb))) {
         if (std::find(candidates.begin(), candidates.end(), e.anchor) == candidates.end())
           candidates.push_back(e.anchor);
       }
@@ -171,7 +243,7 @@ bool DistributedFaultModel::round_levels() {
         if (off == 0) continue;
         const Coord nb = c.shifted(d, off);
         bool found = false;
-        for (const auto& e : levels_prev_[static_cast<size_t>(mesh_->index_of(nb))])
+        for (const auto& e : levels_before(mesh_->index_of(nb)))
           if (e.anchor == w && e.level == m - 1) found = true;
         if (!found) all_dims_confirm = false;
       }
@@ -186,9 +258,56 @@ bool DistributedFaultModel::round_levels() {
       if (a.level != b.level) return a.level < b.level;
       return a.anchor < b.anchor;
     });
-
-    if (out != levels_prev_[static_cast<size_t>(id)]) changed = true;
   }
+
+  auto& live = levels_[static_cast<size_t>(id)];
+  if (out == live) return false;
+
+  // Snapshot-on-write double buffering: neighbours evaluated later this
+  // round read the pre-round entries through levels_before().
+  levels_prev_[static_cast<size_t>(id)].swap(live);
+  levels_prev_round_[static_cast<size_t>(id)] = levels_round_;
+  live.assign(out.begin(), out.end());
+
+  if (options_.active_set) {
+    // Changed entries are next-round inputs for the one-hop neighbourhood
+    // and same-round inputs for the cancel-phase corner predicates.
+    mark_levels_neighborhood(id);
+    mark_cancel(id);
+    const int n = mesh_->dims();
+    bool has_n = false;
+    for (const auto& e : live)
+      if (e.level == n) has_n = true;
+    auto& flag = has_corner_[static_cast<size_t>(id)];
+    if (has_n) {
+      if (flag == 0) corner_nodes_.push_back(id);
+      flag = 1;
+      mark_corner_pending(id);
+    } else if (flag == 1) {
+      flag = 2;  // stays in corner_nodes_ until the next compaction
+    }
+  }
+  return true;
+}
+
+bool DistributedFaultModel::round_levels() {
+  // One synchronous re-evaluation of Definition 2: a node reads its
+  // neighbours' previous-round entries (levels advance one hop per round,
+  // giving the n-1 extra rounds the recursive definition needs).
+  ++levels_round_;
+  bool changed = false;
+  if (!options_.active_set) {
+    const long long n = field_.node_count();
+    for (NodeId id = 0; id < n; ++id)
+      if (visit_levels(id)) changed = true;
+    return changed;
+  }
+  std::vector<NodeId> cur;
+  cur.swap(levels_queue_);
+  for (NodeId id : cur) levels_marked_[static_cast<size_t>(id)] = 0;
+  std::sort(cur.begin(), cur.end());
+  for (NodeId id : cur)
+    if (visit_levels(id)) changed = true;
   return changed;
 }
 
@@ -218,6 +337,39 @@ ConstructionRounds DistributedFaultModel::stabilize(int max_rounds) {
       r.boundary = round;
   }
   return r;
+}
+
+long long DistributedFaultModel::memory_bytes() const {
+  auto vec_bytes = [](const auto& v, size_t elem) {
+    return static_cast<long long>(v.capacity() * elem);
+  };
+  long long bytes = 0;
+  bytes += field_.node_count();  // status array
+  bytes += vec_bytes(freshly_clean_, 1) + vec_bytes(levels_prev_round_, sizeof(int));
+  bytes += vec_bytes(levels_marked_, 1) + vec_bytes(cancel_marked_, 1) +
+           vec_bytes(has_corner_, 1) + vec_bytes(corner_pending_marked_, 1) +
+           vec_bytes(cancel_seen_count_, sizeof(uint16_t));
+  bytes += vec_bytes(levels_queue_, sizeof(NodeId)) + vec_bytes(cancel_queue_, sizeof(NodeId)) +
+           vec_bytes(corner_nodes_, sizeof(NodeId)) +
+           vec_bytes(corner_pending_, sizeof(NodeId));
+  bytes += vec_bytes(labeling_wl_.marked, 1) + vec_bytes(labeling_wl_.queue, sizeof(NodeId));
+  for (const auto& v : levels_) bytes += sizeof(v) + vec_bytes(v, sizeof(LevelEntry));
+  for (const auto& v : levels_prev_) bytes += sizeof(v) + vec_bytes(v, sizeof(LevelEntry));
+  for (const auto& v : formed_at_corner_) bytes += sizeof(v) + vec_bytes(v, sizeof(BlockInfo));
+  bytes += info_.memory_bytes();
+  // Consolidated bookkeeping tables: entries plus hash-table node overhead.
+  constexpr long long kMapOverhead = 16;
+  bytes += static_cast<long long>(slice_results_.size()) *
+           (static_cast<long long>(sizeof(NodeKey) + sizeof(SliceResult)) + kMapOverhead);
+  bytes += static_cast<long long>(corner_collect_.size()) *
+           (static_cast<long long>(sizeof(NodeKey) + sizeof(CornerCollect)) + kMapOverhead);
+  bytes += static_cast<long long>(launch_book_.size()) *
+           (static_cast<long long>(sizeof(NodeKey) + sizeof(LaunchBook)) + kMapOverhead);
+  bytes += static_cast<long long>(merge_seen_.size() + cancel_seen_.size()) *
+           (static_cast<long long>(sizeof(NodeKey)) + kMapOverhead);
+  bytes += ident_mail_->memory_bytes() + info_mail_->memory_bytes() +
+           wall_mail_->memory_bytes() + cancel_mail_->memory_bytes();
+  return bytes;
 }
 
 }  // namespace lgfi

@@ -12,6 +12,7 @@ void DelayedGlobalInfoProvider::publish(const std::vector<BlockInfo>& blocks,
 }
 
 void DelayedGlobalInfoProvider::advance(long long now) {
+  if (pending_.empty()) return;  // quiescent: nothing is spreading
   now_ = now;
   for (auto it = pending_.begin(); it != pending_.end();) {
     // Reveal the snapshot at every node the broadcast wave has reached.

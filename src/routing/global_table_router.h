@@ -40,8 +40,12 @@ class DelayedGlobalInfoProvider final : public InfoProvider {
   /// Publishes a new global snapshot originating at `origin` at time `now`.
   void publish(const std::vector<BlockInfo>& blocks, const Coord& origin, long long now);
 
-  /// Advances visibility to time `now`.
+  /// Advances visibility to time `now`.  O(1) when no wave is in flight.
   void advance(long long now);
+
+  /// True while a published snapshot is still spreading — only then does
+  /// advance() have any work to do.
+  [[nodiscard]] bool wave_in_flight() const { return !pending_.empty(); }
 
   [[nodiscard]] std::span<const BlockInfo> info_at(NodeId node) const override;
 

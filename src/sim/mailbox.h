@@ -8,7 +8,16 @@
 // contract: send() during round r is only visible through inbox() in round
 // r + 1, after flip().  Delivery order within an inbox is the deterministic
 // send order, so runs are reproducible.
+//
+// Active-set bookkeeping (DESIGN.md §14): the system tracks the set of nodes
+// with a non-empty next-round box, so flip(), next_round_empty() and
+// pending() cost O(active nodes), not O(N).  flip() sorts the incoming
+// active list, so round loops that iterate active() visit inboxes in
+// ascending NodeId order — the same order as a full 0..N scan, which keeps
+// message emission (and therefore every downstream pid / dedup decision)
+// byte-identical between the active-set and full-scan round engines.
 
+#include <algorithm>
 #include <cassert>
 #include <cstdint>
 #include <utility>
@@ -37,7 +46,10 @@ class MailboxSystem {
   /// Queues `msg` for delivery to `to` at the start of the next round.
   void send(NodeId to, T msg) {
     assert(to >= 0 && static_cast<size_t>(to) < next_.size());
-    next_[static_cast<size_t>(to)].push_back(std::move(msg));
+    auto& box = next_[static_cast<size_t>(to)];
+    if (box.empty()) next_active_.push_back(to);  // first message: join the set
+    box.push_back(std::move(msg));
+    ++pending_count_;
     ++stats_.messages_sent;
   }
 
@@ -46,39 +58,57 @@ class MailboxSystem {
     return current_[static_cast<size_t>(node)];
   }
 
-  /// Ends the round: everything sent becomes next round's inboxes.
+  /// Ends the round: everything sent becomes next round's inboxes.  Only the
+  /// boxes that were actually populated are touched.
   void flip() {
-    for (auto& box : current_) box.clear();
+    for (NodeId id : active_) current_[static_cast<size_t>(id)].clear();
     current_.swap(next_);
+    active_.swap(next_active_);
+    next_active_.clear();
+    // Ascending order = the full-scan delivery order (see header comment).
+    std::sort(active_.begin(), active_.end());
+    pending_count_ = 0;
     ++stats_.rounds_flipped;
   }
 
+  /// Nodes with a non-empty inbox this round, ascending.
+  [[nodiscard]] const std::vector<NodeId>& active() const { return active_; }
+
   /// True if no message is waiting for the next round (quiescence test
   /// component; protocols also check for local state changes).
-  [[nodiscard]] bool next_round_empty() const {
-    for (const auto& box : next_)
-      if (!box.empty()) return false;
-    return true;
-  }
+  [[nodiscard]] bool next_round_empty() const { return pending_count_ == 0; }
 
   /// Number of messages that will be delivered next round.
-  [[nodiscard]] long long pending() const {
-    long long n = 0;
-    for (const auto& box : next_) n += static_cast<long long>(box.size());
-    return n;
-  }
+  [[nodiscard]] long long pending() const { return pending_count_; }
 
   void clear() {
-    for (auto& box : current_) box.clear();
-    for (auto& box : next_) box.clear();
+    for (NodeId id : active_) current_[static_cast<size_t>(id)].clear();
+    for (NodeId id : next_active_) next_[static_cast<size_t>(id)].clear();
+    active_.clear();
+    next_active_.clear();
+    pending_count_ = 0;
   }
 
   [[nodiscard]] const MailboxStats& stats() const { return stats_; }
   void reset_stats() { stats_.reset(); }
 
+  /// Estimated resident bytes (box headers + retained message capacity);
+  /// feeds the bytes/node bench counter.  O(N) — not for hot paths.
+  [[nodiscard]] long long memory_bytes() const {
+    long long bytes = static_cast<long long>(
+        (current_.capacity() + next_.capacity()) * sizeof(std::vector<T>) +
+        (active_.capacity() + next_active_.capacity()) * sizeof(NodeId));
+    for (const auto& box : current_) bytes += static_cast<long long>(box.capacity() * sizeof(T));
+    for (const auto& box : next_) bytes += static_cast<long long>(box.capacity() * sizeof(T));
+    return bytes;
+  }
+
  private:
   std::vector<std::vector<T>> current_;
   std::vector<std::vector<T>> next_;
+  std::vector<NodeId> active_;       ///< non-empty current boxes, sorted
+  std::vector<NodeId> next_active_;  ///< non-empty next boxes, send order
+  long long pending_count_ = 0;
   MailboxStats stats_;
 };
 

@@ -1,0 +1,143 @@
+// The active-set round engine contract (DESIGN.md §14): byte-identical
+// trajectories to the historical full-scan engine, and zero per-node work in
+// quiescent rounds.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <vector>
+
+#include "src/core/experiment_runner.h"
+#include "src/fault/distributed_model.h"
+#include "src/mesh/topology.h"
+#include "src/sim/rng.h"
+
+namespace lgfi {
+namespace {
+
+DistributedModelOptions engine(bool active) {
+  DistributedModelOptions o;
+  o.active_set = active;
+  return o;
+}
+
+/// Asserts both engines hold exactly the same observable state.
+void expect_same_state(const DistributedFaultModel& a, const DistributedFaultModel& b) {
+  ASSERT_EQ(a.mesh().node_count(), b.mesh().node_count());
+  EXPECT_EQ(a.rounds_run(), b.rounds_run());
+  EXPECT_EQ(a.messages_sent(), b.messages_sent());
+  EXPECT_EQ(a.epoch(), b.epoch());
+  for (NodeId id = 0; id < a.mesh().node_count(); ++id) {
+    ASSERT_EQ(a.field().at(id), b.field().at(id)) << "status at node " << id;
+    ASSERT_EQ(a.levels_at(id), b.levels_at(id)) << "levels at node " << id;
+    const auto ia = a.info().at(id);
+    const auto ib = b.info().at(id);
+    ASSERT_EQ(ia.size(), ib.size()) << "info count at node " << id;
+    for (size_t i = 0; i < ia.size(); ++i) {
+      ASSERT_EQ(ia[i].box, ib[i].box) << "info box at node " << id;
+      ASSERT_EQ(ia[i].epoch, ib[i].epoch) << "info epoch at node " << id;
+    }
+  }
+}
+
+TEST(ActiveSet, TrajectoryMatchesFullScanThroughChurn) {
+  // Inject, stabilize, recover, re-inject: every phase of the protocol stack
+  // (labeling, levels, identification, envelope, walls, cancellation) fires,
+  // and after each round both engines must agree on all observable state.
+  const MeshTopology mesh(3, 8);
+  DistributedFaultModel active(mesh, engine(true));
+  DistributedFaultModel scan(mesh, engine(false));
+
+  Rng rng(11);
+  std::vector<Coord> injected;
+  const auto inject = [&](const Coord& c) {
+    active.inject_fault(c);
+    scan.inject_fault(c);
+    injected.push_back(c);
+  };
+  const auto lockstep_rounds = [&](int rounds) {
+    for (int r = 0; r < rounds; ++r) {
+      const bool aa = active.run_round();
+      const bool sa = scan.run_round();
+      ASSERT_EQ(aa, sa) << "round activity diverged at round " << r;
+      expect_same_state(active, scan);
+      if (!aa) break;
+    }
+  };
+
+  // A clustered batch that merges into one block plus an outlier.
+  inject(Coord({2, 2, 2}));
+  inject(Coord({2, 3, 2}));
+  inject(Coord({3, 2, 2}));
+  inject(Coord({6, 6, 6}));
+  lockstep_rounds(500);
+
+  // Recovery shrinks the block: the deletion process must fire identically.
+  active.recover(Coord({3, 2, 2}));
+  scan.recover(Coord({3, 2, 2}));
+  lockstep_rounds(500);
+
+  // A second epoch of random churn.
+  for (int i = 0; i < 4; ++i) {
+    const Coord c({rng.uniform_int(0, 7), rng.uniform_int(0, 7), rng.uniform_int(0, 7)});
+    inject(c);
+  }
+  lockstep_rounds(800);
+  EXPECT_FALSE(active.run_round());  // both quiesced
+  EXPECT_FALSE(scan.run_round());
+  expect_same_state(active, scan);
+}
+
+TEST(ActiveSet, QuiescentStepPerformsZeroProtocolVisits) {
+  // The headline property: once the network has stabilized, a round under
+  // the active-set engine touches no node at all, while the full scan pays
+  // ~6 visits per node per round (one per phase, plus the extra cancel-phase
+  // sweeps).
+  const MeshTopology mesh(3, 8);
+  const long long n = mesh.node_count();
+
+  DistributedFaultModel active(mesh, engine(true));
+  active.inject_fault(Coord({3, 3, 3}));
+  active.inject_fault(Coord({3, 4, 3}));
+  active.stabilize();
+  const long long before = active.protocol_node_visits();
+  EXPECT_GT(before, 0);
+  for (int r = 0; r < 5; ++r) EXPECT_FALSE(active.run_round());
+  EXPECT_EQ(active.protocol_node_visits(), before)
+      << "a quiescent active-set round must visit zero nodes";
+
+  DistributedFaultModel scan(mesh, engine(false));
+  scan.inject_fault(Coord({3, 3, 3}));
+  scan.inject_fault(Coord({3, 4, 3}));
+  scan.stabilize();
+  const long long scan_before = scan.protocol_node_visits();
+  EXPECT_FALSE(scan.run_round());
+  EXPECT_GE(scan.protocol_node_visits() - scan_before, 6 * n)
+      << "the full scan visits every node in every phase even when idle";
+}
+
+TEST(ActiveSet, ReportByteIdenticalAcrossEnginesAndThreadCounts) {
+  // E14-style end-to-end determinism matrix: the metrics bytes must not
+  // depend on the engine choice or on how replications are scheduled.
+  const auto report_with = [](int threads, bool active) {
+    Config cfg = experiment_config();
+    cfg.parse_string(
+        "traffic=uniform mesh_dims=2 radix=8 faults=6 fault_model=clustered "
+        "warmup_steps=30 measure_steps=120 replications=3 seed=5");
+    cfg.set_int("threads", threads);
+    cfg.set_bool("active_set", active);
+    const auto res = ExperimentRunner(cfg).run();
+    std::ostringstream os;
+    JsonReporter().report(res, os);
+    // Drop the config echo (threads / active_set legitimately differ).
+    const std::string s = os.str();
+    return s.substr(s.find("\"metrics\""));
+  };
+  const std::string base = report_with(1, true);
+  EXPECT_EQ(base, report_with(8, true));
+  EXPECT_EQ(base, report_with(1, false));
+  EXPECT_EQ(base, report_with(8, false));
+}
+
+}  // namespace
+}  // namespace lgfi
