@@ -157,6 +157,23 @@ void BM_StepsPerSec(benchmark::State& state) {
 }
 BENCHMARK(BM_StepsPerSec)->Arg(64)->Arg(100);
 
+void BM_ClosedLoopTraffic(benchmark::State& state) {
+  // Whole-workload cost of the closed-loop request-reply protocol: one
+  // replication of a windowed uniform workload, replies and pair
+  // bookkeeping included (the injection-process axis's hot path).
+  Config cfg = experiment_config();
+  cfg.parse_string(
+      "traffic=uniform injection=closed_loop window=4 injection_rate=0.2 "
+      "mesh_dims=2 radix=8 faults=0 warmup_steps=20 measure_steps=100 "
+      "routes=0 replications=1 threads=1 seed=16");
+  for (auto _ : state) {
+    const auto res = ExperimentRunner(cfg).run();
+    benchmark::DoNotOptimize(res.metrics.mean("throughput"));
+  }
+  state.SetItemsProcessed(state.iterations() * 100);
+}
+BENCHMARK(BM_ClosedLoopTraffic);
+
 void BM_ParallelReplication(benchmark::State& state) {
   const int threads = static_cast<int>(state.range(0));
   ThreadPool pool(static_cast<unsigned>(threads));

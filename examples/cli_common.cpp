@@ -15,7 +15,7 @@ int parse_args(int argc, const char* const* argv, SweepSpec& spec, const CliUsag
                    "sweep axes (any key; every combination runs as one grid):\n"
                    "  key=[v1,v2,...]        explicit value list\n"
                    "  key=range(lo,hi,step)  lo, lo+step, ... up to and including hi\n"
-                   "  rates=a,b,c            alias for injection_rate=[a,b,c]\n\n"
+                   "  rates=a,b,c            deprecated alias for injection_rate=[a,b,c]\n\n"
                    "config keys:\n"
                 << spec.base().help();
       if (!usage.extra.empty()) std::cout << "\n" << usage.extra;

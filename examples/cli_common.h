@@ -10,7 +10,8 @@
 //
 // Tokens go through SweepSpec::parse_token, so every binary linking this
 // helper speaks the full sweep grammar: key=value scalars, key=[v1,v2,...]
-// lists, key=range(lo,hi,step), and the legacy rates= alias.
+// lists, key=range(lo,hi,step), and the deprecated rates= alias (which
+// warns once on stderr; use injection_rate=[a,b,c]).
 
 #include <string>
 

@@ -5,10 +5,14 @@
 //
 //   ./saturation_sweep                                   # uniform on 8x8, defaults
 //   ./saturation_sweep traffic=hotspot hotspot_frac=0.2 router=global_table
-//   ./saturation_sweep mesh_dims=3 radix=6 faults=8 rates=0.02,0.05,0.1,0.3
-//   ./saturation_sweep switching=wormhole rates=0.005,0.01,0.02   # flit-level
+//   ./saturation_sweep mesh_dims=3 radix=6 faults=8 injection_rate=[0.02,0.05,0.1,0.3]
+//   ./saturation_sweep switching=wormhole injection_rate=[0.005,0.01,0.02]  # flit-level
 //   ./saturation_sweep injection_rate=range(0.02,0.3,0.04) report=csv
-//   ./saturation_sweep rates=0.05,0.1 router=[no_info,fault_info]  # 2-axis grid
+//   ./saturation_sweep injection=closed_loop window=2 faults=8  # round-trip curve
+//   ./saturation_sweep injection_rate=[0.05,0.1] router=[no_info,fault_info]
+//
+// rates=a,b,c is still accepted as a deprecated alias for
+// injection_rate=[a,b,c] (it warns once on stderr).
 //   ./saturation_sweep --help
 //   ./saturation_sweep --list     # the full component catalog
 //
@@ -39,7 +43,8 @@ int main(int argc, char** argv) {
       argc, argv, std::move(spec),
       {"saturation_sweep",
        "latency/throughput saturation curve: one campaign over the injection "
-       "rate (rates= or injection_rate=[...] picks the points)",
+       "rate (injection_rate=[...] picks the points; rates= is a deprecated "
+       "alias)",
        "",
        "\nthroughput tracks offered load until channels saturate; past the knee,\n"
        "latency climbs and stalls dominate — the curve Figure-7-style analysis\n"

@@ -6,6 +6,9 @@
 //   ./sweep router=[no_info,fault_info] injection_rate=[0.02,0.05,0.1] \
 //       traffic=uniform report=csv            # 2-axis campaign, 6 grid rows
 //   ./sweep faults=range(0,24,4) replications=100 report=table
+//   ./sweep traffic=uniform injection=[bernoulli,closed_loop] report=csv
+//   ./sweep traffic=uniform trace_record=run.trace replications=1   # then:
+//   ./sweep traffic=uniform injection=trace trace_file=run.trace    # replay
 //   ./sweep --help          # config grammar + sweep grammar
 //   ./sweep --list          # the component catalog (all registries)
 //

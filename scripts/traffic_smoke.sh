@@ -28,7 +28,7 @@ check_catalog() {
   local catalog
   catalog="$("${build_dir}/${binary}" --list)"
   echo "${catalog}"
-  for component in torus fault_info uniform wormhole clustered json; do
+  for component in torus fault_info uniform closed_loop wormhole clustered json; do
     if ! grep -Eq "^  ${component}  +" <<< "${catalog}"; then
       echo "FAIL: ${binary} --list catalog is missing the '${component}' row" >&2
       exit 1
@@ -36,6 +36,10 @@ check_catalog() {
   done
   if ! grep -q '^topologies (topology=)' <<< "${catalog}"; then
     echo "FAIL: ${binary} --list catalog is missing the topology axis section" >&2
+    exit 1
+  fi
+  if ! grep -q '^injection processes (injection=)' <<< "${catalog}"; then
+    echo "FAIL: ${binary} --list catalog is missing the injection axis section" >&2
     exit 1
   fi
 }
@@ -70,8 +74,52 @@ if [ "${topo_rows}" -ne 2 ]; then
   exit 1
 fi
 
+# Closed-loop smoke: one sweep over the injection axis — the open-loop point
+# must run unchanged next to the request-reply point from the same grid.
+echo "== closed-loop smoke (sweep, injection=[bernoulli,closed_loop] -> csv) =="
+# (No window= override: a per-process knob set explicitly would be rejected
+# at the bernoulli grid point — eager validation is per point, by design.)
+closed_csv="$("${build_dir}/sweep" 'injection=[bernoulli,closed_loop]' \
+  traffic=uniform injection_rate=0.1 radix=6 warmup_steps=20 measure_steps=100 \
+  replications=2 routes=0 faults=0 report=csv)"
+echo "${closed_csv}"
+closed_rows=$(grep -cE '^(bernoulli|closed_loop),' <<< "${closed_csv}" || true)
+if [ "${closed_rows}" -ne 2 ]; then
+  echo "FAIL: injection campaign csv expected 2 rows, got ${closed_rows}" >&2
+  exit 1
+fi
+
+# Trace round-trip smoke: record a run, replay it through injection=trace
+# while re-recording, and require the two trace files to be byte-identical —
+# the replayed injection stream is exactly the recorded one.
+echo "== trace record/replay smoke (sweep, injection=trace) =="
+trace_dir="$(mktemp -d)"
+trap 'rm -rf "${trace_dir}"' EXIT
+"${build_dir}/sweep" traffic=uniform injection_rate=0.1 radix=6 warmup_steps=20 \
+  measure_steps=100 replications=1 routes=0 faults=3 seed=7 \
+  "trace_record=${trace_dir}/a.trace" report=json > "${trace_dir}/a.json"
+"${build_dir}/sweep" traffic=uniform injection=trace "trace_file=${trace_dir}/a.trace" \
+  radix=6 warmup_steps=20 measure_steps=100 replications=1 routes=0 faults=3 seed=7 \
+  "trace_record=${trace_dir}/b.trace" report=json > "${trace_dir}/b.json"
+if ! cmp -s "${trace_dir}/a.trace" "${trace_dir}/b.trace"; then
+  echo "FAIL: replayed trace is not byte-identical to the recorded trace" >&2
+  exit 1
+fi
+# Every metric except offered_load must survive the round trip (offers
+# rejected at injection are not recorded, so on replay offered == injected).
+if ! diff <(grep -v offered_load "${trace_dir}/a.json") \
+          <(grep -v offered_load "${trace_dir}/b.json"); then
+  echo "FAIL: trace replay metrics diverge from the recorded run" >&2
+  exit 1
+fi
+echo "trace round trip: byte-identical trace, identical metrics"
+
 echo "== traffic smoke: ideal switching (bench_traffic_saturation) =="
 "${build_dir}/bench_traffic_saturation" "${smoke[@]}"
 
 echo "== traffic smoke: wormhole switching (bench_wormhole_saturation) =="
 "${build_dir}/bench_wormhole_saturation" "${smoke[@]}" "${wormhole_rates}"
+
+echo "== traffic smoke: closed loop vs open loop (bench_closed_loop_saturation) =="
+"${build_dir}/bench_closed_loop_saturation" radix=6 warmup_steps=30 \
+  measure_steps=200 replications=2

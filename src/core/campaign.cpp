@@ -162,6 +162,13 @@ void SweepSpec::parse_token(const std::string& token) {
   if (key == "rates") {
     // Legacy alias from the sweep CLIs and benches: rates=a,b,c sweeps the
     // injection rate through the same grammar (brackets optional).
+    // Deprecated in favor of the uniform axis syntax; warn once per process.
+    static const bool warned = [] {
+      std::fprintf(stderr,
+                   "warning: rates= is deprecated; use injection_rate=[a,b,c] instead\n");
+      return true;
+    }();
+    (void)warned;
     if (value.size() >= 2 && value.front() == '[' && value.back() == ']')
       value = value.substr(1, value.size() - 2);
     add_axis("injection_rate", split_list(value), token, /*from_default=*/false);

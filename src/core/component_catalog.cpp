@@ -8,6 +8,7 @@
 #include "src/core/topology_registry.h"
 #include "src/routing/router_registry.h"
 #include "src/sim/fault_schedule.h"
+#include "src/sim/injection_process.h"
 #include "src/sim/switching_model.h"
 #include "src/sim/traffic_pattern.h"
 
@@ -19,6 +20,8 @@ std::vector<ComponentCatalogSection> component_catalog() {
   sections.push_back({"router", "router", "", RouterRegistry::instance().describe()});
   sections.push_back({"traffic pattern", "traffic", "traffic=none disables the engine",
                       TrafficPatternRegistry::instance().describe()});
+  sections.push_back({"injection process", "injection", "",
+                      InjectionProcessRegistry::instance().describe()});
   sections.push_back(
       {"switching model", "switching", "", SwitchingModelRegistry::instance().describe()});
   sections.push_back({"fault model", "fault_model", "", fault_model_registry().describe()});
@@ -32,10 +35,12 @@ std::string describe_components() {
   for (const auto& section : component_catalog()) {
     if (!first_section) os << "\n";
     first_section = false;
-    // "router" -> "routers" but "topology" -> "topologies".
+    // "router" -> "routers", "topology" -> "topologies",
+    // "injection process" -> "injection processes".
     const bool ies = !section.kind.empty() && section.kind.back() == 'y';
+    const bool es = !section.kind.empty() && section.kind.back() == 's';
     os << (ies ? section.kind.substr(0, section.kind.size() - 1) + "ies"
-               : section.kind + "s")
+               : section.kind + (es ? "es" : "s"))
        << " (" << section.config_key << "=)";
     if (!section.note.empty()) os << "  [" << section.note << "]";
     os << "\n";

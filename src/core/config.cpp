@@ -241,6 +241,10 @@ std::string Config::value_as_string(const std::string& key) const {
   return "";
 }
 
+bool Config::is_default(const std::string& key) const {
+  return value_as_string(key) == require(key).default_as_string;
+}
+
 std::string Config::to_string() const {
   std::string out;
   for (const auto& [key, _] : entries_) {

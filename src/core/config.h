@@ -73,6 +73,11 @@ class Config {
   /// set_from_string).
   [[nodiscard]] std::string value_as_string(const std::string& key) const;
 
+  /// True when `key` still holds the default it was defined with — how
+  /// eager validation distinguishes "user asked for window=8 on a process
+  /// that ignores it" from the schema default merely existing.
+  [[nodiscard]] bool is_default(const std::string& key) const;
+
   /// "key1=v1 key2=v2 ..." over all keys, sorted — the one-line reproducible
   /// description of a run.
   [[nodiscard]] std::string to_string() const;

@@ -14,6 +14,7 @@
 #include "src/routing/global_table_router.h"
 #include "src/routing/route_walker.h"
 #include "src/routing/router_registry.h"
+#include "src/sim/injection_process.h"
 #include "src/sim/table_printer.h"
 #include "src/sim/thread_pool.h"
 
@@ -107,6 +108,22 @@ Config experiment_config() {
                      "bit_complement | hotspot | permutation); overrides mode")
       .define_double("injection_rate", 0.02,
                      "traffic: per-node per-step Bernoulli injection probability")
+      .define_string("injection", "bernoulli",
+                     "injection process (bernoulli | onoff | batch | closed_loop "
+                     "| trace); the seventh component axis")
+      .define_double("duty_cycle", kDefaultDutyCycle,
+                     "injection=onoff: ON fraction of the burst cycle")
+      .define_int("burst_len", kDefaultBurstLen, "injection=onoff: ON steps per cycle")
+      .define_int("batch_size", kDefaultBatchSize,
+                  "injection=batch: packets per terminal per batch")
+      .define_int("batch_count", kDefaultBatchCount,
+                  "injection=batch: batches (the network drains between them)")
+      .define_int("window", kDefaultWindow,
+                  "injection=closed_loop: outstanding request-reply pairs per terminal")
+      .define_string("trace_file", "", "injection=trace: recorded trace to replay")
+      .define_string("trace_record", "",
+                     "traffic: serialize injected packets here for injection=trace "
+                     "replay (needs replications=1)")
       .define_int("measure_steps", 1000, "traffic: measurement window (steps)")
       .define_int("drain_steps", 0, "traffic: drain-phase cap (0: 4*2n*N safety net)")
       .define_double("hotspot_frac", kDefaultHotspotFrac,
@@ -382,6 +399,40 @@ ExperimentRunner::ExperimentRunner(Config config) : config_(std::move(config)) {
     Rng probe(0);
     (void)make_traffic_pattern(traffic, *topo, config_, probe);
   }
+  // The injection axis: unknown names fail with a did-you-mean, and keys a
+  // process ignores are rejected instead of silently no-opping.
+  const std::string& injection = config_.get_str("injection");
+  if (!InjectionProcessRegistry::instance().contains(injection)) {
+    throw ConfigError(unknown_name_message("injection process", injection,
+                                           InjectionProcessRegistry::instance().names()));
+  }
+  validate_injection_keys(config_);
+  if (traffic == "none") {
+    if (injection != "bernoulli")
+      throw ConfigError("injection=" + injection +
+                        " needs a traffic workload (set traffic=)");
+    if (!config_.get_str("trace_record").empty())
+      throw ConfigError("trace_record= needs a traffic workload (set traffic=)");
+  } else {
+    if (config_.get_int("measure_steps") <= 0)
+      throw ConfigError("measure_steps must be >= 1 (got " +
+                        std::to_string(config_.get_int("measure_steps")) + ")");
+    if (config_.get_int("drain_steps") < 0)
+      throw ConfigError("drain_steps must be >= 0 (got " +
+                        std::to_string(config_.get_int("drain_steps")) +
+                        "; 0 derives the 4*2n*N safety net)");
+    if (!config_.get_str("trace_record").empty() && config_.get_int("replications") != 1)
+      throw ConfigError(
+          "trace_record= writes one trace file; run with replications=1 "
+          "(each replication would overwrite it)");
+    if (config_.get_str("scenario") == "random") {
+      // Throwaway construction: validates knob ranges (duty_cycle, window,
+      // ...) and, for injection=trace, that the trace file exists and was
+      // recorded on this topology.
+      Rng probe(0);
+      (void)make_injection_process(injection, *topo, config_, probe);
+    }
+  }
 }
 
 std::unique_ptr<Router> ExperimentRunner::make_router() const {
@@ -592,6 +643,11 @@ void ExperimentRunner::run_one_traffic(Rng& rng, MetricSet& out) const {
   DynamicEnv env = build_dynamic(rng, /*run_warmup=*/false);
   const auto pattern =
       make_traffic_pattern(config_.get_str("traffic"), *env.mesh, config_, rng);
+  // Built after the pattern, so any construction-time draws (onoff's slot
+  // phases) land after the pattern's (permutation's table) — and bernoulli
+  // draws nothing, keeping the default stream byte-identical to pre-axis.
+  const auto process =
+      make_injection_process(config_.get_str("injection"), *env.mesh, config_, rng);
 
   TrafficWorkloadOptions topts;
   topts.injection_rate = config_.get_double("injection_rate");
@@ -600,8 +656,12 @@ void ExperimentRunner::run_one_traffic(Rng& rng, MetricSet& out) const {
   topts.drain_steps = config_.get_int("drain_steps");
   topts.probes = static_cast<int>(config_.get_int("routes"));
   topts.min_probe_distance = static_cast<int>(config_.get_int("min_pair_distance"));
+  topts.trace_record = config_.get_str("trace_record");
+  topts.trace_packet_size = config_.get_str("switching") == "wormhole"
+                                ? static_cast<int>(config_.get_int("flits_per_packet"))
+                                : 1;
 
-  TrafficWorkload workload(*env.sim, *pattern, topts, rng);
+  TrafficWorkload workload(*env.sim, *pattern, *process, topts, rng);
   const TrafficResult r = workload.run();
 
   out.add("offered_load", r.offered_load);

@@ -1,10 +1,10 @@
 #pragma once
-// Open-loop traffic driver for the contention-aware step pipeline.
+// Traffic driver for the contention-aware step pipeline.
 //
-// The standard interconnect measurement methodology: every node injects
-// messages by an independent Bernoulli process of rate `injection_rate`
-// (messages per node per step), destinations drawn from a TrafficPattern,
-// and the run is split into three phases:
+// Every terminal offers messages according to a pluggable InjectionProcess
+// (`injection=` axis — Bernoulli open loop by default, on/off bursts, batch
+// mode, closed-loop request-reply, trace replay), destinations drawn from a
+// TrafficPattern, and the run is split into three phases:
 //
 //   warmup   inject but do not measure (fills the network to steady state)
 //   measure  inject and tag; tagged messages are the statistics population
@@ -16,15 +16,29 @@
 // whole process draws from one replication-private Rng, so results are
 // deterministic and thread-count independent (DESIGN.md §9).
 //
+// Under a closed-loop process the workload additionally runs the
+// request-reply protocol: when a request is delivered, a reply is launched
+// from the destination back to the source, the measurement population is
+// completed *pairs*, and pair latency spans request start to reply delivery
+// (DESIGN.md §15).
+//
+// With `trace_record` set, every primary injection (not replies) is
+// serialized to a compact binary trace replayable via `injection=trace`.
+//
 // Optionally, `probes` single messages are launched at the start of the
 // measurement window and reported separately — with injection_rate=0 this
 // reduces exactly to the historical single-message dynamic experiment, which
 // is how the Theorem 3-5 regime stays reachable from the traffic surface.
 
+#include <map>
+#include <memory>
+#include <string>
 #include <vector>
 
 #include "src/core/dynamic_simulation.h"
+#include "src/sim/injection_process.h"
 #include "src/sim/statistics.h"
+#include "src/sim/trace_io.h"
 #include "src/sim/traffic_pattern.h"
 
 namespace lgfi {
@@ -38,12 +52,14 @@ struct TrafficWorkloadOptions {
   long long drain_steps = 0;
   int probes = 0;                ///< single messages launched at measure start
   int min_probe_distance = 1;    ///< minimum D(s, d) of probe pairs
+  std::string trace_record;      ///< non-empty: serialize injections here
+  int trace_packet_size = 1;     ///< flits per packet stamped into the trace
 };
 
 struct TrafficResult {
-  long long offered = 0;    ///< Bernoulli firings in the measurement window
+  long long offered = 0;    ///< injection-process firings in the measurement window
   long long injected = 0;   ///< messages actually launched (all phases)
-  long long measured = 0;   ///< tagged messages (measurement window)
+  long long measured = 0;   ///< tagged messages/pairs (measurement window)
   long long measured_delivered = 0;
   long long measured_unreachable = 0;
   long long measured_exhausted = 0;   ///< hit the per-message step budget
@@ -53,7 +69,8 @@ struct TrafficResult {
   /// Flit-level switching only (empty under ideal): head-flit arrival
   /// latency and the serialization tail (delivery - head arrival), per
   /// delivered tagged message.  `latency` above is the tail latency, so
-  /// latency == head_latency + serialization sample-by-sample.
+  /// latency == head_latency + serialization sample-by-sample.  Closed-loop
+  /// pairs span two messages, so both stay empty there.
   IntHistogram head_latency;
   IntHistogram serialization;
   double offered_load = 0.0;          ///< offered / (measure_steps * N)
@@ -65,22 +82,55 @@ struct TrafficResult {
 
 class TrafficWorkload {
  public:
-  /// Drives `sim` (typically built with link_arbitration on).  `pattern` and
-  /// `rng` must outlive run().
+  /// Historical form: open-loop Bernoulli at options.injection_rate —
+  /// byte-identical to the pre-axis workload.  `pattern` and `rng` must
+  /// outlive run().
   TrafficWorkload(DynamicSimulation& sim, TrafficPattern& pattern,
+                  TrafficWorkloadOptions options, Rng& rng);
+
+  /// Injection-process form: `process` decides when each terminal offers a
+  /// packet; must outlive run() (as must `pattern` and `rng`).
+  TrafficWorkload(DynamicSimulation& sim, TrafficPattern& pattern, InjectionProcess& process,
                   TrafficWorkloadOptions options, Rng& rng);
 
   TrafficResult run();
 
  private:
-  /// One injection sweep over the nodes (ascending id, one Bernoulli draw
-  /// each — the rng stream layout is fixed, so runs are reproducible).
+  /// A closed-loop request-reply pair, keyed first by the request id, then
+  /// (once the reply launches) by the reply id.
+  struct PairState {
+    int slot = 0;
+    bool measured = false;
+    long long start_step = 0;       ///< request launch step
+    long long request_stalls = 0;   ///< filled when the reply launches
+  };
+
+  /// One injection sweep over the terminal slots (ascending, one fire()
+  /// consult each — the rng stream layout is fixed, so runs are
+  /// reproducible).
   void inject(bool measured, TrafficResult& result);
+
+  /// After every sim step: closed-loop bookkeeping (launch replies for
+  /// delivered requests, settle completed pairs).  No-op for open loop.
+  void post_step(TrafficResult& result);
+
+  /// The pair ended without a delivered reply: frees the window entry and
+  /// classifies the tagged outcome by the failing message (`msg` null when
+  /// the reply could not even launch — counted unreachable).
+  void fail_pair(const PairState& pair, const MessageProgress* msg, TrafficResult& result);
 
   DynamicSimulation* sim_;
   TrafficPattern* pattern_;
   TrafficWorkloadOptions options_;
   Rng* rng_;
+  std::unique_ptr<InjectionProcess> owned_process_;  ///< legacy-ctor bernoulli
+  InjectionProcess* process_;
+  std::unique_ptr<TraceWriter> trace_;
+
+  // Closed-loop state (unused for open-loop processes).
+  std::vector<int> inflight_;             ///< request/reply ids still flying
+  std::map<int, PairState> requests_;     ///< request id -> pair
+  std::map<int, PairState> replies_;      ///< reply id -> pair (request done)
 };
 
 }  // namespace lgfi

@@ -1,0 +1,130 @@
+#include "src/sim/trace_io.h"
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/core/config.h"
+
+namespace lgfi {
+namespace {
+
+constexpr char kMagic[4] = {'L', 'G', 'T', '1'};
+
+void write_varint(std::FILE* f, unsigned long long v) {
+  // LEB128: 7 payload bits per byte, high bit = continuation.
+  do {
+    unsigned char byte = static_cast<unsigned char>(v & 0x7fu);
+    v >>= 7;
+    if (v != 0) byte |= 0x80u;
+    std::fputc(byte, f);
+  } while (v != 0);
+}
+
+bool read_varint(std::FILE* f, unsigned long long& out) {
+  out = 0;
+  for (int shift = 0; shift < 64; shift += 7) {
+    const int c = std::fgetc(f);
+    if (c == EOF) return false;
+    out |= static_cast<unsigned long long>(c & 0x7f) << shift;
+    if ((c & 0x80) == 0) return true;
+  }
+  return false;  // over-long encoding
+}
+
+[[noreturn]] void fail(const std::string& path, const std::string& what) {
+  throw ConfigError("trace '" + path + "': " + what);
+}
+
+}  // namespace
+
+struct TraceWriter::Impl {
+  std::string path;
+  std::FILE* file = nullptr;
+};
+
+TraceWriter::TraceWriter(const std::string& path, const Topology& mesh) : impl_(new Impl) {
+  impl_->path = path;
+  impl_->file = std::fopen(path.c_str(), "wb");
+  if (impl_->file == nullptr) fail(path, "cannot open for writing");
+  std::fwrite(kMagic, 1, sizeof kMagic, impl_->file);
+  write_varint(impl_->file, static_cast<unsigned long long>(mesh.node_count()));
+  write_varint(impl_->file, static_cast<unsigned long long>(mesh.concentration()));
+}
+
+TraceWriter::~TraceWriter() {
+  if (impl_->file != nullptr) std::fclose(impl_->file);
+  delete impl_;
+}
+
+void TraceWriter::add(long long step, int slot, NodeId dest, int size) {
+  write_varint(impl_->file, static_cast<unsigned long long>(step - last_step_));
+  write_varint(impl_->file, static_cast<unsigned long long>(slot));
+  write_varint(impl_->file, static_cast<unsigned long long>(dest));
+  write_varint(impl_->file, static_cast<unsigned long long>(size));
+  last_step_ = step;
+  ++records_;
+}
+
+void TraceWriter::close() {
+  if (impl_->file == nullptr) return;
+  const bool ok = std::fclose(impl_->file) == 0;
+  impl_->file = nullptr;
+  if (!ok) fail(impl_->path, "write failed on close");
+}
+
+std::vector<TraceRecord> read_trace(const std::string& path, const Topology& mesh) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) fail(path, "cannot open (does the file exist?)");
+  struct Closer {
+    std::FILE* f;
+    ~Closer() { std::fclose(f); }
+  } closer{f};
+
+  char magic[4] = {};
+  if (std::fread(magic, 1, sizeof magic, f) != sizeof magic ||
+      std::memcmp(magic, kMagic, sizeof magic) != 0) {
+    fail(path, "not an LGT1 trace file");
+  }
+  unsigned long long nodes = 0;
+  unsigned long long concentration = 0;
+  if (!read_varint(f, nodes) || !read_varint(f, concentration)) fail(path, "truncated header");
+  if (nodes != static_cast<unsigned long long>(mesh.node_count()) ||
+      concentration != static_cast<unsigned long long>(mesh.concentration())) {
+    fail(path, "recorded on a different topology (" + std::to_string(nodes) + " nodes x " +
+                   std::to_string(concentration) + " terminals/node; this run has " +
+                   std::to_string(mesh.node_count()) + " x " +
+                   std::to_string(mesh.concentration()) + ")");
+  }
+
+  std::vector<TraceRecord> records;
+  long long step = 0;
+  const long long slots =
+      static_cast<long long>(mesh.node_count()) * static_cast<long long>(mesh.concentration());
+  for (;;) {
+    unsigned long long delta = 0;
+    if (!read_varint(f, delta)) break;  // clean EOF between records
+    unsigned long long slot = 0;
+    unsigned long long dest = 0;
+    unsigned long long size = 0;
+    if (!read_varint(f, slot) || !read_varint(f, dest) || !read_varint(f, size)) {
+      fail(path, "truncated record");
+    }
+    step += static_cast<long long>(delta);
+    if (static_cast<long long>(slot) >= slots) fail(path, "slot out of range");
+    if (dest >= static_cast<unsigned long long>(mesh.node_count())) {
+      fail(path, "destination out of range");
+    }
+    TraceRecord r;
+    r.step = step;
+    r.slot = static_cast<int>(slot);
+    r.dest = static_cast<NodeId>(dest);
+    r.size = static_cast<int>(size);
+    records.push_back(r);
+  }
+  return records;
+}
+
+}  // namespace lgfi

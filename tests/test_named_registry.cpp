@@ -192,15 +192,16 @@ TEST(RegistryCoverage, EveryRegisteredReporterConstructs) {
 // The describe/--list catalog.
 // ---------------------------------------------------------------------------
 
-TEST(ComponentCatalog, CoversAllSixAxes) {
+TEST(ComponentCatalog, CoversAllSevenAxes) {
   const auto sections = component_catalog();
-  ASSERT_EQ(sections.size(), 6u);
+  ASSERT_EQ(sections.size(), 7u);
   EXPECT_EQ(sections[0].config_key, "topology");
   EXPECT_EQ(sections[1].config_key, "router");
   EXPECT_EQ(sections[2].config_key, "traffic");
-  EXPECT_EQ(sections[3].config_key, "switching");
-  EXPECT_EQ(sections[4].config_key, "fault_model");
-  EXPECT_EQ(sections[5].config_key, "report");
+  EXPECT_EQ(sections[3].config_key, "injection");
+  EXPECT_EQ(sections[4].config_key, "switching");
+  EXPECT_EQ(sections[5].config_key, "fault_model");
+  EXPECT_EQ(sections[6].config_key, "report");
   for (const auto& section : sections) {
     EXPECT_FALSE(section.components.empty()) << section.kind;
     for (const auto& c : section.components)
@@ -212,7 +213,8 @@ TEST(ComponentCatalog, CoversAllSixAxes) {
 TEST(ComponentCatalog, DescribeTextNamesOneComponentPerRegistry) {
   const std::string text = describe_components();
   for (const char* expected : {"fault_info", "uniform", "wormhole", "clustered", "json",
-                               "torus", "(topology=", "(router=", "(traffic="})
+                               "torus", "closed_loop", "injection processes (injection=",
+                               "(topology=", "(router=", "(traffic="})
     EXPECT_NE(text.find(expected), std::string::npos) << "missing '" << expected << "'";
 }
 
