@@ -7,10 +7,11 @@
 #include <cstdio>
 #include <exception>
 #include <memory>
-#include <mutex>
 #include <ostream>
 #include <sstream>
 
+#include "src/core/first_error.h"
+#include "src/core/mutex.h"
 #include "src/sim/thread_pool.h"
 
 namespace lgfi {
@@ -341,27 +342,27 @@ std::vector<PointResult> CampaignRunner::run_with(const ReplicationBody& body, R
   for (size_t p = 0; p < npoints; ++p) pending[p].store(reps[p]);
   // Exceptions must not escape into pool workers; capture the first one and
   // rethrow once the fan-out has drained (same contract as run_each).
-  std::exception_ptr first_error;
-  std::mutex error_mu;
-  std::atomic<bool> failed{false};
-  const auto record_error = [&] {
-    std::lock_guard<std::mutex> lock(error_mu);
-    if (!first_error) first_error = std::current_exception();
-    failed.store(true);
-  };
+  FirstError first_error;
 
   // Completed points stream to the sink in grid order: whoever finishes a
   // point's last replication merges-and-flushes the contiguous ready prefix
   // under one mutex, so the sink sees a deterministic sequence while later
-  // grid points are still running.
-  std::vector<char> complete(npoints, 0);
-  size_t next_flush = 0;
-  std::mutex flush_mu;
+  // grid points are still running.  The flush cursor and completion flags
+  // live in a named struct so the mutex/state relationship is visible to the
+  // thread-safety analysis (results/per_task are protected by the same lock
+  // during a flush, but workers also write disjoint per_task slots lock-free
+  // before their point's final pending decrement — see DESIGN.md §16).
+  struct FlushState {
+    explicit FlushState(size_t npoints) : complete(npoints, 0) {}
+    Mutex mu;
+    std::vector<char> complete GUARDED_BY(mu);
+    size_t next_flush GUARDED_BY(mu) = 0;
+  } flush(npoints);
   const auto mark_complete_and_flush = [&](size_t completed_point) {
-    std::lock_guard<std::mutex> lock(flush_mu);
-    if (completed_point != SIZE_MAX) complete[completed_point] = 1;
-    while (next_flush < npoints && complete[next_flush]) {
-      const size_t p = next_flush;
+    MutexLock lock(flush.mu);
+    if (completed_point != SIZE_MAX) flush.complete[completed_point] = 1;
+    while (flush.next_flush < npoints && flush.complete[flush.next_flush]) {
+      const size_t p = flush.next_flush;
       PointResult& r = results[p];
       r.index = p;
       r.swept = campaign_.points[p].swept;
@@ -370,19 +371,22 @@ std::vector<PointResult> CampaignRunner::run_with(const ReplicationBody& body, R
       // Merge in replication order: byte-identical for any thread count.
       for (const auto& m : per_task[p]) r.result.metrics.merge(m);
       per_task[p].clear();
-      if (sink && !failed.load()) {
+      if (sink && !first_error.failed()) {
         try {
           sink->add(r);
         } catch (...) {
-          record_error();
+          first_error.record();
         }
       }
-      ++next_flush;
+      ++flush.next_flush;
     }
   };
 
-  for (size_t p = 0; p < npoints; ++p)
-    if (reps[p] == 0) complete[p] = 1;
+  {
+    MutexLock lock(flush.mu);
+    for (size_t p = 0; p < npoints; ++p)
+      if (reps[p] == 0) flush.complete[p] = 1;
+  }
   mark_complete_and_flush(SIZE_MAX);
 
   const auto task = [&](int64_t t) {
@@ -395,7 +399,7 @@ std::vector<PointResult> CampaignRunner::run_with(const ReplicationBody& body, R
       Rng rng = Rng(seeds[p]).fork(static_cast<uint64_t>(rep));
       body(runners_[p], rng, per_task[p][rep]);
     } catch (...) {
-      record_error();
+      first_error.record();
     }
     if (pending[p].fetch_sub(1) == 1) mark_complete_and_flush(p);
   };
@@ -408,7 +412,7 @@ std::vector<PointResult> CampaignRunner::run_with(const ReplicationBody& body, R
   } else {
     parallel_for(total, task);
   }
-  if (first_error) std::rethrow_exception(first_error);
+  first_error.rethrow_if_set();
   if (sink) sink->end();
   return results;
 }

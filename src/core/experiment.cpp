@@ -7,43 +7,43 @@
 namespace lgfi {
 
 MetricSet::MetricSet(MetricSet&& other) noexcept {
-  std::lock_guard<std::mutex> lock(other.mu_);
+  MutexLock lock(other.mu_);
   stats_ = std::move(other.stats_);
 }
 
 MetricSet& MetricSet::operator=(MetricSet&& other) noexcept {
   if (this != &other) {
-    std::scoped_lock lock(mu_, other.mu_);
+    MutexLock2 lock(mu_, other.mu_);
     stats_ = std::move(other.stats_);
   }
   return *this;
 }
 
 MetricSet::MetricSet(const MetricSet& other) {
-  std::lock_guard<std::mutex> lock(other.mu_);
+  MutexLock lock(other.mu_);
   stats_ = other.stats_;
 }
 
 MetricSet& MetricSet::operator=(const MetricSet& other) {
   if (this != &other) {
-    std::scoped_lock lock(mu_, other.mu_);
+    MutexLock2 lock(mu_, other.mu_);
     stats_ = other.stats_;
   }
   return *this;
 }
 
 void MetricSet::add(const std::string& name, double value) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   stats_[name].add(value);
 }
 
 void MetricSet::add_repeated(const std::string& name, double value, long long count) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   stats_[name].add_repeated(value, count);
 }
 
 const RunningStats& MetricSet::stats(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   const auto it = stats_.find(name);
   if (it == stats_.end()) {
     std::string recorded;
@@ -55,13 +55,14 @@ const RunningStats& MetricSet::stats(const std::string& name) const {
 }
 
 bool MetricSet::has(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return stats_.count(name) > 0;
 }
 
 std::vector<std::string> MetricSet::names() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<std::string> out;
+  out.reserve(stats_.size());
   for (const auto& [name, _] : stats_) out.push_back(name);
   return out;
 }
@@ -71,7 +72,7 @@ double MetricSet::mean(const std::string& name) const {
 }
 
 void MetricSet::merge(const MetricSet& other) {
-  std::scoped_lock lock(mu_, other.mu_);
+  MutexLock2 lock(mu_, other.mu_);
   for (const auto& [name, stats] : other.stats_) stats_[name].merge(stats);
 }
 

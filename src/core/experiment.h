@@ -9,10 +9,10 @@
 
 #include <functional>
 #include <map>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "src/core/mutex.h"
 #include "src/sim/rng.h"
 #include "src/sim/statistics.h"
 #include "src/sim/table_printer.h"
@@ -51,8 +51,10 @@ class MetricSet {
   void merge(const MetricSet& other);
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, RunningStats> stats_;
+  mutable Mutex mu_;
+  // std::map, not unordered: names() / reporters iterate, and metric-name
+  // order must be stable for byte-identical output (DESIGN.md §16).
+  std::map<std::string, RunningStats> stats_ GUARDED_BY(mu_);
 };
 
 /// Runs `fn(rng, metrics)` for `replications` independent replications in

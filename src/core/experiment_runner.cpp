@@ -3,11 +3,11 @@
 #include <algorithm>
 #include <cstdio>
 #include <exception>
-#include <mutex>
 #include <ostream>
 #include <sstream>
 
 #include "src/core/campaign.h"
+#include "src/core/first_error.h"
 #include "src/core/scenario.h"
 #include "src/core/topology_registry.h"
 #include "src/core/traffic_workload.h"
@@ -539,15 +539,13 @@ ExperimentResult ExperimentRunner::run_each(
   // Exceptions must not escape into pool workers (std::terminate) or past
   // per_rep while other replications still write into it: capture the first
   // one and rethrow after the fan-out has fully drained.
-  std::exception_ptr first_error;
-  std::mutex error_mu;
+  FirstError first_error;
   const auto task = [&](int64_t rep) {
     try {
       Rng rng = base.fork(static_cast<uint64_t>(rep));
       body(rng, per_rep[static_cast<size_t>(rep)]);
     } catch (...) {
-      std::lock_guard<std::mutex> lock(error_mu);
-      if (!first_error) first_error = std::current_exception();
+      first_error.record();
     }
   };
   if (threads > 0) {
@@ -556,7 +554,7 @@ ExperimentResult ExperimentRunner::run_each(
   } else {
     parallel_for(replications, task);
   }
-  if (first_error) std::rethrow_exception(first_error);
+  first_error.rethrow_if_set();
 
   ExperimentResult result;
   result.config = config_;

@@ -1,0 +1,50 @@
+#pragma once
+// First-exception capture for thread-pool fan-outs.
+//
+// Exceptions must not escape into pool workers (std::terminate) or past the
+// per-replication buffers while other tasks still write into them: every
+// fan-out captures the first exception and rethrows once the pool has fully
+// drained.  This used to be a copy-pasted exception_ptr + mutex pair in
+// ExperimentRunner::run_each and CampaignRunner::run_with; centralizing it
+// gives the pattern thread-safety annotations once.
+
+#include <atomic>
+#include <exception>
+
+#include "src/core/mutex.h"
+
+namespace lgfi {
+
+class FirstError {
+ public:
+  /// Call from a catch block: records std::current_exception() if this is
+  /// the first failure.  Safe to call concurrently from pool workers.
+  void record() noexcept {
+    MutexLock lock(mu_);
+    if (!first_) first_ = std::current_exception();
+    failed_.store(true, std::memory_order_release);
+  }
+
+  /// Cheap racy check (e.g. to stop streaming output after a failure).
+  [[nodiscard]] bool failed() const noexcept {
+    return failed_.load(std::memory_order_acquire);
+  }
+
+  /// Rethrows the captured exception, if any.  Call only after the fan-out
+  /// has fully drained (no concurrent record()).
+  void rethrow_if_set() const {
+    std::exception_ptr first;
+    {
+      MutexLock lock(mu_);
+      first = first_;
+    }
+    if (first) std::rethrow_exception(first);
+  }
+
+ private:
+  mutable Mutex mu_;
+  std::exception_ptr first_ GUARDED_BY(mu_);
+  std::atomic<bool> failed_{false};
+};
+
+}  // namespace lgfi

@@ -1,0 +1,73 @@
+#pragma once
+// Annotated mutex capability wrappers.
+//
+// libstdc++'s std::mutex carries no capability attributes, so clang's
+// -Wthread-safety analysis cannot see through std::lock_guard /
+// std::unique_lock.  These thin wrappers (the reference pattern from the
+// clang Thread Safety Analysis docs) make every lock acquisition visible to
+// the analysis: members declared GUARDED_BY(mu_) are compile-time-checked to
+// be touched only under MutexLock/MutexLock2.  On gcc the attributes expand
+// to nothing and the wrappers cost exactly a std::mutex.
+//
+// Use Mutex + GUARDED_BY for any state shared across ThreadPool workers;
+// the determinism linter rejects raw std::mutex members without annotations
+// (DESIGN.md §16).
+
+#include <mutex>
+
+#include "src/core/thread_annotations.h"
+
+namespace lgfi {
+
+class CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() ACQUIRE() { mu_.lock(); }
+  void unlock() RELEASE() { mu_.unlock(); }
+
+ private:
+  friend class MutexLock2;
+  std::mutex mu_;  // lint: mutex-ok(the Mutex capability wrapper *is* the annotation layer)
+};
+
+/// RAII lock; also a BasicLockable so std::condition_variable_any can
+/// release/reacquire it across a wait (the capability state is unchanged
+/// around the wait call, which is exactly what the analysis assumes).
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() RELEASE() { mu_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  // condition_variable_any interface.
+  void lock() ACQUIRE(mu_) { mu_.lock(); }
+  void unlock() RELEASE(mu_) { mu_.unlock(); }
+
+ private:
+  Mutex& mu_;
+};
+
+/// Two-mutex RAII lock with std::lock deadlock avoidance (the annotated
+/// stand-in for std::scoped_lock(a, b)).
+class SCOPED_CAPABILITY MutexLock2 {
+ public:
+  MutexLock2(Mutex& a, Mutex& b) ACQUIRE(a, b) : a_(a), b_(b) { std::lock(a_.mu_, b_.mu_); }
+  ~MutexLock2() RELEASE() {
+    a_.mu_.unlock();
+    b_.mu_.unlock();
+  }
+
+  MutexLock2(const MutexLock2&) = delete;
+  MutexLock2& operator=(const MutexLock2&) = delete;
+
+ private:
+  Mutex& a_;
+  Mutex& b_;
+};
+
+}  // namespace lgfi

@@ -1,0 +1,48 @@
+#pragma once
+// Clang thread-safety annotation macros (no-ops elsewhere).
+//
+// The determinism contract (DESIGN.md §16) requires every piece of state
+// shared across pool workers to have a named guard the compiler can check:
+// clang's -Wthread-safety analysis proves at compile time that annotated
+// members are only touched with their mutex held.  CI promotes the warning
+// to an error on clang builds; gcc compiles the macros away.  The custom
+// determinism linter (tools/lint/determinism_lint.py) closes the loop by
+// rejecting raw std::mutex members that have no GUARDED_BY users.
+//
+// Macro set and spelling follow the de-facto standard header shipped with
+// abseil / the clang docs, trimmed to what this codebase uses.
+
+#if defined(__clang__) && (!defined(SWIG))
+#define LGFI_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define LGFI_THREAD_ANNOTATION(x)  // no-op
+#endif
+
+/// Class is a lockable capability (mutex wrappers).
+#define CAPABILITY(x) LGFI_THREAD_ANNOTATION(capability(x))
+
+/// Class is an RAII lock whose lifetime holds capabilities.
+#define SCOPED_CAPABILITY LGFI_THREAD_ANNOTATION(scoped_lockable)
+
+/// Data member readable/writable only with `x` held.
+#define GUARDED_BY(x) LGFI_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointer member whose *pointee* is guarded by `x`.
+#define PT_GUARDED_BY(x) LGFI_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Function requires `...` held on entry (caller locks).
+#define REQUIRES(...) LGFI_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Function must NOT be called with `...` held (it locks internally).
+#define EXCLUDES(...) LGFI_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Function acquires `...` and leaves it held.
+#define ACQUIRE(...) LGFI_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// Function releases `...`.
+#define RELEASE(...) LGFI_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// Escape hatch: the function's locking is intentionally invisible to the
+/// analysis (constructors/destructors of racy-by-design state).  Pair with a
+/// comment explaining why.
+#define NO_THREAD_SAFETY_ANALYSIS LGFI_THREAD_ANNOTATION(no_thread_safety_analysis)

@@ -54,6 +54,10 @@ class OracleRouter final : public Router {
   /// many destinations per step, so one tree per destination (instead of
   /// one slot) keeps each decision O(1) between fault events.
   uint64_t cached_version_ = kNoVersion;
+  /// Membership-only access (find/emplace/clear): eviction at
+  /// kMaxCachedTrees is a wholesale clear(), never an iteration-ordered
+  /// LRU walk, so routing decisions cannot depend on hash traversal order
+  /// (determinism contract, DESIGN.md §16).
   std::unordered_map<Coord, std::vector<int>, CoordHash> dist_by_dest_;
 };
 

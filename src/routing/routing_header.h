@@ -83,6 +83,9 @@ class RoutingHeader {
   bool persistent_marks_ = false;
   /// Persistent mode only: the authoritative per-node used sets.  Path
   /// entries mirror this map so decide() can keep reading top().used.
+  /// Membership-only access (operator[]/find/erase by key): direction
+  /// preference order always comes from the router's policy, never from
+  /// traversing this map (determinism contract, DESIGN.md §16).
   std::unordered_map<Coord, DirectionSet, CoordHash> marks_;
 };
 

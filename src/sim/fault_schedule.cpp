@@ -42,6 +42,7 @@ long long FaultSchedule::last_step() const {
 
 std::vector<long long> FaultSchedule::occurrence_times() const {
   std::vector<long long> times;
+  times.reserve(events_.size());
   for (const auto& e : events_) times.push_back(e.step);
   times.erase(std::unique(times.begin(), times.end()), times.end());
   return times;
@@ -58,6 +59,9 @@ bool interior_ok(const Topology& mesh, const Coord& c, const FaultPlacementOptio
 std::vector<Coord> random_fault_placement(const Topology& mesh, int count, Rng& rng,
                                           const FaultPlacementOptions& opts,
                                           const std::vector<Coord>& forbidden) {
+  // Membership-only (insert/count): the placement *order* is fully decided
+  // by the rng draw sequence, never by set traversal — iterating this set
+  // would trip the determinism lint (DESIGN.md §16).
   std::unordered_set<NodeId> taken;
   for (const auto& f : forbidden)
     if (mesh.in_bounds(f)) taken.insert(mesh.index_of(f));
@@ -85,6 +89,7 @@ std::vector<Coord> clustered_fault_placement(const Topology& mesh, int count, Rn
                                              const FaultPlacementOptions& opts) {
   std::vector<Coord> out;
   if (count <= 0) return out;
+  out.reserve(static_cast<size_t>(count));
 
   // Random interior seed.  Wrapped dimensions have no outer surface, so the
   // interior shrink only applies where a surface exists.
@@ -97,6 +102,9 @@ std::vector<Coord> clustered_fault_placement(const Topology& mesh, int count, Rn
     seed[i] = rng.uniform_int(lo, hi);
   }
 
+  // Membership-only, like `taken` above: growth order comes from rng picks
+  // over the `frontier` vector, and candidate enumeration walks the
+  // topology's fixed grid-neighbor order — the set never dictates order.
   std::unordered_set<NodeId> chosen;
   std::vector<Coord> frontier{seed};
   chosen.insert(mesh.index_of(seed));

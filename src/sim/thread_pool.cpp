@@ -25,7 +25,7 @@ ThreadPool::ThreadPool(unsigned threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stopping_ = true;
   }
   cv_work_.notify_all();
@@ -37,8 +37,10 @@ void ThreadPool::worker_loop() {
   for (;;) {
     std::shared_ptr<TaskState> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_work_.wait(lock, [&] { return stopping_ || generation_ != seen; });
+      MutexLock lock(mu_);
+      // Explicit predicate loop (not the lambda overload) so the guarded
+      // reads stay inside this function for the thread-safety analysis.
+      while (!stopping_ && generation_ == seen) cv_work_.wait(lock);
       if (stopping_) return;
       seen = generation_;
       task = task_;
@@ -49,7 +51,7 @@ void ThreadPool::worker_loop() {
       if (i >= task->count) break;
       task->fn(i);
       if (task->done.fetch_add(1, std::memory_order_acq_rel) + 1 == task->count) {
-        std::lock_guard<std::mutex> lock(mu_);
+        MutexLock lock(mu_);
         cv_done_.notify_all();
       }
     }
@@ -66,7 +68,7 @@ void ThreadPool::parallel_for(int64_t count, const std::function<void(int64_t)>&
   task->fn = fn;
   task->count = count;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     task_ = task;
     ++generation_;
   }
@@ -78,8 +80,11 @@ void ThreadPool::parallel_for(int64_t count, const std::function<void(int64_t)>&
     fn(i);
     task->done.fetch_add(1, std::memory_order_acq_rel);
   }
-  std::unique_lock<std::mutex> lock(mu_);
-  cv_done_.wait(lock, [&] { return task->done.load(std::memory_order_acquire) >= count; });
+  MutexLock lock(mu_);
+  // The predicate reads only TaskState atomics, so the lambda overload of
+  // wait would be analysis-clean too; the explicit loop keeps both waits in
+  // one style.
+  while (task->done.load(std::memory_order_acquire) < count) cv_done_.wait(lock);
 }
 
 ThreadPool& ThreadPool::global() {

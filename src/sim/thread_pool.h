@@ -12,9 +12,10 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "src/core/mutex.h"
 
 namespace lgfi {
 
@@ -42,12 +43,15 @@ class ThreadPool {
   void worker_loop();
 
   std::vector<std::thread> workers_;
-  std::mutex mu_;
-  std::condition_variable cv_work_;
-  std::condition_variable cv_done_;
-  std::shared_ptr<TaskState> task_;
-  uint64_t generation_ = 0;
-  bool stopping_ = false;
+  // mu_ guards the submission channel only; per-task progress is lock-free
+  // atomics inside TaskState.  condition_variable_any waits directly on the
+  // annotated MutexLock, keeping the analysis exact across waits.
+  Mutex mu_;
+  std::condition_variable_any cv_work_;
+  std::condition_variable_any cv_done_;
+  std::shared_ptr<TaskState> task_ GUARDED_BY(mu_);
+  uint64_t generation_ GUARDED_BY(mu_) = 0;
+  bool stopping_ GUARDED_BY(mu_) = false;
 };
 
 /// Convenience wrapper over the global pool.  With threads == 1 (or count

@@ -1,0 +1,395 @@
+#!/usr/bin/env python3
+"""Determinism & concurrency linter for the lgfi codebase (DESIGN.md section 16).
+
+The repository's load-bearing contract is byte-identical output across thread
+counts and engine variants.  The hazards that break it are invisible to the
+compiler, so this linter rejects them at review time:
+
+  unordered-iter    range-for / iterator loops over std::unordered_map or
+                    std::unordered_set: the traversal order is
+                    implementation-defined and hash-seed dependent, so any
+                    value that flows from it into output, message order, or
+                    RNG consumption breaks determinism.  Membership-only use
+                    (find/count/insert/erase/clear/erase_if) is fine and not
+                    flagged.
+  nondet-source     ambient nondeterminism: rand()/srand(), std::random_device,
+                    time(), clock(), chrono ::now().  All randomness must come
+                    from the seeded, forkable lgfi::Rng; all time must be
+                    simulation steps.
+  pointer-order     pointer-value ordering: reinterpret_cast to (u)intptr_t,
+                    std::less<T*>, std::hash<T*>.  Allocation addresses differ
+                    run to run, so any order derived from them is
+                    nondeterministic.
+  mutex-annotation  raw std::mutex (or recursive/shared/timed variants)
+                    declarations with no GUARDED_BY(name) user in the same
+                    file: shared state without a compiler-checkable guard.
+                    Use lgfi::Mutex + GUARDED_BY (src/core/mutex.h).
+
+Known-good exceptions are annotated in the source with a justified reason:
+
+    // lint: unordered-iter-ok(<reason>)
+    // lint: nondet-source-ok(<reason>)
+    // lint: pointer-order-ok(<reason>)
+    // lint: mutex-ok(<reason>)
+
+on the offending line or the line directly above it.  An empty reason is an
+error: the annotation is the audit trail.
+
+Usage: determinism_lint.py [--list-rules] [path ...]   (default path: src/)
+Exit codes: 0 clean, 1 findings, 2 usage/IO error.
+
+Implementation notes: the container toolchain has no libclang, so this is a
+token-level scanner, not a semantic analysis.  It strips strings and comments
+(preserving line numbers), tracks which identifiers in a file are declared
+with an unordered container type (including `using` aliases of one), and
+pattern-matches the rules above.  That makes it conservative-by-name: an
+unordered container passed across files under a non-aliased name is missed,
+and a same-named ordered container would false-positive (annotate it).  The
+fixture tests (tools/lint/fixtures/) pin the behaviour either way.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+EXTENSIONS = {".h", ".hh", ".hpp", ".cc", ".cpp"}
+
+RULES = {
+    "unordered-iter": "iteration over std::unordered_* (order leaks into output)",
+    "nondet-source": "ambient nondeterminism (rand/random_device/time/clock/::now)",
+    "pointer-order": "ordering derived from pointer values",
+    "mutex-annotation": "raw std::mutex member without GUARDED_BY annotation",
+}
+
+# rule id -> allowlist annotation spelled in source comments.
+ALLOW_SPELLING = {
+    "unordered-iter": "unordered-iter-ok",
+    "nondet-source": "nondet-source-ok",
+    "pointer-order": "pointer-order-ok",
+    "mutex-annotation": "mutex-ok",
+}
+
+UNORDERED_TYPE_RE = re.compile(r"\bstd\s*::\s*unordered_(?:map|set|multimap|multiset)\s*<")
+USING_ALIAS_RE = re.compile(
+    r"\busing\s+(\w+)\s*=\s*std\s*::\s*unordered_(?:map|set|multimap|multiset)\s*<"
+)
+RANGE_FOR_RE = re.compile(r"\bfor\s*\(")
+BEGIN_CALL_RE = re.compile(r"\b(\w+)\s*\.\s*c?r?begin\s*\(")
+
+NONDET_PATTERNS = [
+    (re.compile(r"\b(?:std\s*::\s*)?s?rand\s*\("), "rand()/srand()"),
+    (re.compile(r"\bstd\s*::\s*random_device\b"), "std::random_device"),
+    (re.compile(r"\b(?:std\s*::\s*)?time\s*\("), "time()"),
+    (re.compile(r"\b(?:std\s*::\s*)?clock\s*\("), "clock()"),
+    (re.compile(r"::\s*now\s*\("), "clock ::now()"),
+]
+
+POINTER_ORDER_PATTERNS = [
+    (re.compile(r"\breinterpret_cast\s*<\s*(?:std\s*::\s*)?u?intptr_t\b"),
+     "reinterpret_cast to (u)intptr_t"),
+    (re.compile(r"\bstd\s*::\s*less\s*<[^<>]*\*\s*>"), "std::less over a pointer type"),
+    (re.compile(r"\bstd\s*::\s*hash\s*<[^<>]*\*\s*>"), "std::hash over a pointer type"),
+]
+
+MUTEX_DECL_RE = re.compile(
+    r"\bstd\s*::\s*(?:recursive_|shared_|timed_|recursive_timed_)?mutex\s+(\w+)\s*(?:;|\{\s*\})"
+)
+GUARDED_BY_RE = re.compile(r"\bGUARDED_BY\s*\(\s*([^)]+?)\s*\)")
+LINT_COMMENT_RE = re.compile(r"lint:\s*([\w-]+)\s*\(\s*([^)]*?)\s*\)")
+
+
+class Finding:
+    def __init__(self, path: Path, line: int, rule: str, message: str):
+        self.path = path
+        self.line = line
+        self.rule = rule
+        self.message = message
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+def strip_code(text: str):
+    """Returns (code_lines, comment_lines): line-aligned source with strings
+    and comments blanked, and the comment text per line (for annotations)."""
+    code: list[str] = []
+    comments: list[str] = []
+    cur_code: list[str] = []
+    cur_comment: list[str] = []
+    i = 0
+    n = len(text)
+    in_block = False
+    in_line = False
+    quote = ""  # '"' or "'" when inside a literal
+    raw_delim = None  # raw string terminator when inside R"delim( ... )delim"
+    while i < n:
+        c = text[i]
+        if c == "\n":
+            code.append("".join(cur_code))
+            comments.append("".join(cur_comment))
+            cur_code, cur_comment = [], []
+            in_line = False
+            i += 1
+            continue
+        if in_line:
+            cur_comment.append(c)
+            i += 1
+            continue
+        if in_block:
+            if c == "*" and i + 1 < n and text[i + 1] == "/":
+                in_block = False
+                i += 2
+            else:
+                cur_comment.append(c)
+                i += 1
+            continue
+        if raw_delim is not None:
+            end = ")" + raw_delim + '"'
+            if text.startswith(end, i):
+                raw_delim = None
+                i += len(end)
+            else:
+                i += 1
+            continue
+        if quote:
+            if c == "\\":
+                i += 2
+            elif c == quote:
+                quote = ""
+                i += 1
+            else:
+                i += 1
+            continue
+        if c == "/" and i + 1 < n and text[i + 1] == "/":
+            in_line = True
+            i += 2
+            continue
+        if c == "/" and i + 1 < n and text[i + 1] == "*":
+            in_block = True
+            i += 2
+            continue
+        m = re.match(r'R"([^\s()\\]{0,16})\(', text[i:]) if c == "R" else None
+        if m:
+            raw_delim = m.group(1)
+            cur_code.append(" ")
+            i += m.end()
+            continue
+        if c in "\"'":
+            quote = c
+            cur_code.append(c)  # keep the delimiter so regexes do not join tokens
+            i += 1
+            continue
+        cur_code.append(c)
+        i += 1
+    code.append("".join(cur_code))
+    comments.append("".join(cur_comment))
+    return code, comments
+
+
+def collect_unordered_names(code_lines: list[str]) -> set[str]:
+    """Identifiers declared (member, local, or parameter) with an unordered
+    container type, plus variables of `using`-aliased unordered types."""
+    joined = "\n".join(code_lines)
+    names: set[str] = set()
+    aliases: set[str] = set()
+    for m in USING_ALIAS_RE.finditer(joined):
+        aliases.add(m.group(1))
+    type_starts = [m for m in UNORDERED_TYPE_RE.finditer(joined)]
+    for m in type_starts:
+        # Walk the balanced template argument list, then take the next
+        # identifier as the declared name (skipping &/* and whitespace).
+        depth = 1
+        j = m.end()
+        while j < len(joined) and depth > 0:
+            if joined[j] == "<":
+                depth += 1
+            elif joined[j] == ">":
+                depth -= 1
+            j += 1
+        rest = joined[j:]
+        dm = re.match(r"\s*[&*]*\s*(\w+)\s*[;,={()\[]", rest)
+        if dm and dm.group(1) not in {"const", "constexpr", "static", "mutable"}:
+            names.add(dm.group(1))
+    for alias in aliases:
+        for m in re.finditer(r"\b" + re.escape(alias) + r"\s*[&*]*\s+(\w+)\s*[;,={(]", joined):
+            names.add(m.group(1))
+    return names
+
+
+def allowed(rule: str, comments: list[str], lineno: int) -> tuple[bool, str | None]:
+    """Checks the lint annotation on `lineno` (1-based) or the line above.
+    Returns (allowed, error): error is set for an annotation with no reason."""
+    spelling = ALLOW_SPELLING[rule]
+    for ln in (lineno, lineno - 1):
+        if 1 <= ln <= len(comments):
+            for m in LINT_COMMENT_RE.finditer(comments[ln - 1]):
+                if m.group(1) == spelling:
+                    if not m.group(2).strip():
+                        return False, f"lint annotation '{spelling}' has an empty reason"
+                    return True, None
+    return False, None
+
+
+def range_for_exprs(code_lines: list[str]):
+    """Yields (lineno, range_expression) for every range-based for.  The
+    header may span lines; scan to the matching ')' and split on the first
+    top-level ':' (ignoring '::')."""
+    joined = "\n".join(code_lines)
+    offsets = []  # char offset -> line number
+    pos = 0
+    for idx, line in enumerate(code_lines):
+        offsets.append((pos, idx + 1))
+        pos += len(line) + 1
+    def line_of(off: int) -> int:
+        lo = 1
+        for start, ln in offsets:
+            if start <= off:
+                lo = ln
+            else:
+                break
+        return lo
+    for m in RANGE_FOR_RE.finditer(joined):
+        depth = 1
+        j = m.end()
+        while j < len(joined) and depth > 0:
+            if joined[j] == "(":
+                depth += 1
+            elif joined[j] == ")":
+                depth -= 1
+            j += 1
+        header = joined[m.end():j - 1]
+        if ";" in header:
+            continue  # classic for loop
+        k = 0
+        colon = -1
+        while k < len(header):
+            if header[k] == ":":
+                if k + 1 < len(header) and header[k + 1] == ":":
+                    k += 2
+                    continue
+                colon = k
+                break
+            k += 1
+        if colon < 0:
+            continue
+        yield line_of(m.start()), header[colon + 1:]
+
+
+def lint_file(path: Path) -> list[Finding]:
+    try:
+        text = path.read_text(encoding="utf-8", errors="replace")
+    except OSError as e:
+        raise SystemExit(f"determinism_lint: cannot read {path}: {e}")
+    code_lines, comment_lines = strip_code(text)
+    findings: list[Finding] = []
+    unordered = collect_unordered_names(code_lines)
+
+    def check(rule: str, lineno: int, message: str):
+        ok, err = allowed(rule, comment_lines, lineno)
+        if err:
+            findings.append(Finding(path, lineno, rule, err))
+        elif not ok:
+            findings.append(Finding(path, lineno, rule, message))
+
+    # --- unordered-iter: range-for over a known unordered name or a braced
+    # unordered temporary, and .begin() family calls on known names.
+    for lineno, expr in range_for_exprs(code_lines):
+        hit = None
+        if UNORDERED_TYPE_RE.search(expr):
+            hit = "an unordered container"
+        else:
+            for name in unordered:
+                if re.search(r"\b" + re.escape(name) + r"\b", expr):
+                    hit = f"'{name}'"
+                    break
+        if hit:
+            check("unordered-iter", lineno,
+                  f"range-for over {hit}: unordered traversal order is "
+                  "implementation-defined and must not reach output "
+                  "(sort first, or annotate // lint: unordered-iter-ok(reason))")
+    for lineno, line in enumerate(code_lines, 1):
+        for m in BEGIN_CALL_RE.finditer(line):
+            if m.group(1) in unordered:
+                check("unordered-iter", lineno,
+                      f"iterator over unordered container '{m.group(1)}': "
+                      "traversal order is implementation-defined "
+                      "(sort first, or annotate // lint: unordered-iter-ok(reason))")
+
+    # --- nondet-source
+    for lineno, line in enumerate(code_lines, 1):
+        for pattern, what in NONDET_PATTERNS:
+            if pattern.search(line):
+                check("nondet-source", lineno,
+                      f"{what}: all randomness must come from the seeded lgfi::Rng "
+                      "and all time from simulation steps "
+                      "(or annotate // lint: nondet-source-ok(reason))")
+
+    # --- pointer-order
+    for lineno, line in enumerate(code_lines, 1):
+        for pattern, what in POINTER_ORDER_PATTERNS:
+            if pattern.search(line):
+                check("pointer-order", lineno,
+                      f"{what}: allocation addresses differ run to run "
+                      "(or annotate // lint: pointer-order-ok(reason))")
+
+    # --- mutex-annotation: every raw std::mutex declaration needs a
+    # GUARDED_BY(name) user in the same file (or the lgfi::Mutex wrapper).
+    guarded_names = set()
+    for line in code_lines:
+        for m in GUARDED_BY_RE.finditer(line):
+            guard = m.group(1)
+            guarded_names.add(guard.split(".")[-1].split("->")[-1].strip())
+    for lineno, line in enumerate(code_lines, 1):
+        for m in MUTEX_DECL_RE.finditer(line):
+            if m.group(1) not in guarded_names:
+                check("mutex-annotation", lineno,
+                      f"std::mutex '{m.group(1)}' has no GUARDED_BY user in this file: "
+                      "use lgfi::Mutex + GUARDED_BY (src/core/mutex.h) so clang "
+                      "-Wthread-safety can check it "
+                      "(or annotate // lint: mutex-ok(reason))")
+    return findings
+
+
+def iter_sources(paths: list[Path]):
+    for p in paths:
+        if p.is_dir():
+            for child in sorted(p.rglob("*")):
+                if child.suffix in EXTENSIONS and child.is_file():
+                    yield child
+        elif p.is_file():
+            yield p
+        else:
+            raise SystemExit(f"determinism_lint: no such file or directory: {p}")
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("paths", nargs="*", type=Path, default=None,
+                        help="files or directories to lint (default: src/)")
+    parser.add_argument("--list-rules", action="store_true", help="print rule ids and exit")
+    args = parser.parse_args(argv)
+    if args.list_rules:
+        for rule, desc in RULES.items():
+            print(f"{rule}: {desc}")
+        return 0
+    paths = args.paths or [Path("src")]
+    findings: list[Finding] = []
+    count = 0
+    for path in iter_sources(paths):
+        count += 1
+        findings.extend(lint_file(path))
+    for f in findings:
+        print(f, file=sys.stderr)
+    if findings:
+        print(f"determinism_lint: {len(findings)} finding(s) in {count} file(s)",
+              file=sys.stderr)
+        return 1
+    print(f"determinism_lint: {count} file(s) clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

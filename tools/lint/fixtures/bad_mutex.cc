@@ -1,0 +1,19 @@
+// Lint fixture: seeded mutex-annotation violation (never compiled).
+#include <mutex>
+#include <vector>
+
+namespace fixture {
+
+class Accumulator {
+ public:
+  void add(int v) {
+    std::lock_guard<std::mutex> lock(mu_);
+    values_.push_back(v);
+  }
+
+ private:
+  std::mutex mu_;  // finding: no GUARDED_BY(mu_) user in this file
+  std::vector<int> values_;
+};
+
+}  // namespace fixture

@@ -1,0 +1,21 @@
+// Lint fixture: seeded nondet-source violations (never compiled).
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+namespace fixture {
+
+inline int ambient_noise() {
+  std::random_device rd;                                   // finding 1
+  int x = static_cast<int>(rd()) + rand();                 // finding 2
+  x += static_cast<int>(time(nullptr));                    // finding 3
+  auto t = std::chrono::steady_clock::now();               // finding 4
+  return x + static_cast<int>(t.time_since_epoch().count());
+}
+
+inline int runtime_lifetime_overtime(int overtime) {
+  return overtime;  // 'time' as an identifier suffix: not flagged
+}
+
+}  // namespace fixture

@@ -1,0 +1,21 @@
+// Lint fixture: seeded pointer-order violations (never compiled).
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+namespace fixture {
+
+struct Node {
+  int id;
+};
+
+inline void sort_by_address(std::vector<Node*>& nodes) {
+  std::sort(nodes.begin(), nodes.end(), [](const Node* a, const Node* b) {
+    return reinterpret_cast<uintptr_t>(a) < reinterpret_cast<uintptr_t>(b);  // finding 1
+  });
+}
+
+using AddressOrdered = std::map<Node*, int, std::less<Node*>>;  // finding 2
+
+}  // namespace fixture

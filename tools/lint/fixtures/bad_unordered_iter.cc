@@ -1,0 +1,28 @@
+// Lint fixture: seeded unordered-iter violations (never compiled).
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace fixture {
+
+using Table = std::unordered_map<int, std::string>;
+
+struct Reporter {
+  std::unordered_map<std::string, int> counts_;
+  std::unordered_set<int> seen_;
+  Table by_id_;
+
+  int total() const {
+    int sum = 0;
+    for (const auto& [name, value] : counts_) sum += value;  // finding 1: range-for
+    for (auto it = seen_.begin(); it != seen_.end(); ++it) sum += *it;  // finding 2: iterator
+    for (const auto& [id, label] : by_id_) sum += id;  // finding 3: via using-alias
+    return sum;
+  }
+
+  bool member_use_is_fine(int id) const {
+    return seen_.count(id) > 0;  // membership only: not flagged
+  }
+};
+
+}  // namespace fixture

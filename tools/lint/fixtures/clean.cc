@@ -1,0 +1,58 @@
+// Lint fixture: the allowlist and the non-violating idioms (never compiled).
+// Every rule has an annotated exception here, and the tree's ordinary
+// patterns (membership-only unordered use, guarded mutex, std::map
+// iteration) appear unannotated — this file must lint clean.
+#include <map>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#define GUARDED_BY(x)  // stand-in for src/core/thread_annotations.h
+
+namespace fixture {
+
+struct CleanUser {
+  std::unordered_map<std::string, int> index_;
+  std::unordered_set<int> members_;
+  std::map<std::string, int> ordered_;
+  std::mutex mu_;
+  std::vector<int> values_ GUARDED_BY(mu_);
+
+  int lookup(const std::string& key) const {
+    const auto it = index_.find(key);  // membership: fine
+    return it == index_.end() ? 0 : it->second;
+  }
+
+  bool contains(int id) const { return members_.count(id) > 0; }
+
+  int ordered_sum() const {
+    int sum = 0;
+    for (const auto& [key, value] : ordered_) sum += value;  // std::map: fine
+    return sum;
+  }
+
+  int annotated_scan() const {
+    int sum = 0;
+    // lint: unordered-iter-ok(sum is order-independent: + is commutative)
+    for (const auto& [key, value] : index_) sum += value;
+    return sum;
+  }
+};
+
+inline int annotated_wall_clock() {
+  // lint: nondet-source-ok(fixture: demonstrates the annotation spelling)
+  return static_cast<int>(time(nullptr));
+}
+
+inline bool annotated_identity_compare(const int* a, const int* b) {
+  // lint: pointer-order-ok(identity comparison for dedup, order never escapes)
+  return reinterpret_cast<uintptr_t>(a) == reinterpret_cast<uintptr_t>(b);
+}
+
+class AnnotatedMutexHolder {
+  std::mutex legacy_mu_;  // lint: mutex-ok(fixture: external lib handle, no shared members)
+};
+
+}  // namespace fixture

@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Tests for determinism_lint.py, run as one ctest case (`determinism_lint`).
+
+Covers the acceptance contract from both sides: the real tree lints clean,
+and every seeded violation in tools/lint/fixtures/ is caught with the right
+rule id — so a silently broken linter (catching nothing) fails CI just as
+loudly as a new violation in src/.
+"""
+
+import subprocess
+import sys
+import unittest
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent.parent
+LINTER = REPO / "tools" / "lint" / "determinism_lint.py"
+FIXTURES = REPO / "tools" / "lint" / "fixtures"
+
+
+def run_lint(*paths):
+    return subprocess.run(
+        [sys.executable, str(LINTER), *[str(p) for p in paths]],
+        capture_output=True,
+        text=True,
+        cwd=REPO,
+    )
+
+
+class DeterminismLintTest(unittest.TestCase):
+    def assert_findings(self, fixture, rule, expected_lines):
+        proc = run_lint(FIXTURES / fixture)
+        self.assertEqual(proc.returncode, 1, f"{fixture} should fail the lint:\n{proc.stderr}")
+        for line in expected_lines:
+            needle = f"{fixture}:{line}: [{rule}]"
+            self.assertIn(needle, proc.stderr, f"missing finding {needle} in:\n{proc.stderr}")
+        self.assertEqual(
+            proc.stderr.count(f"[{rule}]"),
+            len(expected_lines),
+            f"unexpected extra {rule} findings:\n{proc.stderr}",
+        )
+
+    def test_tree_is_clean(self):
+        proc = run_lint(REPO / "src")
+        self.assertEqual(proc.returncode, 0, f"src/ must lint clean:\n{proc.stderr}")
+
+    def test_unordered_iteration_is_caught(self):
+        # range-for over a member, an iterator loop, and a using-alias type.
+        self.assert_findings("bad_unordered_iter.cc", "unordered-iter", [17, 18, 19])
+
+    def test_nondet_sources_are_caught(self):
+        self.assert_findings("bad_nondet_source.cc", "nondet-source", [10, 11, 12, 13])
+
+    def test_unannotated_mutex_is_caught(self):
+        self.assert_findings("bad_mutex.cc", "mutex-annotation", [15])
+
+    def test_pointer_order_is_caught(self):
+        self.assert_findings("bad_pointer_order.cc", "pointer-order", [15, 19])
+
+    def test_clean_fixture_passes(self):
+        proc = run_lint(FIXTURES / "clean.cc")
+        self.assertEqual(proc.returncode, 0, f"clean fixture must pass:\n{proc.stderr}")
+
+    def test_annotation_with_empty_reason_is_rejected(self):
+        import tempfile
+
+        with tempfile.TemporaryDirectory() as tmp:
+            bad = Path(tmp) / "empty_reason.cc"
+            bad.write_text(
+                "#include <ctime>\n"
+                "// lint: nondet-source-ok()\n"
+                "inline long long t() { return time(nullptr); }\n"
+            )
+            proc = run_lint(bad)
+            self.assertEqual(proc.returncode, 1)
+            self.assertIn("empty reason", proc.stderr)
+
+    def test_list_rules(self):
+        proc = subprocess.run(
+            [sys.executable, str(LINTER), "--list-rules"],
+            capture_output=True,
+            text=True,
+        )
+        self.assertEqual(proc.returncode, 0)
+        for rule in ("unordered-iter", "nondet-source", "pointer-order", "mutex-annotation"):
+            self.assertIn(rule, proc.stdout)
+
+
+if __name__ == "__main__":
+    unittest.main()
