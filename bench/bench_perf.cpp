@@ -157,6 +157,32 @@ void BM_StepsPerSec(benchmark::State& state) {
 }
 BENCHMARK(BM_StepsPerSec)->Arg(64)->Arg(100);
 
+void BM_FaultChurn(benchmark::State& state) {
+  // Cost of a run under continuous lifecycle churn: fail/repair/transient
+  // events drain from the timeline heap while the protocol re-converges
+  // after every batch.  The heap makes the per-step fault phase O(log
+  // events) instead of a scan over the whole schedule; bytes_per_node folds
+  // in the pending-event heap and the link-fault mask.
+  const MeshTopology mesh(3, 10);
+  Config cfg = experiment_config();
+  cfg.parse_string(
+      "fault_model=lifecycle fault_arrival_rate=0.1 repair_rate=0.05 "
+      "transient_frac=0.3");
+  Rng rng(23);
+  const FaultTimeline proto = build_lifecycle_timeline(mesh, cfg, rng, 400);
+  for (auto _ : state) {
+    FaultTimeline timeline = proto;  // the run consumes its copy
+    DynamicSimulation sim(mesh, std::move(timeline));
+    sim.launch_message(Coord{0, 0, 0}, Coord{9, 9, 9});
+    sim.run(400);
+    benchmark::DoNotOptimize(sim.now());
+    state.counters["bytes_per_node"] = static_cast<double>(sim.memory_bytes()) /
+                                       static_cast<double>(mesh.node_count());
+  }
+  state.SetItemsProcessed(state.iterations() * 400);
+}
+BENCHMARK(BM_FaultChurn);
+
 void BM_ClosedLoopTraffic(benchmark::State& state) {
   // Whole-workload cost of the closed-loop request-reply protocol: one
   // replication of a windowed uniform workload, replies and pair

@@ -1,0 +1,55 @@
+// Reliability-campaign CLI: sweeps fault arrival rate x repair rate under
+// the lifecycle fault engine and prints P(route success), latency and
+// time-to-first-unreachable curves with 95% confidence intervals — the
+// MTTF-style reliability surface over the declarative config.
+//
+//   ./reliability_sweep                                        # defaults below
+//   ./reliability_sweep repair_rate=[0,0.05,0.2,1.0]           # incl. permanent
+//   ./reliability_sweep fault_model=lifecycle_links            # link faults
+//   ./reliability_sweep transient_frac=0.5 replications=16
+//   ./reliability_sweep mesh_dims=3 radix=6 router=global_table
+//   ./reliability_sweep --help
+//   ./reliability_sweep --list     # the full component catalog
+//
+// The lifecycle generators use common random numbers across repair_rate
+// values (same fault history, only the repair times move), so the columns of
+// the grid are directly comparable.  Output defaults to report=csv_ci: every
+// metric column is followed by a `<metric>_ci95` half-width column, empty
+// when a point has fewer than two replications.
+
+#include "examples/cli_common.h"
+#include "src/core/experiment_runner.h"
+
+using namespace lgfi;
+
+int main(int argc, char** argv) {
+  SweepSpec spec(experiment_config());
+  Config& cfg = spec.base();
+  cfg.set_str("traffic", "uniform");
+  cfg.set_int("mesh_dims", 2);
+  cfg.set_int("radix", 8);
+  cfg.set_str("fault_model", "lifecycle");
+  cfg.set_double("fault_arrival_rate", 0.05);
+  cfg.set_double("repair_rate", 0.1);
+  cfg.set_int("warmup_steps", 50);
+  cfg.set_int("measure_steps", 400);
+  cfg.set_int("routes", 0);
+  cfg.set_int("replications", 8);
+  cfg.set_str("report", "csv_ci");
+  spec.add_default_axis("fault_arrival_rate", {"0.01", "0.05", "0.1", "0.2"});
+  spec.add_default_axis("repair_rate", {"0", "0.05", "0.2"});
+
+  return cli::campaign_main(
+      argc, argv, std::move(spec),
+      {"reliability_sweep",
+       "reliability surface under lifecycle fault churn: P(route success), "
+       "latency and time-to-first-unreachable vs fault arrival x repair rate, "
+       "with 95% confidence intervals (report=csv_ci)",
+       "",
+       "\ndelivered_frac is P(route success) for measured packets; "
+       "first_unreachable_step\nis the per-replication time until some "
+       "source first found its destination\nunreachable (absent while the "
+       "mesh stayed connected).  repair_rate=0 is the\npermanent-fault "
+       "baseline; transients (transient_frac=) repair at 10x the\nrepair "
+       "rate.\n"});
+}

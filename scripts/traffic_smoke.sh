@@ -28,7 +28,8 @@ check_catalog() {
   local catalog
   catalog="$("${build_dir}/${binary}" --list)"
   echo "${catalog}"
-  for component in torus fault_info uniform closed_loop wormhole clustered json; do
+  for component in torus fault_info uniform closed_loop wormhole clustered json \
+      lifecycle csv_ci; do
     if ! grep -Eq "^  ${component}  +" <<< "${catalog}"; then
       echo "FAIL: ${binary} --list catalog is missing the '${component}' row" >&2
       exit 1
@@ -123,3 +124,30 @@ echo "== traffic smoke: wormhole switching (bench_wormhole_saturation) =="
 echo "== traffic smoke: closed loop vs open loop (bench_closed_loop_saturation) =="
 "${build_dir}/bench_closed_loop_saturation" radix=6 warmup_steps=30 \
   measure_steps=200 replications=2
+
+# Lifecycle campaign smoke: a fault arrival x repair grid through the
+# unified CLI with the CI reporter — every metric column must carry a paired
+# _ci95 column, and no cell may hold a literal nan.
+echo "== lifecycle smoke (sweep, fault_arrival_rate x repair_rate -> csv_ci) =="
+# (No transient_frac here: the grid includes repair_rate=0, and a transient
+# with no repair process is rejected by eager per-point validation.)
+lifecycle_csv="$("${build_dir}/sweep" 'fault_arrival_rate=[0.05,0.2]' \
+  'repair_rate=[0,0.2]' fault_model=lifecycle traffic=uniform \
+  radix=6 warmup_steps=20 measure_steps=150 replications=2 routes=0 report=csv_ci)"
+echo "${lifecycle_csv}"
+lifecycle_rows=$(grep -cE '^0\.(05|2),' <<< "${lifecycle_csv}" || true)
+if [ "${lifecycle_rows}" -ne 4 ]; then
+  echo "FAIL: lifecycle campaign csv_ci expected 4 rows, got ${lifecycle_rows}" >&2
+  exit 1
+fi
+if ! grep -q 'latency,latency_ci95' <<< "${lifecycle_csv}"; then
+  echo "FAIL: csv_ci header is missing the paired _ci95 column" >&2
+  exit 1
+fi
+if grep -Eq '(^|,)(nan|inf)(,|$)' <<< "${lifecycle_csv}"; then
+  echo "FAIL: lifecycle campaign csv_ci contains a literal nan/inf cell" >&2
+  exit 1
+fi
+
+echo "== reliability smoke (bench_reliability, E17) =="
+"${build_dir}/bench_reliability" radix=6 measure_steps=150 replications=2

@@ -9,10 +9,15 @@
 
 namespace lgfi {
 
-DynamicSimulation::DynamicSimulation(const Topology& mesh, FaultSchedule schedule,
+DynamicSimulation::DynamicSimulation(const Topology& mesh, const FaultSchedule& schedule,
+                                     DynamicSimulationOptions options)
+    : DynamicSimulation(mesh, timeline_from_schedule(schedule), options) {}
+
+DynamicSimulation::DynamicSimulation(const Topology& mesh, FaultTimeline timeline,
                                      DynamicSimulationOptions options)
     : mesh_(&mesh),
-      schedule_(std::move(schedule)),
+      timeline_(std::move(timeline)),
+      link_faults_(mesh),
       options_(options),
       model_(mesh, options.model),
       limited_provider_(model_.info()) {
@@ -26,7 +31,10 @@ DynamicSimulation::DynamicSimulation(const Topology& mesh, FaultSchedule schedul
   sopts.vc_buffer_depth = options_.vc_buffer_depth;
   sopts.flits_per_packet = options_.flits_per_packet;
   switching_ = make_switching_model(options_.switching, mesh, sopts);
-  if (switching_->arbitrated()) arbiter_ = std::make_unique<LinkArbiter>(mesh);
+  if (switching_->arbitrated()) {
+    arbiter_ = std::make_unique<LinkArbiter>(mesh);
+    arbiter_->set_link_faults(&link_faults_);
+  }
 
   // The per-message step budget depends only on construction-time values;
   // computing it here keeps it out of the per-step hot path.
@@ -43,6 +51,7 @@ RoutingContext DynamicSimulation::context() const {
   RoutingContext ctx;
   ctx.mesh = mesh_;
   ctx.field = &model_.field();
+  ctx.links = &link_faults_;
   switch (options_.info_mode) {
     case InfoMode::kLimitedGlobal: ctx.info = &limited_provider_; break;
     case InfoMode::kNone: ctx.info = &empty_provider_; break;
@@ -74,16 +83,38 @@ StepContext DynamicSimulation::begin_step() {
 void DynamicSimulation::end_step(StepContext&) { ++now_; }
 
 void DynamicSimulation::apply_fault_events(StepContext& ctx) {
-  ctx.events = schedule_.events_at(now_);
-  if (ctx.events.empty()) return;
+  // O(1) peek against the timeline heap; a step with no due events costs
+  // nothing regardless of how many are still pending.
+  if (!timeline_.has_events_at(now_)) return;
+  ctx.events = timeline_.pop_events_at(now_);
 
+  bool node_change = false;
+  Coord origin;
   for (const auto& e : ctx.events) {
-    if (e.kind == FaultEventKind::kFail) {
+    if (e.is_link()) {
+      // Link faults live in the per-channel mask only: routing and
+      // arbitration consult it, the protocol stack never does (a node is
+      // faulty-for-labeling only when node-dead, DESIGN.md §17).
+      if (e.is_down_edge())
+        link_faults_.fail(mesh_->index_of(e.node), e.link);
+      else
+        link_faults_.repair(mesh_->index_of(e.node), e.link);
+      continue;
+    }
+    if (e.is_down_edge()) {
       if (model_.field().at(e.node) != NodeStatus::kFaulty) model_.inject_fault(e.node);
     } else {
       if (model_.field().at(e.node) == NodeStatus::kFaulty) model_.recover(e.node);
     }
+    if (!node_change) {
+      node_change = true;
+      origin = e.node;
+    }
   }
+
+  // A link-only batch changes no protocol state — no occurrence record, no
+  // D(i) snapshots, no oracle republish.
+  if (!node_change) return;
 
   // Open a new occurrence record (simultaneous events form one occurrence,
   // matching the paper's "only one new block in each interval" reading).
@@ -91,7 +122,7 @@ void DynamicSimulation::apply_fault_events(StepContext& ctx) {
     occurrences_[static_cast<size_t>(converging_)].stabilized_before_next = false;
   OccurrenceRecord rec;
   rec.step = now_;
-  rec.origin = ctx.events.front().node;
+  rec.origin = origin;
   occurrences_.push_back(rec);
   converging_ = static_cast<int>(occurrences_.size()) - 1;
   ctx.occurrence_opened = true;
@@ -204,7 +235,10 @@ void DynamicSimulation::finish(int id, PacketOutcome outcome) {
       msg.delivered = true;
       ++step_ctx_->delivered;
       break;
-    case PacketOutcome::kUnreachable: msg.unreachable = true; break;
+    case PacketOutcome::kUnreachable:
+      msg.unreachable = true;
+      if (first_unreachable_step_ < 0) first_unreachable_step_ = now_;
+      break;
     case PacketOutcome::kBudgetExhausted: msg.budget_exhausted = true; break;
   }
   finish_message(msg, *step_ctx_);
@@ -225,7 +259,16 @@ bool DynamicSimulation::node_faulty(NodeId node) const {
   return model_.field().at(node) == NodeStatus::kFaulty;
 }
 
-uint64_t DynamicSimulation::field_version() const { return model_.field().version(); }
+bool DynamicSimulation::link_faulty(NodeId from, Direction dir) const {
+  return link_faults_.faulty(from, dir);
+}
+
+uint64_t DynamicSimulation::field_version() const {
+  // Sum of two monotone counters: strictly increases on any node *or* link
+  // change, so version-caching consumers (oracle BFS trees, wormhole stream
+  // teardown scans) react to both without a wider interface.
+  return model_.field().version() + link_faults_.version();
+}
 
 void DynamicSimulation::arbitrate_and_advance(StepContext& ctx) {
   ctx.routing = context();
@@ -244,7 +287,7 @@ void DynamicSimulation::step() {
 
 void DynamicSimulation::run(long long max_steps) {
   for (long long i = 0; i < max_steps; ++i) {
-    const bool schedule_done = schedule_.last_step() < now_;
+    const bool schedule_done = timeline_.empty();
     if (schedule_done && all_messages_done() && converging_ < 0) return;
     step();
   }

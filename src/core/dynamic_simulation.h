@@ -36,11 +36,13 @@
 
 #include "src/core/network.h"
 #include "src/core/step_context.h"
+#include "src/mesh/link_fault_mask.h"
 #include "src/routing/detour_bounds.h"
 #include "src/routing/global_table_router.h"
 #include "src/routing/oracle_router.h"
 #include "src/routing/router_registry.h"
 #include "src/sim/fault_schedule.h"
+#include "src/sim/fault_timeline.h"
 #include "src/sim/link_arbiter.h"
 #include "src/sim/switching_model.h"
 
@@ -119,7 +121,13 @@ struct OccurrenceRecord {
 
 class DynamicSimulation final : public SwitchingHost {
  public:
-  DynamicSimulation(const Topology& mesh, FaultSchedule schedule,
+  /// Lifecycle form: the timeline heap drives the fault phase directly
+  /// (O(log events) per step regardless of schedule length, DESIGN.md §17).
+  DynamicSimulation(const Topology& mesh, FaultTimeline timeline,
+                    DynamicSimulationOptions options = {});
+  /// Static-schedule form (every historical fault model): converts to a
+  /// timeline, order preserved — byte-identical trajectories.
+  DynamicSimulation(const Topology& mesh, const FaultSchedule& schedule,
                     DynamicSimulationOptions options = {});
 
   /// Injects a routing message at `source` toward `dest`; it advances one
@@ -159,6 +167,17 @@ class DynamicSimulation final : public SwitchingHost {
   }
   [[nodiscard]] const DistributedFaultModel& model() const { return model_; }
   [[nodiscard]] const Topology& mesh() const { return *mesh_; }
+  /// The directed-channel fault state (lifecycle_links); empty otherwise.
+  [[nodiscard]] const LinkFaultMask& link_faults() const { return link_faults_; }
+  /// Step of the first message declared unreachable, or -1 if none was —
+  /// the time-to-first-unreachable reliability metric (E17).
+  [[nodiscard]] long long first_unreachable_step() const { return first_unreachable_step_; }
+  /// Resident bytes of the fault machinery: protocol state plus the
+  /// lifecycle timeline heap and the link-fault mask (pinned alongside the
+  /// model's own accounting by the quiescent-step bench).
+  [[nodiscard]] long long memory_bytes() const {
+    return model_.memory_bytes() + timeline_.memory_bytes() + link_faults_.memory_bytes();
+  }
   /// The delayed-global provider, or null unless info_mode=kDelayedGlobal.
   [[nodiscard]] const DelayedGlobalInfoProvider* delayed_provider() const {
     return delayed_provider_.get();
@@ -191,6 +210,7 @@ class DynamicSimulation final : public SwitchingHost {
   void record_head_arrival(int id) override;
   void count_flit_moves(int n) override;
   [[nodiscard]] bool node_faulty(NodeId node) const override;
+  [[nodiscard]] bool link_faulty(NodeId from, Direction dir) const override;
   [[nodiscard]] uint64_t field_version() const override;
 
  private:
@@ -198,7 +218,8 @@ class DynamicSimulation final : public SwitchingHost {
   void finish_message(MessageProgress& msg, StepContext& ctx);
 
   const Topology* mesh_;
-  FaultSchedule schedule_;
+  FaultTimeline timeline_;
+  LinkFaultMask link_faults_;
   DynamicSimulationOptions options_;
   DistributedFaultModel model_;
   StoreInfoProvider limited_provider_;
@@ -213,6 +234,7 @@ class DynamicSimulation final : public SwitchingHost {
   std::vector<OccurrenceRecord> occurrences_;
   long long now_ = 0;
   long long active_messages_ = 0;
+  long long first_unreachable_step_ = -1;
   /// Open occurrence currently converging (index into occurrences_), or -1.
   int converging_ = -1;
   /// Host-callback context, valid only inside arbitrate_and_advance.

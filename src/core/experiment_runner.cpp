@@ -1,6 +1,7 @@
 #include "src/core/experiment_runner.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <exception>
 #include <ostream>
@@ -14,6 +15,7 @@
 #include "src/routing/global_table_router.h"
 #include "src/routing/route_walker.h"
 #include "src/routing/router_registry.h"
+#include "src/sim/fault_timeline.h"
 #include "src/sim/injection_process.h"
 #include "src/sim/table_printer.h"
 #include "src/sim/thread_pool.h"
@@ -44,6 +46,11 @@ std::string json_number(double v) {
   std::snprintf(buf, sizeof(buf), "%.17g", v);
   return buf;
 }
+
+// A CI cell: round-trip number when it exists, *empty* when it does not
+// (n < 2 yields quiet NaN) — "%.17g" would otherwise print a literal "nan"
+// token that chokes downstream CSV tooling.
+std::string csv_ci_field(double v) { return std::isfinite(v) ? json_number(v) : std::string(); }
 
 std::string csv_quote(const std::string& s) {
   std::string out = "\"";
@@ -94,9 +101,22 @@ Config experiment_config() {
                      "(paper worked examples; override mesh keys)")
       .define_int("faults", 8, "fault count (per batch in dynamic mode)")
       .define_string("fault_model", "random",
-                     "random | clustered | box placement generator")
+                     "random | clustered | box placement generator; lifecycle | "
+                     "lifecycle_links generate a dynamic fail/repair timeline")
       .define_string("fault_box", "",
                      "box extents lo:hi,lo:hi,... for fault_model=box")
+      .define_double("fault_arrival_rate", 0.0,
+                     "lifecycle: mean fault arrivals per step (exponential "
+                     "inter-arrival; required > 0)")
+      .define_double("repair_rate", 0.0,
+                     "lifecycle: mean repairs per step per down element "
+                     "(0: faults are permanent)")
+      .define_double("transient_frac", 0.0,
+                     "lifecycle: fraction of arrivals that are transient "
+                     "(repair at 10x repair_rate)")
+      .define_int("fault_horizon", 0,
+                  "lifecycle: last step arrivals may land on (0: derive from "
+                  "the run length)")
       .define_int("batches", 1, "dynamic: number of fault batches")
       .define_int("fault_start", 0, "dynamic: step of the first batch")
       .define_int("fault_interval", 60, "dynamic: steps between batches (d_i)")
@@ -157,7 +177,7 @@ Config experiment_config() {
                    "dimension_order: disabled nodes block the route too")
       .define_string("oracle_avoid", "block_members",
                      "oracle: block_members | faulty_only obstacles")
-      .define_string("report", "table", "reporter: table | csv | json");
+      .define_string("report", "table", "reporter: table | csv | csv_ci | json");
   return cfg;
 }
 
@@ -189,6 +209,7 @@ void BufferedCampaignRows::add(const PointResult& point) {
   for (const auto& [key, value] : point.swept) row.swept.push_back(value);
   for (const auto& name : point.result.metrics.names()) {
     row.means[name] = point.result.metrics.mean(name);
+    row.ci95[name] = point.result.metrics.stats(name).ci95_half_width();
     // names() is sorted per point; keep the union sorted too.
     const auto it = std::lower_bound(metric_names.begin(), metric_names.end(), name);
     if (it == metric_names.end() || *it != name) metric_names.insert(it, name);
@@ -281,6 +302,54 @@ void CsvReporter::end() {
   }
 }
 
+void CsvCiReporter::begin(const Campaign& campaign, std::ostream& os) {
+  os_ = &os;
+  single_ = campaign.single_run();
+  buffer_.clear();
+  if (single_) {
+    os << "config,metric,count,mean,ci95,stddev,min,max\n";
+  } else {
+    os << "# config: " << campaign.base.to_string() << "\n";
+    for (const auto& axis : campaign.axes) buffer_.axis_keys.push_back(axis.key);
+  }
+}
+
+void CsvCiReporter::add(const PointResult& point) {
+  if (single_) {
+    const std::string cfg = csv_quote(point.result.config.to_string());
+    for (const auto& name : point.result.metrics.names()) {
+      const RunningStats& s = point.result.metrics.stats(name);
+      *os_ << cfg << ',' << name << ',' << s.count() << ',' << json_number(s.mean()) << ','
+           << csv_ci_field(s.ci95_half_width()) << ',' << json_number(s.stddev()) << ','
+           << json_number(s.min()) << ',' << json_number(s.max()) << "\n";
+    }
+    return;
+  }
+  buffer_.add(point);
+}
+
+void CsvCiReporter::end() {
+  if (single_) return;
+  for (size_t i = 0; i < buffer_.axis_keys.size(); ++i)
+    *os_ << (i > 0 ? "," : "") << csv_field(buffer_.axis_keys[i]);
+  for (const auto& metric : buffer_.metric_names)
+    *os_ << ',' << csv_field(metric) << ',' << csv_field(metric + "_ci95");
+  *os_ << "\n";
+  for (const auto& pending : buffer_.rows) {
+    for (size_t i = 0; i < pending.swept.size(); ++i)
+      *os_ << (i > 0 ? "," : "") << csv_field(pending.swept[i]);
+    for (const auto& metric : buffer_.metric_names) {
+      *os_ << ',';
+      const auto it = pending.means.find(metric);
+      if (it != pending.means.end()) *os_ << json_number(it->second);
+      *os_ << ',';
+      const auto ci = pending.ci95.find(metric);
+      if (ci != pending.ci95.end()) *os_ << csv_ci_field(ci->second);
+    }
+    *os_ << "\n";
+  }
+}
+
 void JsonReporter::begin(const Campaign& campaign, std::ostream& os) {
   os_ = &os;
   single_ = campaign.single_run();
@@ -331,6 +400,10 @@ NamedRegistry<ReporterFactory>& reporter_registry() {
         "csv", [] { return std::unique_ptr<Reporter>(std::make_unique<CsvReporter>()); },
         {"RFC-4180-ish CSV; campaigns: swept-key columns, one row per point", {}});
     reg.add(
+        "csv_ci",
+        [] { return std::unique_ptr<Reporter>(std::make_unique<CsvCiReporter>()); },
+        {"CSV with 95% CI half-widths per metric (empty cell when n < 2)", {}});
+    reg.add(
         "json", [] { return std::unique_ptr<Reporter>(std::make_unique<JsonReporter>()); },
         {"one JSON object (campaigns: one array; round-trip doubles)", {}});
     return reg;
@@ -379,6 +452,47 @@ ExperimentRunner::ExperimentRunner(Config config) : config_(std::move(config)) {
   (void)make_router();
   const auto topo = make_topology(config_);
   (void)fault_model_registry().require(config_.get_str("fault_model"));
+  if (is_lifecycle_model(config_.get_str("fault_model"))) {
+    // The lifecycle models generate a dynamic fail/repair timeline, so they
+    // need the step loop, sane rates, and the random scenario (the worked
+    // examples pin their own fault sets).
+    if (config_.get_double("fault_arrival_rate") <= 0.0)
+      throw ConfigError("fault_model=" + config_.get_str("fault_model") +
+                        " needs fault_arrival_rate > 0");
+    if (config_.get_double("repair_rate") < 0.0)
+      throw ConfigError("repair_rate must be >= 0 (got " +
+                        std::to_string(config_.get_double("repair_rate")) + ")");
+    const double tf = config_.get_double("transient_frac");
+    if (tf < 0.0 || tf > 1.0)
+      throw ConfigError("transient_frac must be in [0, 1] (got " + std::to_string(tf) + ")");
+    if (tf > 0.0 && config_.get_double("repair_rate") <= 0.0)
+      throw ConfigError(
+          "transient_frac > 0 needs repair_rate > 0 (a transient IS a fault "
+          "with a fast repair)");
+    if (config_.get_int("fault_horizon") < 0)
+      throw ConfigError("fault_horizon must be >= 0 (got " +
+                        std::to_string(config_.get_int("fault_horizon")) + ")");
+    if (traffic == "none" && mode != "dynamic")
+      throw ConfigError("fault_model=" + config_.get_str("fault_model") +
+                        " generates a fail/repair timeline and needs the dynamic "
+                        "step loop (set traffic= or mode=dynamic)");
+    if (config_.get_bool("recoveries"))
+      throw ConfigError(
+          "recoveries=true and a lifecycle fault model both schedule repairs; "
+          "pick one (lifecycle uses repair_rate=)");
+    if (config_.get_str("scenario") != "random")
+      throw ConfigError("lifecycle fault models need scenario=random");
+  } else {
+    // Lifecycle-only keys on a placement model would silently no-op; reject
+    // them the way validate_injection_keys rejects orphan injection knobs.
+    for (const char* key :
+         {"fault_arrival_rate", "repair_rate", "transient_frac", "fault_horizon"}) {
+      if (!config_.is_default(key))
+        throw ConfigError(std::string(key) +
+                          "= needs a lifecycle fault model (set "
+                          "fault_model=lifecycle or lifecycle_links)");
+    }
+  }
   if (config_.get_str("fault_model") == "box") {
     const Box box = parse_box_spec(config_.get_str("fault_box"));
     // Cross-checks against the topology only hold for scenario=random (the
@@ -472,13 +586,26 @@ ExperimentRunner::DynamicEnv ExperimentRunner::build_dynamic(Rng& rng, bool run_
   const long long start = config_.get_int("fault_start");
   const long long interval = config_.get_int("fault_interval");
   const int batches = static_cast<int>(config_.get_int("batches"));
+  const bool lifecycle = is_lifecycle_model(config_.get_str("fault_model"));
+  FaultTimeline timeline;
 
   if (scenario == "figure1") {
     env.mesh = std::make_unique<MeshTopology>(3, 8);
     for (const auto& c : figure1_faults()) env.schedule.add_fail(start, c);
   } else if (scenario == "random") {
     env.mesh = make_topology(config_);
-    if (config_.get_bool("recoveries")) {
+    if (lifecycle) {
+      // Arrivals land on [fault_start, horizon]; the default horizon is the
+      // portion of the run the workload (or the batch grammar) covers, so
+      // the tail of a traffic run still sees churn.
+      long long horizon = config_.get_int("fault_horizon");
+      if (horizon <= 0) {
+        horizon = config_.get_str("traffic") != "none"
+                      ? config_.get_int("warmup_steps") + config_.get_int("measure_steps")
+                      : start + static_cast<long long>(batches) * interval;
+      }
+      timeline = build_lifecycle_timeline(*env.mesh, config_, rng, horizon);
+    } else if (config_.get_bool("recoveries")) {
       env.schedule = periodic_random_schedule(*env.mesh, batches,
                                               static_cast<int>(config_.get_int("faults")),
                                               start, interval, rng, /*recoveries=*/true);
@@ -521,7 +648,9 @@ ExperimentRunner::DynamicEnv ExperimentRunner::build_dynamic(Rng& rng, bool run_
   opts.flits_per_packet = static_cast<int>(config_.get_int("flits_per_packet"));
   opts.step_budget_per_message = config_.get_int("step_budget");
   opts.model.active_set = config_.get_bool("active_set");
-  env.sim = std::make_unique<DynamicSimulation>(*env.mesh, env.schedule, opts);
+  env.sim = lifecycle
+                ? std::make_unique<DynamicSimulation>(*env.mesh, std::move(timeline), opts)
+                : std::make_unique<DynamicSimulation>(*env.mesh, env.schedule, opts);
   if (run_warmup) {
     const long long warmup = config_.get_int("warmup_steps");
     for (long long i = 0; i < warmup; ++i) env.sim->step();
@@ -623,6 +752,8 @@ void ExperimentRunner::run_one_dynamic(Rng& rng, MetricSet& out) const {
   env.sim->run(config_.get_int("max_steps"));
 
   out.add("occurrences", static_cast<double>(env.sim->occurrences().size()));
+  if (env.sim->first_unreachable_step() >= 0)
+    out.add("first_unreachable_step", static_cast<double>(env.sim->first_unreachable_step()));
   for (const int id : ids) {
     const MessageProgress& msg = env.sim->message(id);
     out.add("delivered", msg.delivered ? 1.0 : 0.0);
@@ -681,6 +812,10 @@ void ExperimentRunner::run_one_traffic(Rng& rng, MetricSet& out) const {
   for (const auto& [name, value] : env.sim->switching().metrics())
     out.add("sw_" + name, value);
   out.add("occurrences", static_cast<double>(env.sim->occurrences().size()));
+  // Only lifecycle churn ever renders a node unreachable mid-run, so the
+  // gate keeps the default metric set byte-identical for placement models.
+  if (env.sim->first_unreachable_step() >= 0)
+    out.add("first_unreachable_step", static_cast<double>(env.sim->first_unreachable_step()));
 
   // Probe messages: the historical single-message metrics, under load.
   for (const int id : r.probe_ids) {

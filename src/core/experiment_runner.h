@@ -78,6 +78,9 @@ struct BufferedCampaignRows {
   struct Row {
     std::vector<std::string> swept;
     std::map<std::string, double> means;
+    /// 95% CI half-widths per metric; NaN when the point has < 2 samples.
+    /// Only the csv_ci reporter renders these (as empty fields when NaN).
+    std::map<std::string, double> ci95;
   };
 
   void clear();
@@ -117,6 +120,25 @@ class CsvReporter final : public Reporter {
   void add(const PointResult& point) override;
   void end() override;
   [[nodiscard]] std::string name() const override { return "csv"; }
+
+ private:
+  std::ostream* os_ = nullptr;
+  bool single_ = true;
+  BufferedCampaignRows buffer_;
+};
+
+/// CSV with per-metric 95% confidence intervals (the reliability-campaign
+/// reporter).  Single run: the csv layout plus a ci95 column.  Campaign:
+/// the csv layout with a `<metric>_ci95` column after every metric column.
+/// A CI that does not exist — fewer than two replications — renders as an
+/// *empty* field, never a literal "nan" token; the historical `csv`
+/// reporter stays byte-identical by living in its own class.
+class CsvCiReporter final : public Reporter {
+ public:
+  void begin(const Campaign& campaign, std::ostream& os) override;
+  void add(const PointResult& point) override;
+  void end() override;
+  [[nodiscard]] std::string name() const override { return "csv_ci"; }
 
  private:
   std::ostream* os_ = nullptr;

@@ -18,7 +18,7 @@
 #include <vector>
 
 #include "src/routing/router.h"
-#include "src/sim/fault_schedule.h"
+#include "src/sim/fault_timeline.h"
 
 namespace lgfi {
 
@@ -26,7 +26,7 @@ struct StepContext {
   long long step = 0;  ///< the step being executed (DynamicSimulation::now())
 
   // Written by apply_fault_events:
-  std::vector<FaultEvent> events;  ///< fault/recovery events applied this step
+  std::vector<LifecycleEvent> events;  ///< lifecycle events applied this step
   bool occurrence_opened = false;  ///< the events formed a new occurrence record
 
   // Written by run_information_rounds:

@@ -1,0 +1,81 @@
+#pragma once
+// Per-directed-channel (router-port) fault mask — the link-fault substrate
+// of the fault-lifecycle subsystem (DESIGN.md §17).
+//
+// A link fault disables one directed channel (from, dir) without killing
+// either endpoint node: routing must steer around it (direction policy,
+// dimension-order, oracle BFS), arbitration must deny it, and the wormhole
+// VC allocator must refuse to extend streams across it — but the
+// block-construction layer never sees it.  A node joins a fault block only
+// when it is node-dead; link faults steer routing, they do not label.
+//
+// Channels are directed: failing the physical link u <-> v means failing
+// both (u, d) and (v, d.opposite()) — the lifecycle generators emit both
+// events, and the mask itself stays strictly per-directed-channel so
+// asymmetric port failures remain expressible.
+
+#include <cstdint>
+#include <vector>
+
+#include "src/mesh/topology.h"
+
+namespace lgfi {
+
+class LinkFaultMask {
+ public:
+  LinkFaultMask() = default;
+  explicit LinkFaultMask(const Topology& mesh)
+      : dirs_(mesh.direction_count()),
+        faulty_(static_cast<size_t>(mesh.node_count()) *
+                    static_cast<size_t>(mesh.direction_count()),
+                0) {}
+
+  [[nodiscard]] bool any() const { return faulty_count_ > 0; }
+  [[nodiscard]] long long faulty_count() const { return faulty_count_; }
+
+  /// True if the directed channel leaving `from` along `dir` is dead.
+  [[nodiscard]] bool faulty(NodeId from, Direction dir) const {
+    if (faulty_count_ == 0) return false;  // common case: no link faults at all
+    return faulty_[slot(from, dir)] != 0;
+  }
+
+  /// Marks the directed channel dead; bumps version() only on a real change.
+  void fail(NodeId from, Direction dir) {
+    uint8_t& f = faulty_[slot(from, dir)];
+    if (f) return;
+    f = 1;
+    ++faulty_count_;
+    ++version_;
+  }
+
+  /// Revives the directed channel; bumps version() only on a real change.
+  void repair(NodeId from, Direction dir) {
+    uint8_t& f = faulty_[slot(from, dir)];
+    if (!f) return;
+    f = 0;
+    --faulty_count_;
+    ++version_;
+  }
+
+  /// Monotone change counter, same contract as StatusField::version():
+  /// consumers cache against it (oracle BFS trees, wormhole stream scans).
+  [[nodiscard]] uint64_t version() const { return version_; }
+
+  [[nodiscard]] long long memory_bytes() const {
+    return static_cast<long long>(sizeof(*this)) +
+           static_cast<long long>(faulty_.capacity() * sizeof(uint8_t));
+  }
+
+ private:
+  [[nodiscard]] size_t slot(NodeId from, Direction dir) const {
+    return static_cast<size_t>(from) * static_cast<size_t>(dirs_) +
+           static_cast<size_t>(dir.index());
+  }
+
+  int dirs_ = 0;
+  long long faulty_count_ = 0;
+  uint64_t version_ = 0;
+  std::vector<uint8_t> faulty_;
+};
+
+}  // namespace lgfi

@@ -14,7 +14,8 @@ RouteDecision DimensionOrderRouter::decide(const RoutingContext& ctx, RoutingHea
     const Coord v = ctx.mesh->step(u, d);
     const NodeStatus vs = ctx.field->at(v);
     const bool blocked =
-        vs == NodeStatus::kFaulty || (strict_ && vs == NodeStatus::kDisabled);
+        vs == NodeStatus::kFaulty || (strict_ && vs == NodeStatus::kDisabled) ||
+        (ctx.links != nullptr && ctx.links->faulty(ctx.mesh->index_of(u), d));
     if (blocked) return RouteDecision{RouteAction::kUnreachable};
     return RouteDecision{RouteAction::kForward, d};
   }

@@ -47,6 +47,10 @@ DirectionClass classify_direction(const RoutingContext& ctx, const Coord& u, con
   assert(ctx.mesh != nullptr && ctx.field != nullptr);
   if (used.contains(dir)) return DirectionClass::kExcluded;
   if (!ctx.mesh->has_neighbor(u, dir)) return DirectionClass::kExcluded;
+  // A link-faulted outgoing channel is as unusable as a missing one; unlike
+  // a faulty neighbour it never enters block labeling (DESIGN.md §17).
+  if (ctx.links != nullptr && ctx.links->faulty(ctx.mesh->index_of(u), dir))
+    return DirectionClass::kExcluded;
 
   const Coord v = ctx.mesh->step(u, dir);
   const NodeStatus vs = ctx.field->at(v);

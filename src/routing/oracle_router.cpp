@@ -14,7 +14,7 @@ bool traversable(const StatusField& field, NodeId id, OracleAvoid avoid) {
 }
 
 std::vector<int> bfs_from(const Topology& mesh, const StatusField& field, const Coord& from,
-                          OracleAvoid avoid) {
+                          OracleAvoid avoid, const LinkFaultMask* links) {
   std::vector<int> dist(static_cast<size_t>(mesh.node_count()), -1);
   const NodeId start = mesh.index_of(from);
   if (!traversable(field, start, avoid)) return dist;
@@ -24,9 +24,13 @@ std::vector<int> bfs_from(const Topology& mesh, const StatusField& field, const 
   while (!q.empty()) {
     const NodeId cur = q.front();
     q.pop();
-    mesh.for_each_neighbor(mesh.coord_of(cur), [&](Direction, const Coord& nb) {
+    mesh.for_each_neighbor(mesh.coord_of(cur), [&](Direction d, const Coord& nb) {
       const NodeId nid = mesh.index_of(nb);
       if (dist[static_cast<size_t>(nid)] >= 0 || !traversable(field, nid, avoid)) return;
+      // The tree is rooted at the *destination*: a message at nb moves
+      // toward cur via d.opposite(), so that is the directed channel whose
+      // health gates this edge.
+      if (links != nullptr && links->faulty(nid, d.opposite())) return;
       dist[static_cast<size_t>(nid)] = dist[static_cast<size_t>(cur)] + 1;
       q.push(nid);
     });
@@ -39,7 +43,7 @@ std::vector<int> bfs_from(const Topology& mesh, const StatusField& field, const 
 std::optional<int> oracle_path_length(const Topology& mesh, const StatusField& field,
                                       const Coord& source, const Coord& dest,
                                       OracleAvoid avoid) {
-  const auto dist = bfs_from(mesh, field, dest, avoid);
+  const auto dist = bfs_from(mesh, field, dest, avoid, nullptr);
   const int d = dist[static_cast<size_t>(mesh.index_of(source))];
   if (d < 0) return std::nullopt;
   return d;
@@ -55,11 +59,16 @@ RouteDecision OracleRouter::decide(const RoutingContext& ctx, RoutingHeader& hea
   const Coord& u = header.current();
   if (u == header.destination()) return RouteDecision{RouteAction::kDelivered};
 
-  // Every fault/recovery bumps the field version; a stale oracle would
-  // contradict its whole premise (it IS the instantly-informed baseline).
-  if (ctx.field->version() != cached_version_) {
+  // Every fault/recovery bumps the field version, and every link change
+  // bumps the mask version; the sum of the two monotone counters strictly
+  // increases on any change, so it is a sound combined cache key.  A stale
+  // oracle would contradict its whole premise (it IS the instantly-informed
+  // baseline).
+  const uint64_t version =
+      ctx.field->version() + (ctx.links != nullptr ? ctx.links->version() : 0);
+  if (version != cached_version_) {
     dist_by_dest_.clear();
-    cached_version_ = ctx.field->version();
+    cached_version_ = version;
   }
   auto it = dist_by_dest_.find(header.destination());
   if (it == dist_by_dest_.end()) {
@@ -69,7 +78,7 @@ RouteDecision OracleRouter::decide(const RoutingContext& ctx, RoutingHeader& hea
     if (dist_by_dest_.size() >= kMaxCachedTrees) dist_by_dest_.clear();
     it = dist_by_dest_
              .emplace(header.destination(),
-                      bfs_from(*ctx.mesh, *ctx.field, header.destination(), avoid_))
+                      bfs_from(*ctx.mesh, *ctx.field, header.destination(), avoid_, ctx.links))
              .first;
   }
   const std::vector<int>& dist = it->second;
@@ -80,6 +89,7 @@ RouteDecision OracleRouter::decide(const RoutingContext& ctx, RoutingHeader& hea
   RouteDecision best{RouteAction::kUnreachable};
   ctx.mesh->for_each_neighbor(u, [&](Direction d, const Coord& nb) {
     if (best.action == RouteAction::kForward) return;
+    if (ctx.links != nullptr && ctx.links->faulty(ctx.mesh->index_of(u), d)) return;
     const int dn = dist[static_cast<size_t>(ctx.mesh->index_of(nb))];
     if (dn >= 0 && dn == du - 1) best = RouteDecision{RouteAction::kForward, d};
   });

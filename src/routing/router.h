@@ -13,6 +13,7 @@
 
 #include "src/fault/block_registry.h"
 #include "src/fault/node_status.h"
+#include "src/mesh/link_fault_mask.h"
 #include "src/routing/routing_header.h"
 
 namespace lgfi {
@@ -50,6 +51,9 @@ struct RoutingContext {
   const Topology* mesh = nullptr;
   const StatusField* field = nullptr;
   const InfoProvider* info = nullptr;
+  /// Directed-channel fault state (DESIGN.md §17), or null when the
+  /// environment has no link-fault notion — routers treat null as all-clear.
+  const LinkFaultMask* links = nullptr;
 };
 
 enum class RouteAction : uint8_t {

@@ -213,6 +213,24 @@ NamedRegistry<FaultModelFactory>& fault_model_registry() {
           return box_fault_placement(mesh, box);
         },
         {"fails every interior node of the fault_box extents (exact block)", {"fault_box"}});
+    // The lifecycle generators produce a dynamic fail/repair timeline, not a
+    // static placement (src/sim/fault_timeline.h); the experiment runner
+    // special-cases them before ever calling place_faults.  The registry
+    // entries exist so `--list` documents them and typos still get the
+    // did-you-mean treatment.
+    const FaultModelFactory lifecycle_factory =
+        [](const Topology&, const Config& cfg, Rng&) -> std::vector<Coord> {
+      throw ConfigError("fault_model=" + cfg.get_str("fault_model") +
+                        " generates a dynamic fail/repair timeline and needs the "
+                        "dynamic step loop (set traffic= or routes>0), not a static "
+                        "placement");
+    };
+    reg.add("lifecycle", lifecycle_factory,
+            {"Poisson node fail/repair/transient lifecycle (dynamic timeline)",
+             {"fault_arrival_rate", "repair_rate", "transient_frac", "fault_horizon"}});
+    reg.add("lifecycle_links", lifecycle_factory,
+            {"Poisson directed-link fail/repair lifecycle (ports, not nodes)",
+             {"fault_arrival_rate", "repair_rate", "transient_frac", "fault_horizon"}});
     return reg;
   }();
   return registry;

@@ -1,0 +1,114 @@
+#include "src/sim/fault_timeline.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace lgfi {
+
+void FaultTimeline::push(LifecycleEvent e) {
+  last_step_ = std::max(last_step_, e.step);
+  heap_.push_back(Entry{e, next_seq_++});
+  std::push_heap(heap_.begin(), heap_.end(), &FaultTimeline::after);
+}
+
+std::vector<LifecycleEvent> FaultTimeline::pop_events_at(long long step) {
+  std::vector<LifecycleEvent> out;
+  while (!heap_.empty() && heap_.front().event.step == step) {
+    std::pop_heap(heap_.begin(), heap_.end(), &FaultTimeline::after);
+    out.push_back(heap_.back().event);
+    heap_.pop_back();
+  }
+  return out;
+}
+
+FaultTimeline timeline_from_schedule(const FaultSchedule& schedule) {
+  FaultTimeline timeline;
+  for (const auto& e : schedule.events()) {
+    timeline.push(LifecycleEvent{e.step, e.node, Direction::none(),
+                                 e.kind == FaultEventKind::kFail
+                                     ? LifecycleEventKind::kFail
+                                     : LifecycleEventKind::kRepair});
+  }
+  return timeline;
+}
+
+bool is_lifecycle_model(const std::string& name) {
+  return name == "lifecycle" || name == "lifecycle_links";
+}
+
+namespace {
+
+/// Discretized exponential inter-event time: at least one step, mean
+/// roughly 1/rate steps.  `u` is uniform in [0, 1), so 1-u is in (0, 1].
+long long exponential_delay(double u, double rate) {
+  return 1 + static_cast<long long>(std::floor(-std::log1p(-u) / rate));
+}
+
+}  // namespace
+
+FaultTimeline build_lifecycle_timeline(const Topology& mesh, const Config& config,
+                                       Rng& rng, long long horizon) {
+  const bool links = config.get_str("fault_model") == "lifecycle_links";
+  const double arrival_rate = config.get_double("fault_arrival_rate");
+  const double repair_rate = config.get_double("repair_rate");
+  const double transient_frac = config.get_double("transient_frac");
+
+  // Common-random-number streams (see header): arrivals (times, targets,
+  // transient flags) and repairs draw from independent forks, and every
+  // arrival consumes exactly one repair uniform regardless of branch — so
+  // sweeping repair_rate replays the identical fault history with each
+  // fault's downtime pointwise non-increasing in the rate.
+  Rng arrivals = rng.fork(0xFA01);
+  Rng repairs = rng.fork(0xFA02);
+
+  FaultTimeline timeline;
+  long long t = config.get_int("fault_start");
+  while (true) {
+    t += exponential_delay(arrivals.uniform_double(), arrival_rate);
+    if (t > horizon) break;
+    const bool transient = arrivals.bernoulli(transient_frac) && repair_rate > 0.0;
+    const double repair_u = repairs.uniform_double();
+    const LifecycleEventKind down =
+        transient ? LifecycleEventKind::kTransientStart : LifecycleEventKind::kFail;
+    const LifecycleEventKind up =
+        transient ? LifecycleEventKind::kTransientEnd : LifecycleEventKind::kRepair;
+    // Transients model short glitches: they clear at 10x the repair rate.
+    const double up_rate = transient ? 10.0 * repair_rate : repair_rate;
+    const long long back =
+        repair_rate > 0.0 ? t + exponential_delay(repair_u, up_rate) : horizon + 1;
+
+    if (links) {
+      // Rejection-sample an existing directed channel; both directions of
+      // the physical link go down and come back together.
+      NodeId from = kInvalidNode;
+      Direction dir = Direction::none();
+      for (int attempt = 0; attempt < 128 && from == kInvalidNode; ++attempt) {
+        const NodeId cand =
+            static_cast<NodeId>(arrivals.next_below(static_cast<uint64_t>(mesh.node_count())));
+        const Direction d =
+            Direction::from_index(arrivals.uniform_int(0, mesh.direction_count() - 1));
+        if (mesh.neighbor(cand, d) == kInvalidNode) continue;
+        from = cand;
+        dir = d;
+      }
+      if (from == kInvalidNode) continue;  // degenerate mesh with no channels
+      const Coord u_c = mesh.coord_of(from);
+      const Coord v_c = mesh.coord_of(mesh.neighbor(from, dir));
+      timeline.push(LifecycleEvent{t, u_c, dir, down});
+      timeline.push(LifecycleEvent{t, v_c, dir.opposite(), down});
+      if (back <= horizon) {
+        timeline.push(LifecycleEvent{back, u_c, dir, up});
+        timeline.push(LifecycleEvent{back, v_c, dir.opposite(), up});
+      }
+    } else {
+      const auto placed = random_fault_placement(mesh, 1, arrivals);
+      if (placed.empty()) continue;  // mesh too small for interior placement
+      timeline.push(LifecycleEvent{t, placed.front(), Direction::none(), down});
+      if (back <= horizon)
+        timeline.push(LifecycleEvent{back, placed.front(), Direction::none(), up});
+    }
+  }
+  return timeline;
+}
+
+}  // namespace lgfi

@@ -1,0 +1,130 @@
+#pragma once
+// The fault-lifecycle event queue (DESIGN.md §17).
+//
+// A FaultTimeline is a bounded min-heap over (step, event): fail / repair /
+// transient-start / transient-end, targeting a node or a directed link.  It
+// replaces the FaultSchedule's per-step linear scan — the step loop peeks
+// the heap top in O(1) and pops a step's batch in O(log events), so the
+// per-step fault-phase cost is independent of the schedule length.
+//
+// Timelines come from two places: converting a static FaultSchedule (every
+// historical fault model keeps working unchanged), or the pluggable
+// lifecycle generators on the `fault_model` axis (`lifecycle`,
+// `lifecycle_links`), which draw exponential inter-arrival and repair times
+// from the seeded Rng.  The generators use common-random-number stream
+// splitting (Rng::fork is position-independent) so the arrival process is
+// identical across `repair_rate` values — the reliability sweeps compare
+// repair policies against the same fault history.
+
+#include <string>
+#include <vector>
+
+#include "src/core/config.h"
+#include "src/mesh/topology.h"
+#include "src/sim/fault_schedule.h"
+#include "src/sim/rng.h"
+
+namespace lgfi {
+
+enum class LifecycleEventKind : uint8_t {
+  kFail,            ///< permanent node/link death (repairable by kRepair)
+  kRepair,          ///< node/link comes back blank (Definition 4 recovery)
+  kTransientStart,  ///< a glitch begins: same observable effect as kFail
+  kTransientEnd,    ///< the glitch clears: same observable effect as kRepair
+};
+
+struct LifecycleEvent {
+  long long step = 0;  ///< routing step at which the event is detected
+  Coord node;          ///< the node, or the link's tail endpoint
+  /// Direction of the affected directed channel; none() means a node-level
+  /// event.  Physical-link transitions arrive as two directed events.
+  Direction link = Direction::none();
+  LifecycleEventKind kind = LifecycleEventKind::kFail;
+
+  [[nodiscard]] bool is_link() const { return !link.is_none(); }
+  /// True if applying the event takes the target down (fail or
+  /// transient-start); false means it comes back up.
+  [[nodiscard]] bool is_down_edge() const {
+    return kind == LifecycleEventKind::kFail || kind == LifecycleEventKind::kTransientStart;
+  }
+};
+
+/// Min-heap of lifecycle events ordered by (step, insertion order).  The
+/// FIFO tiebreak makes a step's batch come out exactly in push order, so a
+/// timeline converted from a sorted FaultSchedule applies events in the
+/// schedule's order — byte-identical trajectories.
+class FaultTimeline {
+ public:
+  FaultTimeline() = default;
+
+  /// O(log size).
+  void push(LifecycleEvent e);
+
+  [[nodiscard]] bool empty() const { return heap_.empty(); }
+  [[nodiscard]] size_t size() const { return heap_.size(); }
+
+  /// Step of the earliest pending event, or -1 if empty.  O(1).
+  [[nodiscard]] long long next_step() const {
+    return heap_.empty() ? -1 : heap_.front().event.step;
+  }
+  [[nodiscard]] bool has_events_at(long long step) const {
+    return !heap_.empty() && heap_.front().event.step == step;
+  }
+
+  /// Pops every event scheduled at exactly `step`, in push order.
+  /// O(k log size) for a batch of k; empty vector if none are due.
+  std::vector<LifecycleEvent> pop_events_at(long long step);
+
+  /// Largest step ever pushed (including already-popped events), or -1.
+  [[nodiscard]] long long last_step() const { return last_step_; }
+
+  [[nodiscard]] long long memory_bytes() const {
+    return static_cast<long long>(sizeof(*this)) +
+           static_cast<long long>(heap_.capacity() * sizeof(Entry));
+  }
+
+ private:
+  struct Entry {
+    LifecycleEvent event;
+    uint64_t seq = 0;  ///< monotone insertion counter: FIFO among same-step ties
+  };
+  /// Heap comparator: a sorts after b, so front() is the (step, seq) minimum.
+  static bool after(const Entry& a, const Entry& b) {
+    if (a.event.step != b.event.step) return a.event.step > b.event.step;
+    return a.seq > b.seq;
+  }
+
+  std::vector<Entry> heap_;
+  uint64_t next_seq_ = 0;
+  long long last_step_ = -1;
+};
+
+/// Converts a static schedule: kFail -> kFail, kRecover -> kRepair, order
+/// preserved.  Every historical fault model runs through the timeline heap.
+FaultTimeline timeline_from_schedule(const FaultSchedule& schedule);
+
+/// True for the generator-backed fault models (`lifecycle`,
+/// `lifecycle_links`) that produce a dynamic timeline instead of a static
+/// placement — the experiment runner special-cases them in build_dynamic.
+bool is_lifecycle_model(const std::string& name);
+
+/// Generates the lifecycle timeline for `fault_model=lifecycle` (node
+/// targets) or `lifecycle_links` (directed-link targets) over steps
+/// [fault_start, horizon]:
+///
+///   - inter-arrival:   1 + floor(-log(1-u) / fault_arrival_rate)  steps
+///   - repair delay:    1 + floor(-log(1-u) / repair_rate)         steps
+///   - transient glitch (probability transient_frac): repairs at 10x the
+///     repair rate — short outages against the permanent-fault baseline
+///
+/// repair_rate=0 makes every fault permanent.  Repairs that would land past
+/// the horizon are dropped (the fault stays down for the measured window).
+/// Arrival times, targets and transient flags draw from one forked stream
+/// and repair delays from another, one uniform per arrival — so arrival
+/// histories are identical across repair_rate values and each fault's
+/// repair time is pointwise non-increasing in repair_rate (the monotone
+/// curves E17 self-checks).
+FaultTimeline build_lifecycle_timeline(const Topology& mesh, const Config& config,
+                                       Rng& rng, long long horizon);
+
+}  // namespace lgfi

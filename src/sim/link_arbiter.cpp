@@ -39,6 +39,15 @@ void LinkArbiter::arbitrate() {
     const int32_t channel = request_channel_[static_cast<size_t>(order[i])];
     while (j < n && request_channel_[static_cast<size_t>(order[j])] == channel) ++j;
     const size_t contenders = j - i;
+    // A link-faulted channel grants nobody: all contenders stall, and the
+    // cursor does not move so the rotation resumes intact after repair.
+    if (links_ != nullptr && links_->any() &&
+        links_->faulty(static_cast<NodeId>(channel / dirs_),
+                       Direction::from_index(channel % dirs_))) {
+      stalled_this_step_ += static_cast<long long>(contenders);
+      i = j;
+      continue;
+    }
     const size_t winner = i + cursor_[static_cast<size_t>(channel)] % contenders;
     granted_[static_cast<size_t>(order[winner])] = 1;
     if (contenders > 1) {

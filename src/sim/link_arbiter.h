@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "src/mesh/direction.h"
+#include "src/mesh/link_fault_mask.h"
 #include "src/mesh/topology.h"
 
 namespace lgfi {
@@ -38,8 +39,14 @@ class LinkArbiter {
 
   /// Resolves the step: per requested channel, the requester at the
   /// channel's cursor position (counting in submission order) wins; everyone
-  /// else stalls.
+  /// else stalls.  Requests on a link-faulted channel are denied outright —
+  /// every contender stalls and the round-robin cursor stays put, so the
+  /// rotation resumes where it left off once the link repairs.
   void arbitrate();
+
+  /// Attaches the directed-channel fault mask (DESIGN.md §17); null (the
+  /// default) means no link faults exist.  The mask outlives the arbiter.
+  void set_link_faults(const LinkFaultMask* links) { links_ = links; }
 
   [[nodiscard]] bool granted(int ticket) const {
     return granted_[static_cast<size_t>(ticket)] != 0;
@@ -58,6 +65,7 @@ class LinkArbiter {
   }
 
   int dirs_;
+  const LinkFaultMask* links_ = nullptr;
   std::vector<uint32_t> cursor_;        ///< per-channel round-robin position
   std::vector<int32_t> request_channel_;  ///< ticket -> channel (this step)
   std::vector<uint8_t> granted_;          ///< ticket -> outcome (this step)

@@ -34,6 +34,11 @@ double RunningStats::variance() const {
 
 double RunningStats::stddev() const { return std::sqrt(variance()); }
 
+double RunningStats::ci95_half_width() const {
+  if (n_ < 2) return std::numeric_limits<double>::quiet_NaN();
+  return 1.96 * stddev() / std::sqrt(static_cast<double>(n_));
+}
+
 void RunningStats::merge(const RunningStats& other) {
   if (other.n_ == 0) return;
   if (n_ == 0) {

@@ -22,6 +22,11 @@ class RunningStats {
   [[nodiscard]] double mean() const { return n_ > 0 ? mean_ : 0.0; }
   [[nodiscard]] double variance() const;  ///< sample variance (n-1 denominator)
   [[nodiscard]] double stddev() const;
+  /// Half-width of the normal-approximation 95% confidence interval on the
+  /// mean (1.96 * stddev / sqrt(n)).  Quiet NaN when n < 2 — a single
+  /// replication carries no spread information; reporters must render that
+  /// as an *empty* field, never a literal "nan" token.
+  [[nodiscard]] double ci95_half_width() const;
   [[nodiscard]] double min() const { return n_ > 0 ? min_ : 0.0; }
   [[nodiscard]] double max() const { return n_ > 0 ? max_ : 0.0; }
   [[nodiscard]] double sum() const { return sum_; }

@@ -106,6 +106,16 @@ class SwitchingHost {
   /// mid-stream.
   [[nodiscard]] virtual bool node_faulty(NodeId node) const = 0;
 
+  /// Whether the directed channel leaving `from` along `dir` is dead (a
+  /// link/port fault, DESIGN.md §17).  Default: no link-fault notion.  A
+  /// dead channel carries no flits: allocation must skip it and established
+  /// streams crossing it tear down like a mid-stream node death.
+  [[nodiscard]] virtual bool link_faulty(NodeId from, Direction dir) const {
+    (void)from;
+    (void)dir;
+    return false;
+  }
+
   /// StatusField::version() of the live field — bumped only on real status
   /// changes, so models can skip whole-network rescans while it is stable.
   [[nodiscard]] virtual uint64_t field_version() const = 0;

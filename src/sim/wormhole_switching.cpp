@@ -151,8 +151,11 @@ void WormholeSwitching::advance_step(SwitchingHost& host, LinkArbiter* arbiter) 
           leaving_fifo.emplace_back(node, id);
           break;
         case SwitchAction::kForward: {
+          // A link-faulted outgoing channel can accept no probe: treat it
+          // exactly like VC starvation (stall, then the §10 escape) — the
+          // router's next decision sees the mask and steers elsewhere.
           const auto channel = static_cast<int32_t>(channel_of(node, d.direction));
-          if (free_vc(channel) >= 0) {
+          if (!host.link_faulty(node, d.direction) && free_vc(channel) >= 0) {
             reqs.push_back({arb.request(node, d.direction), id, ReqKind::kProbeForward, d, -1,
                             -1, false});
           } else {
@@ -365,8 +368,14 @@ void WormholeSwitching::advance_step(SwitchingHost& host, LinkArbiter* arbiter) 
     if (w.at_source > 0 &&
         host.node_faulty(static_cast<NodeId>(w.path[0].channel / dirs_)))
       return true;
-    for (size_t i = static_cast<size_t>(w.tail); i < w.path.size(); ++i)
+    for (size_t i = static_cast<size_t>(w.tail); i < w.path.size(); ++i) {
       if (host.node_faulty(w.path[i].to_node)) return true;
+      // A link fault severs an established circuit exactly like a node
+      // death: the channel can carry no further flits of this worm.
+      if (host.link_faulty(static_cast<NodeId>(w.path[i].channel / dirs_),
+                           Direction::from_index(w.path[i].channel % dirs_)))
+        return true;
+    }
     return false;
   };
   // The scan is O(remaining path) per worm, so gate it on the field version:
